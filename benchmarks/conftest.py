@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports (captured with ``-s``).
+The pytest-benchmark timings measure the cost of regenerating each
+artifact on the simulated platform.
+"""
+
+import pytest
+
+from repro.core.study import Study
+
+
+@pytest.fixture(scope="session")
+def study():
+    """One shared class-B study; runs memoize across benchmarks."""
+    return Study("B")

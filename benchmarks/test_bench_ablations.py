@@ -1,0 +1,49 @@
+"""Benchmark: regenerate the extension ablations (DESIGN.md §7)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_scheduler_comparison(benchmark):
+    comp = benchmark.pedantic(
+        lambda: ablations.scheduler_comparison(
+            pairs=[("CG", "FT"), ("FT", "FT"), ("MG", "SP")]
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print(ablations.report_scheduler(comp))
+    assert set(comp.results) == {"CG/FT", "FT/FT", "MG/SP"}
+
+
+def test_bench_prefetcher_ablation(benchmark):
+    result = benchmark.pedantic(
+        ablations.prefetcher_ablation, rounds=2, iterations=1
+    )
+    print()
+    print(ablations.report_ablation(result, "Prefetcher ablation"))
+    for bench in result.results:
+        assert (
+            result.results[bench]["prefetch_on"]
+            >= result.results[bench]["prefetch_off"]
+        )
+
+
+def test_bench_bus_bandwidth_sweep(benchmark):
+    result = benchmark.pedantic(
+        ablations.bus_bandwidth_sweep, rounds=2, iterations=1
+    )
+    print()
+    print(ablations.report_ablation(result, "Bus bandwidth sweep"))
+    vals = [result.results["CG"][v] for v in result.variants]
+    assert vals == sorted(vals)  # more bandwidth never hurts CG
+
+
+def test_bench_trace_cache_sweep(benchmark):
+    result = benchmark.pedantic(
+        ablations.trace_cache_sweep, rounds=2, iterations=1
+    )
+    print()
+    print(ablations.report_ablation(result, "Trace cache sweep"))
+    vals = [result.results["MG"][v] for v in result.variants]
+    assert vals[-1] > vals[0]  # MG is trace-cache bound

@@ -1,0 +1,91 @@
+"""Benchmarks: regenerate the extension studies (beyond the paper)."""
+
+from repro.core.study import Study
+from repro.experiments import (
+    class_scaling,
+    efficiency_study,
+    energy_study,
+    omp_overheads,
+    sensitivity_study,
+    tuning_study,
+    validation,
+)
+
+
+def test_bench_validation(benchmark):
+    result = benchmark.pedantic(
+        lambda: validation.run(benchmarks=["CG", "SP", "EP"], samples=12000),
+        rounds=2, iterations=1,
+    )
+    print()
+    print(validation.report(result))
+    assert result.max_l1_error < 0.12
+
+
+def test_bench_omp_overheads(benchmark):
+    result = benchmark(omp_overheads.run)
+    print()
+    print(omp_overheads.report(result))
+    us = result.microseconds("ht_on_8_2")
+    assert us["parallel"] > result.microseconds("ht_on_2_1")["parallel"]
+
+
+def test_bench_tuning_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: tuning_study.run(benchmarks=("LU", "SP"),
+                                 pairs=(("CG", "CG"),)),
+        rounds=2, iterations=1,
+    )
+    print()
+    print(tuning_study.report(result))
+    assert all(r.regret < 0.05 for r in result.placement_rows)
+
+
+def test_bench_energy_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: energy_study.run(Study("B")), rounds=2, iterations=1
+    )
+    print()
+    print(energy_study.report(result))
+    assert result.best_edp_config() == "ht_on_4_1"
+
+
+def test_bench_efficiency_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: efficiency_study.run(Study("B")), rounds=2, iterations=1
+    )
+    print()
+    print(efficiency_study.report(result))
+    assert result.best("per_chip") == "ht_on_4_1"
+
+
+def test_bench_class_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: class_scaling.run(classes=("W", "B")), rounds=2, iterations=1
+    )
+    print()
+    print(class_scaling.report(result))
+    assert result.ht8_slowdown["W"] < result.ht8_slowdown["B"]
+
+
+def test_bench_nextgen(benchmark):
+    from repro.experiments import nextgen
+
+    result = benchmark.pedantic(
+        lambda: nextgen.run(benchmarks=["CG", "SP", "EP"]),
+        rounds=2, iterations=1,
+    )
+    print()
+    print(nextgen.report(result))
+    # The paper's SP exception survives the shared-L2 generation.
+    assert all("SP" in result.ht8_winners[v] for v in result.variants)
+
+
+def test_bench_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: sensitivity_study.run(), rounds=1, iterations=1
+    )
+    print()
+    print(sensitivity_study.report(result))
+    # The Table-2 ranking must be robust to every perturbation.
+    assert result.f2.fragile_parameters() == []

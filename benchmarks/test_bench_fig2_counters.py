@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the Figure-2 counter panels (single program)."""
+
+from repro.core.study import Study
+from repro.experiments import fig2_single_program
+
+
+def test_bench_fig2_counters(benchmark):
+    def regenerate():
+        # Fresh study: the benchmark measures the full simulation sweep.
+        return fig2_single_program.run(Study("B"))
+
+    result = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    print()
+    print(fig2_single_program.report(result))
+    # Headline shapes of the figure:
+    tc_mg = result.panels["tc_miss_rate"]["MG"]
+    assert tc_mg["ht_on_8_2"] < tc_mg["ht_off_4_2"]  # MG trace-cache share
+    bp_cg = result.panels["branch_prediction_rate"]["CG"]
+    assert bp_cg["ht_on_4_1"] < bp_cg["ht_off_2_1"]  # CG HT outlier

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate the Figure-4 multiprogram study."""
+
+from repro.core.study import Study
+from repro.experiments import fig4_multiprogram
+
+
+def test_bench_fig4_multiprogram(benchmark):
+    def regenerate():
+        return fig4_multiprogram.run(Study("B"))
+
+    result = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    print()
+    print(fig4_multiprogram.report(result))
+    # Shape: the memory-bound program (CG) does better against FT than
+    # against a second copy of itself on most architectures.
+    better = sum(
+        result.speedups["CG/FT"][cfg][0] > result.speedups["CG/CG"][cfg][0]
+        for cfg in result.config_order
+    )
+    assert better >= 5
+    # Shape: the fully loaded HT machine is the best HT-on choice for
+    # the CG/FT mix and competitive with the overall winner.
+    combined = {
+        cfg: sum(result.speedups["CG/FT"][cfg])
+        for cfg in result.config_order
+    }
+    ht_on = {c: v for c, v in combined.items() if c.startswith("ht_on")}
+    assert max(ht_on, key=ht_on.get) == "ht_on_8_2"
+    assert combined["ht_on_8_2"] > 0.8 * max(combined.values())

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate the Figure-5 cross-product box-and-whisker."""
+
+from repro.core.study import Study
+from repro.experiments import fig5_crossproduct
+
+
+def test_bench_fig5_crossproduct(benchmark):
+    def regenerate():
+        return fig5_crossproduct.run(Study("B"))
+
+    result = benchmark.pedantic(regenerate, rounds=2, iterations=1)
+    print()
+    print(fig5_crossproduct.report(result))
+    # Shape: CMP-based SMP (HT off 2-4-2) wins the majority of samples.
+    wins = result.best_config_count()
+    assert max(wins, key=wins.get) == "ht_off_4_2"
+    # Shape: the HT-on architectures carry the longest upper whiskers.
+    on_whisker = (
+        result.stats["ht_on_8_2"].maximum - result.stats["ht_on_8_2"].q3
+    )
+    off_whisker = (
+        result.stats["ht_off_4_2"].maximum - result.stats["ht_off_4_2"].q3
+    )
+    assert on_whisker > off_whisker

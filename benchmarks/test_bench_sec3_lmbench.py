@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the Section-3 LMbench characterization table."""
+
+from repro.experiments import sec3_lmbench
+
+
+def test_bench_sec3_lmbench(benchmark):
+    result = benchmark(sec3_lmbench.run)
+    print()
+    print(sec3_lmbench.report(result))
+    # The regenerated table must match the paper's numbers.
+    assert result.plateaus["l1_ns"] == rel(1.43)
+    assert result.plateaus["memory_ns"] == rel(136.9)
+    assert result.bandwidth["read_1chip"].gbytes_per_second == rel(3.57)
+    assert result.bandwidth["read_2chip"].gbytes_per_second == rel(4.43)
+
+
+def rel(value, tol=0.06):
+    import pytest
+
+    return pytest.approx(value, rel=tol)

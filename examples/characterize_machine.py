@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Platform characterization: reproduce the paper's Section-3 study.
+
+Sweeps the LMbench ``lat_mem_rd`` pointer chase across footprints to
+resolve the L1/L2/DRAM latency ladder, then measures streaming
+bandwidth with one and two chips — showing that the memory controller
+(not the per-chip FSB) is the system bottleneck.
+"""
+
+from repro.lmbench import bw_mem, lat_mem_rd, latency_plateaus
+
+
+def main() -> None:
+    print("lat_mem_rd (stride 128 B)")
+    print(f"{'footprint':>12}  {'latency':>10}  {'L1 miss':>8}  {'L2 miss':>8}")
+    for p in lat_mem_rd():
+        size = p.footprint_bytes
+        label = (
+            f"{size // (1 << 20)} MiB" if size >= (1 << 20)
+            else f"{size // 1024} KiB"
+        )
+        print(
+            f"{label:>12}  {p.latency_ns:8.2f} ns  "
+            f"{p.l1_miss_rate:7.1%}  {p.l2_miss_rate:7.1%}"
+        )
+
+    plateaus = latency_plateaus(lat_mem_rd())
+    print()
+    print("latency plateaus (paper: 1.43 / ~9.6 / ~136.9 ns):")
+    print(f"  L1:     {plateaus['l1_ns']:7.2f} ns")
+    print(f"  L2:     {plateaus['l2_ns']:7.2f} ns")
+    print(f"  memory: {plateaus['memory_ns']:7.2f} ns")
+
+    print()
+    print("bw_mem (paper: 3.57/1.77 one chip, 4.43/2.06 two chips GB/s):")
+    for chips in (1, 2):
+        r = bw_mem(chips, "read").gbytes_per_second
+        w = bw_mem(chips, "write").gbytes_per_second
+        print(f"  {chips} chip(s): read {r:5.2f} GB/s   write {w:5.2f} GB/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Configuration selection: which hardware setup fits each workload?
+
+The question the paper's introduction motivates: given a chip-
+multithreaded SMP, should you enable Hyper-Threading, and how should a
+parallel job use the chips?  This script sweeps every Table-1
+configuration for each NAS benchmark and reports the best choice plus
+the per-resource efficiency (speedup per hardware context).
+"""
+
+from repro import PAPER_BENCHMARKS, Study
+from repro.machine import get_config
+
+
+def main() -> None:
+    study = Study("B")
+    configs = study.paper_configs()
+
+    print(f"{'benchmark':>9}  {'best config':>12}  {'speedup':>8}  "
+          f"{'most efficient':>14}  {'speedup/ctx':>11}")
+    for bench in PAPER_BENCHMARKS:
+        speedups = {c: study.speedup(bench, c) for c in configs}
+        best = max(speedups, key=speedups.get)
+        efficiency = {
+            c: speedups[c] / get_config(c).n_contexts for c in configs
+        }
+        thrifty = max(efficiency, key=efficiency.get)
+        print(
+            f"{bench:>9}  {best:>12}  {speedups[best]:8.2f}  "
+            f"{thrifty:>14}  {efficiency[thrifty]:11.2f}"
+        )
+
+    print()
+    print("The paper's conclusion — a single HT-enabled dual-core chip is")
+    print("the most efficient architecture per resource — corresponds to")
+    print("high speedup-per-context entries for ht_on_4_1 above.")
+
+
+if __name__ == "__main__":
+    main()

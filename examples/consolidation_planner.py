@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Workload consolidation: which jobs co-run well, and how to place them.
+
+A cluster operator wants to pack two NAS jobs onto one chip-multithreaded
+node.  This script scores every pairing by combined throughput (sum of
+both programs' speedups over their serial baselines) on the fully loaded
+HT-on machine, then shows what a smarter scheduler (symbiosis-aware
+placement, the paper's future-work direction) buys over the default
+Linux placement.
+"""
+
+import itertools
+
+from repro import PAPER_BENCHMARKS, Study
+
+
+def main() -> None:
+    config = "ht_on_8_2"
+    default = Study("B", scheduler="linux_default")
+    symbiosis = Study("B", scheduler="symbiosis")
+
+    rows = []
+    for a, b in itertools.combinations(PAPER_BENCHMARKS, 2):
+        d = sum(default.pair_speedups(a, b, config))
+        s = sum(symbiosis.pair_speedups(a, b, config))
+        rows.append((f"{a}/{b}", d, s, (s / d - 1.0) * 100.0))
+
+    rows.sort(key=lambda r: r[1], reverse=True)
+    print(f"co-run throughput on {config} (sum of speedups over serial)")
+    print(f"{'pair':>7}  {'linux_default':>13}  {'symbiosis':>9}  {'gain':>7}")
+    for name, d, s, gain in rows:
+        print(f"{name:>7}  {d:13.2f}  {s:9.2f}  {gain:6.1f}%")
+
+    best = rows[0]
+    print()
+    print(f"best pairing: {best[0]} — mixing memory- and compute-bound "
+          f"programs wins, as the paper's multiprogram study found.")
+
+
+if __name__ == "__main__":
+    main()

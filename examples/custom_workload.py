@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Characterize your own application with the public workload API.
+
+Builds a custom two-phase workload — a serial setup followed by a
+parallel hash-join-like phase (streaming probe input + random lookups
+into a shared hash table) — and studies how it scales across the
+paper's machine configurations.  This is the route for modeling codes
+outside the NAS suite.
+"""
+
+from repro import Study
+from repro.machine import get_config
+from repro.sim import Engine
+from repro.trace import AccessMix, Phase, RandomPattern, StreamingPattern, Workload
+
+
+def build_hash_join(build_mb: float = 64.0, probe_gb: float = 2.0) -> Workload:
+    """A hash join: build a shared table, then stream probes against it."""
+    table_bytes = build_mb * 1e6
+    probe_bytes = probe_gb * 1e9
+
+    build_phase = Phase(
+        name="build",
+        instructions=table_bytes / 16 * 12,      # ~12 uops per inserted row
+        mem_ops_per_instr=0.45,
+        access_mix=AccessMix.of(
+            (0.7, RandomPattern(footprint_bytes=table_bytes,
+                                partitioned=False)),
+            (0.3, StreamingPattern(footprint_bytes=table_bytes,
+                                   partitioned=False, stride_bytes=16)),
+        ),
+        code_footprint_uops=2500.0,
+        code_footprint_bytes=6000.0,
+        branches_per_instr=0.12,
+        branch_misp_intrinsic=0.02,
+        branch_sites=300,
+        ilp=1.2,
+        parallel=False,
+    )
+    probe_phase = Phase(
+        name="probe",
+        instructions=probe_bytes / 16 * 18,      # ~18 uops per probe
+        mem_ops_per_instr=0.5,
+        access_mix=AccessMix.of(
+            # The probe stream is partitioned across the team...
+            (0.45, StreamingPattern(footprint_bytes=probe_bytes,
+                                    partitioned=True, stride_bytes=16,
+                                    passes=1.0)),
+            # ...while every thread hits the same shared hash table.
+            (0.40, RandomPattern(footprint_bytes=table_bytes,
+                                 partitioned=False, shared_fraction=0.9)),
+            (0.15, RandomPattern(footprint_bytes=4096.0)),
+        ),
+        code_footprint_uops=3500.0,
+        code_footprint_bytes=8000.0,
+        branches_per_instr=0.14,
+        branch_misp_intrinsic=0.03,          # key-dependent comparisons
+        branch_sites=450,
+        ilp=1.25,
+        parallel=True,
+        prefetchability=0.4,
+        branch_history_sensitivity=0.7,
+        mlp=3.0,
+    )
+    return Workload(name="HASHJOIN", problem_class="-",
+                    phases=(build_phase, probe_phase))
+
+
+def main() -> None:
+    workload = build_hash_join()
+    serial = Engine(get_config("serial")).run_single(workload)
+    print(f"hash join, serial: {serial.runtime_seconds:.2f} s "
+          f"(CPI {serial.metrics(0).cpi:.2f})")
+    print()
+    print(f"{'config':>11}  {'speedup':>8}  {'CPI':>6}  {'L2 miss':>8}  "
+          f"{'branch pred':>11}")
+    for name in Study.paper_configs():
+        r = Engine(get_config(name)).run_single(workload)
+        m = r.metrics(0)
+        s = serial.runtime_seconds / r.runtime_seconds
+        print(f"{name:>11}  {s:8.2f}  {m.cpi:6.2f}  "
+              f"{m.l2_miss_rate:7.1%}  {m.branch_prediction_rate:10.1%}")
+
+    print()
+    print("The shared hash table benefits from HT sibling sharing, while")
+    print("the key-dependent branches suffer from shared-history pollution")
+    print("— the same tension the paper documents for CG.")
+
+
+if __name__ == "__main__":
+    main()

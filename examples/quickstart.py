@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Quickstart: run one NAS benchmark on one machine configuration.
+
+Simulates CG (class B) on a single Hyper-Threaded dual-core chip
+("CMT", HT on 2-4-1), prints the wall clock, speedup over serial, and
+the hardware-counter metrics the paper's Figure 2 reports.
+"""
+
+from repro import Study
+
+
+def main() -> None:
+    study = Study(problem_class="B")
+
+    serial = study.run("CG", "serial")
+    cmt = study.run("CG", "ht_on_4_1")
+
+    print("CG class B on the simulated Dell PowerEdge 2850")
+    print(f"  serial runtime:    {serial.runtime_seconds:8.1f} s")
+    print(f"  CMT (HTon-2-4-1):  {cmt.runtime_seconds:8.1f} s")
+    print(f"  speedup:           {study.speedup('CG', 'ht_on_4_1'):8.2f} x")
+    print()
+
+    m = cmt.metrics(0)
+    print("hardware counters (CMT run):")
+    print(f"  CPI:                    {m.cpi:6.2f}")
+    print(f"  L1-D miss rate:         {m.l1_miss_rate:6.1%}")
+    print(f"  L2 miss rate (local):   {m.l2_miss_rate:6.1%}")
+    print(f"  trace-cache miss rate:  {m.tc_miss_rate:6.1%}")
+    print(f"  branch prediction:      {m.branch_prediction_rate:6.1%}")
+    print(f"  cycles stalled:         {m.stall_fraction:6.1%}")
+    print(f"  prefetch bus accesses:  {m.prefetch_bus_fraction:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Analysis layer: speedups, comparison groups, statistics, reports."""
+
+from repro.analysis.speedup import (
+    SpeedupTable,
+    speedup_table,
+    average_speedup_by_architecture,
+)
+from repro.analysis.stats import BoxStats, box_stats
+from repro.analysis.figures import grouped_bars, speedup_figure
+from repro.analysis.groups import GroupDelta, group_deltas, report_groups
+from repro.analysis.report import (
+    format_table,
+    format_metric_grid,
+    format_box_plot,
+)
+
+__all__ = [
+    "SpeedupTable",
+    "speedup_table",
+    "average_speedup_by_architecture",
+    "BoxStats",
+    "box_stats",
+    "GroupDelta",
+    "group_deltas",
+    "report_groups",
+    "grouped_bars",
+    "speedup_figure",
+    "format_table",
+    "format_metric_grid",
+    "format_box_plot",
+]

@@ -1,0 +1,89 @@
+"""Artifact export: CSV/JSON serialization of experiment results.
+
+Every experiment driver returns structured dataclasses; this module
+flattens them into rows for archival, plotting, or diffing between
+model versions.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/enums/tuples for JSON."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        return {_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _key(k: Any) -> str:
+    if isinstance(k, Enum):
+        return str(k.value)
+    if isinstance(k, tuple):
+        return "/".join(str(_key(x)) for x in k)
+    return str(k)
+
+
+def to_json(result: Any, indent: int = 2) -> str:
+    """Serialize any experiment result object to JSON text."""
+    return json.dumps(_jsonable(result), indent=indent, sort_keys=True)
+
+
+def grid_to_csv(
+    grid: Mapping[str, Mapping[str, float]],
+    config_order: Sequence[str],
+    row_label: str = "benchmark",
+) -> str:
+    """Serialize a Figure-2-style grid (row -> column -> value) to CSV."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow([row_label] + list(config_order))
+    for row_key in sorted(grid):
+        writer.writerow(
+            [row_key]
+            + [grid[row_key].get(c, "") for c in config_order]
+        )
+    return out.getvalue()
+
+
+def rows_to_csv(rows: Iterable[Any]) -> str:
+    """Serialize homogeneous dataclass rows to CSV (fields as header)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    fields = [f.name for f in dataclasses.fields(rows[0])]
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(fields)
+    for r in rows:
+        writer.writerow([_csv_cell(getattr(r, f)) for f in fields])
+    return out.getvalue()
+
+
+def _csv_cell(v: Any) -> Any:
+    if isinstance(v, Enum):
+        return v.value
+    if isinstance(v, (dict, list, tuple)):
+        return json.dumps(_jsonable(v), sort_keys=True)
+    return v
+
+
+def speedup_table_to_csv(table) -> str:
+    """Serialize a :class:`~repro.analysis.speedup.SpeedupTable`."""
+    grid: Dict[str, Dict[str, float]] = table.values
+    return grid_to_csv(grid, table.configs)

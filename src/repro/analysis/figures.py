@@ -1,0 +1,90 @@
+"""ASCII figure rendering: grouped bar charts like the paper's figures.
+
+The paper's Figures 2-4 are grouped bar charts (benchmarks on the x
+axis, one bar per configuration).  :func:`grouped_bars` renders the
+same structure in text so experiment reports read like the artifacts
+they reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_BAR = "#"
+
+
+def hbar(
+    value: float,
+    vmax: float,
+    width: int = 40,
+) -> str:
+    """A single horizontal bar scaled to ``vmax``."""
+    if vmax <= 0:
+        return ""
+    n = int(round(min(max(value / vmax, 0.0), 1.0) * width))
+    return _BAR * n
+
+
+def grouped_bars(
+    grid: Mapping[str, Mapping[str, float]],
+    series_order: Sequence[str],
+    title: Optional[str] = None,
+    width: int = 40,
+    value_fmt: str = "%.2f",
+    vmax: Optional[float] = None,
+) -> str:
+    """Render a grouped horizontal bar chart.
+
+    Args:
+        grid: group label (benchmark) -> series label (config) -> value.
+        series_order: bar order within each group.
+        title: chart heading.
+        width: bar width in characters at the maximum value.
+        value_fmt: numeric label format.
+        vmax: fixed scale maximum (default: the data maximum).
+    """
+    values = [
+        grid[g][s]
+        for g in grid
+        for s in series_order
+        if s in grid[g]
+    ]
+    if not values:
+        raise ValueError("nothing to plot")
+    scale_max = vmax if vmax is not None else max(values)
+    label_w = max(len(s) for s in series_order)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    for group in sorted(grid):
+        lines.append(f"{group}:")
+        for series in series_order:
+            if series not in grid[group]:
+                continue
+            v = grid[group][series]
+            lines.append(
+                f"  {series:<{label_w}} |{hbar(v, scale_max, width):<{width}}| "
+                + (value_fmt % v)
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def speedup_figure(
+    table,
+    config_order: Sequence[str],
+    title: str = "Speedup over serial",
+    width: int = 40,
+) -> str:
+    """Figure-3-style chart from a :class:`SpeedupTable`."""
+    grid = {
+        bench: {
+            c: table.get(bench, c)
+            for c in config_order
+            if c in table.values.get(bench, {})
+        }
+        for bench in table.benchmarks
+    }
+    return grouped_bars(grid, config_order, title=title, width=width)

@@ -1,0 +1,146 @@
+"""The paper's Section-4 comparison-group methodology.
+
+Results "must be divided into several groups" to be compared fairly:
+each group holds configurations differing in exactly one respect (the
+presence of HT, or the use of the second chip at half load), so a
+within-group delta isolates that factor.  This module computes those
+per-group deltas for any metric, plus the cross-group
+"performance per resources" comparison the paper uses between groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.report import format_table
+from repro.machine.configurations import COMPARISON_GROUPS, get_config
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime
+    from repro.core.study import Study
+
+
+@dataclass(frozen=True)
+class GroupDelta:
+    """One benchmark's within-group comparison."""
+
+    group: str
+    benchmark: str
+    metric: str
+    baseline_config: str
+    variant_config: str
+    baseline_value: float
+    variant_value: float
+
+    @property
+    def delta(self) -> float:
+        """variant - baseline."""
+        return self.variant_value - self.baseline_value
+
+    @property
+    def relative(self) -> float:
+        """Fractional change of the variant over the baseline."""
+        if self.baseline_value == 0:
+            return 0.0
+        return self.variant_value / self.baseline_value - 1.0
+
+
+#: What each group's within-pair difference isolates (paper §4).
+GROUP_FACTORS: Dict[str, str] = {
+    "group1": "adding one HT sibling to a serial run",
+    "group2": "HT on one chip (2 cores) vs 2 real cores",
+    "group3": "HT across two half-used chips vs 2 spread cores",
+    "group4": "HT on the fully loaded two-chip machine",
+}
+
+
+def group_deltas(
+    study: Optional["Study"] = None,
+    metric: str = "speedup",
+    benchmarks: Optional[Sequence[str]] = None,
+    groups: Optional[Mapping[str, List[str]]] = None,
+) -> List[GroupDelta]:
+    """Within-group deltas for every benchmark.
+
+    Args:
+        study: shared study (class B default).
+        metric: ``"speedup"`` or any
+            :class:`~repro.counters.metrics.DerivedMetrics` attribute
+            (``"cpi"``, ``"l2_miss_rate"``, ``"stall_fraction"``, ...).
+        benchmarks: benchmark subset (paper set default).
+        groups: group definitions (paper's Table-1 groups default).
+    """
+    if study is None:
+        from repro.core.study import Study
+
+        study = Study("B")
+    benches = list(benchmarks or study.paper_benchmarks())
+    groups = groups if groups is not None else COMPARISON_GROUPS
+
+    def value(bench: str, config: str) -> float:
+        if metric == "speedup":
+            if config == "serial":
+                return 1.0
+            return study.speedup(bench, config)
+        return getattr(study.run(bench, config).metrics(0), metric)
+
+    out: List[GroupDelta] = []
+    for gname, members in groups.items():
+        # Orient each pair so the delta always measures *enabling* the
+        # group's factor: HT-off (or serial) is the baseline regardless
+        # of the paper's listing order.
+        base, variant = members[0], members[1]
+        if get_config(base).ht and not get_config(variant).ht:
+            base, variant = variant, base
+        for bench in benches:
+            out.append(
+                GroupDelta(
+                    group=gname,
+                    benchmark=bench,
+                    metric=metric,
+                    baseline_config=base,
+                    variant_config=variant,
+                    baseline_value=value(bench, base),
+                    variant_value=value(bench, variant),
+                )
+            )
+    return out
+
+
+def ht_benefit_summary(deltas: Sequence[GroupDelta]) -> Dict[str, float]:
+    """Average relative change per group (the paper's group verdicts)."""
+    sums: Dict[str, List[float]] = {}
+    for d in deltas:
+        sums.setdefault(d.group, []).append(d.relative)
+    return {g: sum(v) / len(v) for g, v in sums.items()}
+
+
+def report_groups(deltas: Sequence[GroupDelta]) -> str:
+    """Render the per-group comparison tables."""
+    parts = []
+    by_group: Dict[str, List[GroupDelta]] = {}
+    for d in deltas:
+        by_group.setdefault(d.group, []).append(d)
+    for gname in sorted(by_group):
+        items = by_group[gname]
+        rows = [
+            [d.benchmark, d.baseline_value, d.variant_value,
+             d.relative * 100.0]
+            for d in items
+        ]
+        d0 = items[0]
+        parts.append(format_table(
+            ["benchmark", d0.baseline_config, d0.variant_config,
+             "change %"],
+            rows,
+            title=f"{gname} — {GROUP_FACTORS.get(gname, '')} "
+                  f"({d0.metric})",
+            float_fmt="%.2f",
+        ))
+    summary = ht_benefit_summary(deltas)
+    parts.append("average relative change per group: " + ", ".join(
+        f"{g}: {v * 100:+.1f}%" for g, v in sorted(summary.items())
+    ))
+    return "\n\n".join(parts)

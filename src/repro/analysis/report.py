@@ -1,0 +1,97 @@
+"""ASCII report formatting for experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.analysis.stats import BoxStats
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "%.3f",
+) -> str:
+    """Render a simple aligned ASCII table."""
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt % v
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_metric_grid(
+    metric_name: str,
+    grid: Mapping[str, Mapping[str, float]],
+    config_order: Sequence[str],
+    float_fmt: str = "%.3f",
+) -> str:
+    """Render one Figure-2-style panel: benchmarks x configurations."""
+    headers = ["benchmark"] + list(config_order)
+    rows = []
+    for bench in sorted(grid):
+        row: list = [bench]
+        for c in config_order:
+            v = grid[bench].get(c)
+            row.append(float("nan") if v is None else v)
+        rows.append(row)
+    return format_table(headers, rows, title=f"== {metric_name} ==",
+                        float_fmt=float_fmt)
+
+
+def format_box_plot(
+    stats_by_config: Mapping[str, BoxStats],
+    config_order: Sequence[str],
+    width: int = 52,
+    title: Optional[str] = None,
+) -> str:
+    """Render Figure-5-style box-and-whisker rows in ASCII.
+
+    Each row shows ``min |--[ Q1 | median | Q3 ]--| max`` scaled to a
+    common axis.
+    """
+    stats = [stats_by_config[c] for c in config_order if c in stats_by_config]
+    if not stats:
+        raise ValueError("nothing to plot")
+    lo = min(s.minimum for s in stats)
+    hi = max(s.maximum for s in stats)
+    span = (hi - lo) or 1.0
+
+    def col(x: float) -> int:
+        return int(round((x - lo) / span * (width - 1)))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"axis: {lo:.2f} .. {hi:.2f} (speedup over serial)")
+    for name in config_order:
+        if name not in stats_by_config:
+            continue
+        s = stats_by_config[name]
+        row = [" "] * width
+        for x in range(col(s.minimum), col(s.maximum) + 1):
+            row[x] = "-"
+        for x in range(col(s.q1), col(s.q3) + 1):
+            row[x] = "="
+        row[col(s.median)] = "#"
+        row[col(s.minimum)] = "|"
+        row[col(s.maximum)] = "|"
+        lines.append(
+            "%-11s %s  med=%.2f iqr=[%.2f, %.2f]"
+            % (name, "".join(row), s.median, s.q1, s.q3)
+        )
+    return "\n".join(lines)

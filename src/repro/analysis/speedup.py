@@ -1,0 +1,79 @@
+"""Speedup computation over the serial baseline (paper Figure 3/Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.machine.configurations import (
+    CONFIGURATIONS,
+    Architecture,
+    MachineConfig,
+)
+
+
+@dataclass
+class SpeedupTable:
+    """Speedups keyed by (benchmark, configuration name)."""
+
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def set(self, benchmark: str, config: str, speedup: float) -> None:
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        self.values.setdefault(benchmark, {})[config] = speedup
+
+    def get(self, benchmark: str, config: str) -> float:
+        return self.values[benchmark][config]
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return sorted(self.values)
+
+    @property
+    def configs(self) -> List[str]:
+        names: List[str] = []
+        for row in self.values.values():
+            for c in row:
+                if c not in names:
+                    names.append(c)
+        return names
+
+    def column_average(self, config: str) -> float:
+        vals = [row[config] for row in self.values.values() if config in row]
+        if not vals:
+            raise KeyError(f"no speedups recorded for configuration {config}")
+        return sum(vals) / len(vals)
+
+
+def speedup_table(
+    serial_runtimes: Mapping[str, float],
+    config_runtimes: Mapping[str, Mapping[str, float]],
+) -> SpeedupTable:
+    """Build a speedup table from runtimes.
+
+    Args:
+        serial_runtimes: benchmark -> serial wall-clock seconds.
+        config_runtimes: benchmark -> {config name -> seconds}.
+    """
+    table = SpeedupTable()
+    for bench, per_config in config_runtimes.items():
+        base = serial_runtimes[bench]
+        for config, rt in per_config.items():
+            table.set(bench, config, base / rt)
+    return table
+
+
+def average_speedup_by_architecture(
+    table: SpeedupTable,
+    configs: Optional[Sequence[str]] = None,
+) -> Dict[Architecture, float]:
+    """Paper Table 2: average speedup across benchmarks per architecture."""
+    chosen = configs if configs is not None else table.configs
+    out: Dict[Architecture, float] = {}
+    for name in chosen:
+        cfg = CONFIGURATIONS.get(name)
+        if cfg is None or cfg.architecture is Architecture.SERIAL:
+            continue
+        out[cfg.architecture] = table.column_average(name)
+    return out

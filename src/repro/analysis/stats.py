@@ -1,0 +1,45 @@
+"""Box-and-whisker statistics (paper Figure 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary: the paper's boxes are the interquartile range
+    and the whiskers the min/max of the data."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def contains(self, value: float) -> bool:
+        return self.minimum <= value <= self.maximum
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Compute the five-number summary of a sample.
+
+    Raises ``ValueError`` on an empty sample.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    arr = np.asarray(values, dtype=float)
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    return BoxStats(
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+    )

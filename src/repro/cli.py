@@ -1,0 +1,133 @@
+"""Command-line interface: regenerate paper artifacts and run studies.
+
+Usage::
+
+    python -m repro list                      # available experiments
+    python -m repro run fig3                  # print one artifact
+    python -m repro run-all --out results/    # regenerate everything
+    python -m repro speedup CG ht_on_4_1      # one speedup query
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments import registry
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Comprehensive Analysis of OpenMP "
+            "Applications on Dual-Core Intel Xeon SMPs' on a simulated "
+            "chip-multithreaded SMP."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment and print it")
+    run.add_argument("experiment", help="experiment id (see 'list')")
+
+    run_all = sub.add_parser(
+        "run-all", help="regenerate every artifact into a directory"
+    )
+    run_all.add_argument(
+        "--out", type=Path, default=Path("results"),
+        help="output directory (default: results/)",
+    )
+    run_all.add_argument(
+        "--csv", action="store_true",
+        help="also export the speedup table and counter grids as CSV",
+    )
+
+    speed = sub.add_parser("speedup", help="query one speedup")
+    speed.add_argument("benchmark")
+    speed.add_argument("config")
+    speed.add_argument("--problem-class", default="B")
+    return parser
+
+
+def _run_one(experiment_id: str) -> str:
+    entry = registry.get(experiment_id)
+    module = importlib.import_module(entry.module)
+    if not hasattr(module, "run") or not hasattr(module, "report"):
+        # ablations exposes several studies; use its main-style output.
+        import contextlib
+        import io
+
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            module.main()
+        return buf.getvalue()
+    return module.report(module.run())
+
+
+def _export_csv(out: Path) -> None:
+    """Export the machine-readable artifacts alongside the text ones."""
+    from repro.analysis.export import grid_to_csv, speedup_table_to_csv
+    from repro.core.study import Study
+    from repro.experiments import fig2_single_program
+
+    study = Study("B")
+    table = study.speedup_table()
+    (out / "fig3_speedup.csv").write_text(speedup_table_to_csv(table))
+    print(f"wrote {out / 'fig3_speedup.csv'}")
+    fig2 = fig2_single_program.run(study)
+    for panel, grid in fig2.panels.items():
+        path = out / f"fig2_{panel}.csv"
+        path.write_text(grid_to_csv(grid, fig2.config_order))
+    print(f"wrote {out}/fig2_*.csv ({len(fig2.panels)} panels)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:  # piping into head etc.
+        return 0
+
+
+def _dispatch(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for entry in registry.EXPERIMENTS.values():
+            print(f"{entry.id:14s} {entry.paper_artifact:22s} "
+                  f"{entry.description}")
+        return 0
+
+    if args.command == "run":
+        print(_run_one(args.experiment))
+        return 0
+
+    if args.command == "run-all":
+        args.out.mkdir(parents=True, exist_ok=True)
+        for entry in registry.EXPERIMENTS.values():
+            text = _run_one(entry.id)
+            path = args.out / f"{entry.id}.txt"
+            path.write_text(text)
+            print(f"wrote {path}")
+        if args.csv:
+            _export_csv(args.out)
+        return 0
+
+    if args.command == "speedup":
+        from repro.core.study import Study
+
+        study = Study(args.problem_class)
+        s = study.speedup(args.benchmark.upper(), args.config)
+        print(f"{args.benchmark.upper()} on {args.config} "
+              f"(class {args.problem_class.upper()}): {s:.2f}x over serial")
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

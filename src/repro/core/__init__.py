@@ -1,0 +1,16 @@
+"""Public facade: the characterization methodology as a library.
+
+Typical use::
+
+    from repro.core import Study
+
+    study = Study(problem_class="B")
+    result = study.run("CG", "ht_on_4_1")      # one benchmark, one config
+    speedup = study.speedup("CG", "ht_on_4_1") # vs the serial baseline
+    pair = study.run_pair("CG", "FT", "ht_on_8_2")
+    table = study.speedup_table(["CG", "FT"])  # across all configurations
+"""
+
+from repro.core.study import Study
+
+__all__ = ["Study"]

@@ -1,0 +1,141 @@
+"""The :class:`Study` facade: configure once, run and compare anywhere.
+
+A ``Study`` owns a problem class, optional machine-parameter overrides and
+a scheduler policy; it memoizes workload models, serial baselines and runs
+so experiment drivers can interrogate it freely without re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.speedup import SpeedupTable, speedup_table
+from repro.machine.configurations import (
+    CONFIGURATIONS,
+    MachineConfig,
+    get_config,
+    multithreaded_configs,
+)
+from repro.machine.params import MachineParams
+from repro.npb.common import ProblemClass
+from repro.npb.suite import PAPER_BENCHMARKS, build_workload
+from repro.openmp.env import OMPEnvironment
+from repro.osmodel.scheduler import Scheduler, make_scheduler
+from repro.sim.engine import Engine
+from repro.sim.results import RunResult
+from repro.trace.phase import Workload
+
+
+class Study:
+    """A reproducible measurement campaign on the simulated platform.
+
+    Args:
+        problem_class: NAS class letter or :class:`ProblemClass`.
+        params: machine-parameter overrides (default: Paxville).
+        scheduler: placement policy name (default ``"linux_default"``).
+        omp: OpenMP runtime environment.
+    """
+
+    def __init__(
+        self,
+        problem_class: Union[str, ProblemClass] = "B",
+        params: Optional[MachineParams] = None,
+        scheduler: str = "linux_default",
+        omp: Optional[OMPEnvironment] = None,
+    ):
+        self.problem_class = (
+            problem_class
+            if isinstance(problem_class, ProblemClass)
+            else ProblemClass.from_str(problem_class)
+        )
+        self.params = params
+        self.scheduler_name = scheduler
+        self.omp = omp
+        self._workloads: Dict[str, Workload] = {}
+        self._runs: Dict[Tuple[str, ...], RunResult] = {}
+
+    # ------------------------------------------------------------------
+    def workload(self, benchmark: str) -> Workload:
+        """Benchmark workload model (memoized)."""
+        key = benchmark.upper()
+        if key not in self._workloads:
+            self._workloads[key] = build_workload(key, self.problem_class)
+        return self._workloads[key]
+
+    def engine(self, config: Union[str, MachineConfig]) -> Engine:
+        """Fresh engine for a configuration."""
+        cfg = get_config(config) if isinstance(config, str) else config
+        return Engine(
+            cfg,
+            params=self.params,
+            scheduler=make_scheduler(self.scheduler_name),
+            omp=self.omp,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, benchmark: str, config: str = "serial") -> RunResult:
+        """Run one benchmark under one configuration (memoized)."""
+        key = ("single", benchmark.upper(), config)
+        if key not in self._runs:
+            self._runs[key] = self.engine(config).run_single(
+                self.workload(benchmark)
+            )
+        return self._runs[key]
+
+    def run_pair(
+        self, bench_a: str, bench_b: str, config: str
+    ) -> RunResult:
+        """Run two benchmarks concurrently (threads split evenly)."""
+        key = ("pair", bench_a.upper(), bench_b.upper(), config)
+        if key not in self._runs:
+            self._runs[key] = self.engine(config).run_pair(
+                self.workload(bench_a), self.workload(bench_b)
+            )
+        return self._runs[key]
+
+    # ------------------------------------------------------------------
+    def serial_runtime(self, benchmark: str) -> float:
+        """Serial-baseline wall-clock seconds for a benchmark."""
+        return self.run(benchmark, "serial").runtime_seconds
+
+    def speedup(self, benchmark: str, config: str) -> float:
+        """Single-program speedup of a configuration over serial."""
+        return self.serial_runtime(benchmark) / self.run(
+            benchmark, config
+        ).runtime_seconds
+
+    def pair_speedups(
+        self, bench_a: str, bench_b: str, config: str
+    ) -> Tuple[float, float]:
+        """Per-program speedups over serial for a concurrent pair."""
+        r = self.run_pair(bench_a, bench_b, config)
+        return (
+            self.serial_runtime(bench_a) / r.program(0).runtime_seconds,
+            self.serial_runtime(bench_b) / r.program(1).runtime_seconds,
+        )
+
+    def speedup_table(
+        self,
+        benchmarks: Optional[Sequence[str]] = None,
+        configs: Optional[Sequence[str]] = None,
+    ) -> SpeedupTable:
+        """Speedups of every benchmark under every configuration."""
+        benches = list(benchmarks or PAPER_BENCHMARKS)
+        cfgs = list(configs or [c.name for c in multithreaded_configs()])
+        serial = {b: self.serial_runtime(b) for b in benches}
+        runtimes = {
+            b: {c: self.run(b, c).runtime_seconds for c in cfgs}
+            for b in benches
+        }
+        return speedup_table(serial, runtimes)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def paper_configs() -> List[str]:
+        """The seven multithreaded configurations of Table 1, in order."""
+        return [c.name for c in multithreaded_configs()]
+
+    @staticmethod
+    def paper_benchmarks() -> List[str]:
+        """The six class-B benchmarks of the paper's study."""
+        return list(PAPER_BENCHMARKS)

@@ -1,0 +1,21 @@
+"""Hardware performance counter model (the VTune substitute).
+
+:mod:`repro.counters.events` defines the event taxonomy (mirroring the
+Pentium-4/Xeon PMU events the paper collects); :mod:`repro.counters.collector`
+accumulates per-context event counts during simulation;
+:mod:`repro.counters.metrics` derives the exact quantities the paper's
+Figures 2 and 4 plot (miss rates, % stalled, branch prediction rate,
+% prefetching bus accesses, CPI, normalized DTLB misses).
+"""
+
+from repro.counters.events import Event
+from repro.counters.collector import CounterSet, Collector
+from repro.counters.metrics import DerivedMetrics, derive_metrics
+
+__all__ = [
+    "Event",
+    "CounterSet",
+    "Collector",
+    "DerivedMetrics",
+    "derive_metrics",
+]

@@ -1,0 +1,104 @@
+"""Event accumulation during simulation.
+
+A :class:`CounterSet` is a plain event->count mapping with arithmetic; a
+:class:`Collector` keys counter sets by (program, context) so multiprogram
+runs can be analyzed per program, per context, or in aggregate — the same
+slicing VTune offers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.counters.events import Event
+
+
+class CounterSet:
+    """A bag of event counts supporting accumulation and merging."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Optional[Dict[Event, float]] = None):
+        self._counts: Dict[Event, float] = dict(counts or {})
+
+    def add(self, event: Event, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative count for {event}: {value}")
+        self._counts[event] = self._counts.get(event, 0.0) + value
+
+    def get(self, event: Event) -> float:
+        return self._counts.get(event, 0.0)
+
+    def __getitem__(self, event: Event) -> float:
+        return self.get(event)
+
+    def merge(self, other: "CounterSet") -> "CounterSet":
+        out = CounterSet(self._counts)
+        for ev, v in other._counts.items():
+            out._counts[ev] = out._counts.get(ev, 0.0) + v
+        return out
+
+    def ratio(self, num: Event, den: Event) -> float:
+        d = self.get(den)
+        return self.get(num) / d if d else 0.0
+
+    def as_dict(self) -> Dict[Event, float]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{e.value}={v:.3g}" for e, v in sorted(
+            self._counts.items(), key=lambda kv: kv[0].value))
+        return f"CounterSet({inner})"
+
+
+@dataclass
+class Collector:
+    """Per-(program, context) event accumulation."""
+
+    _sets: Dict[Tuple[int, str], CounterSet] = field(
+        default_factory=lambda: defaultdict(CounterSet)
+    )
+
+    def add(
+        self, program_id: int, context_label: str, event: Event, value: float
+    ) -> None:
+        self._sets[(program_id, context_label)].add(event, value)
+
+    def add_many(
+        self,
+        program_id: int,
+        context_label: str,
+        values: Dict[Event, float],
+    ) -> None:
+        cs = self._sets[(program_id, context_label)]
+        for ev, v in values.items():
+            cs.add(ev, v)
+
+    def for_program(self, program_id: int) -> CounterSet:
+        """Aggregate over every context a program's threads ran on."""
+        out = CounterSet()
+        for (pid, _), cs in self._sets.items():
+            if pid == program_id:
+                out = out.merge(cs)
+        return out
+
+    def for_context(self, context_label: str) -> CounterSet:
+        out = CounterSet()
+        for (_, label), cs in self._sets.items():
+            if label == context_label:
+                out = out.merge(cs)
+        return out
+
+    def total(self) -> CounterSet:
+        out = CounterSet()
+        for cs in self._sets.values():
+            out = out.merge(cs)
+        return out
+
+    def programs(self) -> Iterable[int]:
+        return sorted({pid for pid, _ in self._sets})
+
+    def contexts(self) -> Iterable[str]:
+        return sorted({label for _, label in self._sets})

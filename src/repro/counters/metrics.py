@@ -1,0 +1,64 @@
+"""Derived metrics — the exact quantities the paper's figures plot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.counters.collector import CounterSet
+from repro.counters.events import Event
+
+
+@dataclass(frozen=True)
+class DerivedMetrics:
+    """One column of the paper's Figure 2 / Figure 4 panels.
+
+    Attributes mirror panel titles:
+        l1_miss_rate, l2_miss_rate, tc_miss_rate: cache miss rates.
+        itlb_miss_rate: ITLB misses / ITLB lookups.
+        dtlb_misses: absolute DTLB load+store misses (the paper plots
+            these normalized to the serial run — normalization happens at
+            report time when the serial baseline is known).
+        stall_fraction: % of execution cycles spent stalled.
+        branch_prediction_rate: 1 - mispredict rate (in %, 0..100 when
+            formatted).
+        prefetch_bus_fraction: prefetch transactions / all transactions.
+        cpi: cycles per retired uop.
+    """
+
+    l1_miss_rate: float
+    l2_miss_rate: float
+    tc_miss_rate: float
+    itlb_miss_rate: float
+    dtlb_misses: float
+    stall_fraction: float
+    branch_prediction_rate: float
+    prefetch_bus_fraction: float
+    cpi: float
+
+    def normalized_dtlb(self, serial_baseline: "DerivedMetrics") -> float:
+        """DTLB misses normalized to a serial run (Fig. 2/4 panel 5)."""
+        if serial_baseline.dtlb_misses <= 0:
+            return 0.0
+        return self.dtlb_misses / serial_baseline.dtlb_misses
+
+
+def derive_metrics(counters: CounterSet) -> DerivedMetrics:
+    """Compute the paper's metrics from raw event counts."""
+    bus_total = counters.get(Event.BUS_TRANS_DEMAND) + counters.get(
+        Event.BUS_TRANS_PREFETCH
+    )
+    return DerivedMetrics(
+        l1_miss_rate=counters.ratio(Event.L1D_MISS, Event.L1D_ACCESS),
+        l2_miss_rate=counters.ratio(Event.L2_MISS, Event.L2_ACCESS),
+        tc_miss_rate=counters.ratio(Event.TC_MISS, Event.TC_DELIVER),
+        itlb_miss_rate=counters.ratio(Event.ITLB_MISS, Event.ITLB_ACCESS),
+        dtlb_misses=counters.get(Event.DTLB_MISS),
+        stall_fraction=counters.ratio(Event.STALL_CYCLES, Event.CYCLES),
+        branch_prediction_rate=1.0
+        - counters.ratio(Event.BRANCH_MISPRED, Event.BRANCH_RETIRED),
+        prefetch_bus_fraction=(
+            counters.get(Event.BUS_TRANS_PREFETCH) / bus_total if bus_total else 0.0
+        ),
+        cpi=counters.ratio(Event.CYCLES, Event.INSTR_RETIRED),
+    )

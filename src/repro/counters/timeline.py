@@ -1,0 +1,105 @@
+"""Interval-sampled metric timelines (VTune's timeline view).
+
+The engine advances simulated time step by step (each step ends at some
+program's phase boundary).  A :class:`Timeline` records one sample per
+step per program — time interval, instructions retired, effective CPI,
+bus utilization, active phase — so interference between co-running
+programs can be inspected over time rather than only in aggregate.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One program's activity during one engine step."""
+
+    program_id: int
+    t_start: float
+    t_end: float
+    phase_name: str
+    instructions: float
+    cpi: float
+    bus_utilization: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def ipc(self) -> float:
+        return 1.0 / self.cpi if self.cpi else 0.0
+
+
+@dataclass
+class Timeline:
+    """All samples of one run, ordered by start time."""
+
+    samples: List[TimelineSample] = field(default_factory=list)
+
+    def add(self, sample: TimelineSample) -> None:
+        if sample.t_end < sample.t_start:
+            raise ValueError("sample ends before it starts")
+        self.samples.append(sample)
+
+    def for_program(self, program_id: int) -> List[TimelineSample]:
+        return [s for s in self.samples if s.program_id == program_id]
+
+    @property
+    def end_time(self) -> float:
+        return max((s.t_end for s in self.samples), default=0.0)
+
+    def phase_at(self, program_id: int, t: float) -> Optional[str]:
+        """The phase a program executed at simulated time ``t``."""
+        for s in self.for_program(program_id):
+            if s.t_start <= t < s.t_end:
+                return s.phase_name
+        return None
+
+    def utilization_series(
+        self, n_buckets: int = 40
+    ) -> List[float]:
+        """Bus utilization resampled onto a fixed grid (for plotting)."""
+        if not self.samples or self.end_time <= 0:
+            return [0.0] * n_buckets
+        dt = self.end_time / n_buckets
+        out = []
+        for k in range(n_buckets):
+            t = (k + 0.5) * dt
+            live = [
+                s.bus_utilization
+                for s in self.samples
+                if s.t_start <= t < s.t_end
+            ]
+            out.append(max(live) if live else 0.0)
+        return out
+
+    def render(self, width: int = 60) -> str:
+        """ASCII swimlane chart: one row per program, one glyph per time
+        bucket showing the dominant phase (first letter) or idle."""
+        if not self.samples:
+            return "(empty timeline)"
+        end = self.end_time
+        programs = sorted({s.program_id for s in self.samples})
+        dt = end / width
+        lines = [f"timeline: 0 .. {end:.1f} s ({width} buckets)"]
+        for pid in programs:
+            row = []
+            for k in range(width):
+                t = (k + 0.5) * dt
+                phase = self.phase_at(pid, t)
+                row.append(phase[0] if phase else ".")
+            lines.append(f"P{pid} |{''.join(row)}|")
+        util = self.utilization_series(width)
+        lines.append(
+            "bus|" + "".join(
+                "#" if u > 0.95 else ("+" if u > 0.6 else
+                                      ("-" if u > 0.2 else " "))
+                for u in util
+            ) + "|"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Core execution models: branch prediction and the SMT pipeline/CPI model.
+
+* :mod:`repro.cpu.branch` — a structural gshare predictor (for validation
+  and microbenchmarks) plus the analytic mispredict-rate model used by the
+  phase engine, including shared-BHT pollution between HT siblings.
+* :mod:`repro.cpu.pipeline` — cycles-per-instruction accounting: base
+  issue CPI, exposed stall components (cache/TLB/branch/trace-cache/
+  memory-order clears) and SMT issue-slot contention between siblings.
+"""
+
+from repro.cpu.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    BranchStats,
+    analytic_mispredict_rate,
+)
+from repro.cpu.pipeline import (
+    CPIBreakdown,
+    PipelineModel,
+    smt_issue_slowdown,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "GsharePredictor",
+    "BranchStats",
+    "analytic_mispredict_rate",
+    "CPIBreakdown",
+    "PipelineModel",
+    "smt_issue_slowdown",
+]

@@ -1,0 +1,261 @@
+"""Cycles-per-instruction accounting and SMT issue-slot contention.
+
+``CPI = CPI_exec + sum(exposed stalls per uop)`` where the exposed stall
+components are:
+
+* L2-hit latency for L1 misses that hit L2 (largely hidden by the
+  out-of-order window; only a fraction is exposed),
+* DRAM latency for L2 misses, divided by the core's memory-level
+  parallelism (except for serialized pointer-chase loads), multiplied by
+  the bus queueing factor, and reduced by prefetch coverage,
+* trace-cache miss decode penalty,
+* ITLB/DTLB walk penalties,
+* branch mispredict pipeline flushes,
+* memory-order machine clears.
+
+SMT contention: two sibling contexts share one core's execution
+resources.  A thread's *occupancy* ``U`` is the fraction of its cycles
+spent executing rather than stalled (``CPI_exec / CPI_total``): a
+compute-bound thread occupies the core every cycle (U ~ 1) while a
+memory-bound thread leaves it mostly idle (U ~ 0.1).  Two siblings
+co-exist without penalty while their combined occupancy fits within the
+core's SMT capacity (~1.25 of a single thread's throughput — NetBurst
+shares the scheduler, replay queues and execution ports); beyond that,
+execution cycles dilate by ``(U1 + U2) / capacity``.  Hyper-Threading
+also statically partitions queues/buffers, costing every thread a fixed
+``smt_partition_penalty`` whenever HT is enabled — even with an idle
+sibling (the paper's HT-on single-program configurations pay this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.params import MachineParams
+from repro.mem.hierarchy import LevelRates
+from repro.trace.phase import Phase
+
+#: Fraction of an L2-hit latency the out-of-order window fails to hide.
+_L2_HIT_EXPOSURE = 0.30
+#: Fraction of a covered (prefetched) miss that still stalls (late
+#: prefetches, L2-hit latency of the prefetched line).
+_COVERED_EXPOSURE = 0.35
+
+
+@dataclass(frozen=True)
+class CPIBreakdown:
+    """Per-uop cycle accounting for one context in one phase."""
+
+    cpi_exec: float
+    stall_l2_hit: float
+    stall_memory: float
+    stall_trace_cache: float
+    stall_itlb: float
+    stall_dtlb: float
+    stall_branch: float
+    stall_moclear: float
+    stall_coherence: float
+    smt_slowdown: float
+
+    @property
+    def stall_per_instr(self) -> float:
+        return (
+            self.stall_l2_hit
+            + self.stall_memory
+            + self.stall_trace_cache
+            + self.stall_itlb
+            + self.stall_dtlb
+            + self.stall_branch
+            + self.stall_moclear
+            + self.stall_coherence
+        )
+
+    @property
+    def cpi(self) -> float:
+        """Effective CPI including SMT issue contention."""
+        return self.cpi_exec * self.smt_slowdown + self.stall_per_instr
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of cycles spent stalled (the paper's '% stalled')."""
+        return self.stall_per_instr / self.cpi if self.cpi else 0.0
+
+
+#: Default combined sibling throughput a NetBurst core sustains, relative
+#: to one thread alone (empirically ~1.2-1.3x for mixed compute pairs).
+SMT_CAPACITY = 1.25
+
+
+def smt_issue_slowdown(
+    util_self: float, util_sibling: float, capacity: float = SMT_CAPACITY
+) -> float:
+    """Execution-cycle dilation for a thread sharing a core.
+
+    Args:
+        util_self: this thread's solo pipeline occupancy (0..1), i.e. the
+            fraction of cycles it executes rather than stalls.
+        util_sibling: the sibling's solo occupancy (0 when idle).
+        capacity: combined throughput the pair can extract from the core
+            (workload dependent; 1.0 when both saturate one unit).
+
+    Returns:
+        Multiplier (>= 1) on the thread's execution CPI.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if util_sibling <= 0.0:
+        # Idle sibling: the thread has the whole core; pair capacity does
+        # not apply.
+        return 1.0
+    demand = util_self + util_sibling
+    return max(1.0, demand / capacity)
+
+
+class PipelineModel:
+    """Computes CPI breakdowns for contexts on one machine."""
+
+    def __init__(self, params: MachineParams):
+        self.params = params
+
+    def issue_width(self, ht_enabled: bool) -> float:
+        """Per-thread sustainable issue width given the HT partition."""
+        w = self.params.core.issue_width
+        if ht_enabled:
+            w *= 1.0 - self.params.core.smt_partition_penalty
+        return w
+
+    def solo_utilization(self, phase: Phase, ht_enabled: bool) -> float:
+        """Estimate a thread's pipeline occupancy running alone.
+
+        Occupancy is the fraction of cycles spent executing rather than
+        stalled (``CPI_exec / CPI_total``), computed from a provisional
+        CPI that ignores contention — it only needs to rank compute- vs
+        memory-bound threads for the SMT contention split.
+        """
+        width = self.issue_width(ht_enabled)
+        cpi_exec = 1.0 / min(phase.ilp, width)
+        # Provisional stall estimate from the phase's mixture on private
+        # caches: enough to classify boundness.
+        l1 = phase.access_mix.miss_rate(
+            self.params.l1d.size_bytes, self.params.l1d.line_bytes
+        )
+        l2 = phase.access_mix.miss_rate(
+            self.params.l2.size_bytes, self.params.l2.line_bytes
+        )
+        mem_stall = (
+            phase.mem_ops_per_instr
+            * l2
+            * self.params.memory_latency_cycles
+            / self.params.core.mlp
+        )
+        l2_stall = (
+            phase.mem_ops_per_instr
+            * max(l1 - l2, 0.0)
+            * self.params.l2.latency_cycles
+            * _L2_HIT_EXPOSURE
+        )
+        cpi = cpi_exec + mem_stall + l2_stall
+        return min(1.0, cpi_exec / cpi)
+
+    def breakdown(
+        self,
+        phase: Phase,
+        rates: LevelRates,
+        mispredict_rate: float,
+        bus_latency_multiplier: float = 1.0,
+        prefetch_coverage: float = 0.0,
+        ht_enabled: bool = False,
+        sibling_utilization: float = 0.0,
+        self_utilization: Optional[float] = None,
+        core_sharers: int = 1,
+        smt_capacity: float = SMT_CAPACITY,
+        coherence_stall_per_instr: float = 0.0,
+        sibling_miss_ratio: float = 1.0,
+    ) -> CPIBreakdown:
+        """Full cycle accounting for one context executing ``phase``.
+
+        Args:
+            phase: executed phase.
+            rates: resolved hierarchy rates (sharing already applied).
+            mispredict_rate: per-branch mispredict probability.
+            bus_latency_multiplier: queueing factor on DRAM latency.
+            prefetch_coverage: fraction of L2 misses covered by prefetch.
+            ht_enabled: HT active on this core (partition penalty).
+            sibling_utilization: solo issue utilization of a busy sibling
+                (0 when the sibling context is idle).
+            coherence_stall_per_instr: exposed cycles per uop from MESI
+                transfers (computed by the engine from the phase's halo
+                traffic and the team's physical span).
+            self_utilization: precomputed solo utilization of this thread;
+                derived from the phase when omitted.
+            core_sharers: active contexts on this core; a busy sibling
+                consumes part of the shared miss buffers, reducing this
+                thread's memory-level parallelism.
+            smt_capacity: combined pair throughput for the issue model.
+            sibling_miss_ratio: the sibling's miss intensity relative to
+                this thread's (0..1) — a compute-bound sibling barely
+                occupies the shared miss buffers.
+        """
+        p = self.params
+        width = self.issue_width(ht_enabled)
+        cpi_exec = 1.0 / min(phase.ilp, width)
+
+        l2_hit_per_instr = max(
+            rates.l1_misses_per_instr - rates.l2_misses_per_instr, 0.0
+        )
+        stall_l2_hit = (
+            l2_hit_per_instr * p.l2.latency_cycles * _L2_HIT_EXPOSURE
+        )
+
+        mem_lat = p.memory_latency_cycles * bus_latency_multiplier
+        dep_frac = phase.access_mix.dependent_fraction()
+        base_mlp = phase.mlp if phase.mlp > 0 else p.core.mlp
+        mlp = base_mlp * (1.0 - dep_frac) + 1.0 * dep_frac
+        # HT siblings share the core's load/store and miss buffers,
+        # shrinking the overlap each thread can sustain — in proportion
+        # to how hard the sibling actually drives those buffers.
+        mlp = mlp / (
+            1.0
+            + p.core.mlp_smt_share
+            * sibling_miss_ratio
+            * max(core_sharers - 1, 0)
+        )
+        uncovered = rates.l2_misses_per_instr * (1.0 - prefetch_coverage)
+        covered = rates.l2_misses_per_instr * prefetch_coverage
+        stall_memory = (
+            uncovered * mem_lat / mlp
+            + covered * p.l2.latency_cycles * _COVERED_EXPOSURE
+        )
+
+        stall_tc = rates.tc_misses_per_instr * p.core.trace_cache_miss_penalty
+        stall_itlb = rates.itlb_misses_per_instr * p.itlb.miss_penalty_cycles
+        stall_dtlb = rates.dtlb_misses_per_instr * p.dtlb.miss_penalty_cycles
+        stall_branch = (
+            phase.branches_per_instr
+            * mispredict_rate
+            * p.branch.mispredict_penalty_cycles
+        )
+        stall_moclear = (
+            phase.moclears_per_kinstr / 1000.0 * p.core.moclear_penalty_cycles
+        )
+
+        u_self = (
+            self_utilization
+            if self_utilization is not None
+            else self.solo_utilization(phase, ht_enabled)
+        )
+        slowdown = smt_issue_slowdown(u_self, sibling_utilization, smt_capacity)
+
+        return CPIBreakdown(
+            cpi_exec=cpi_exec,
+            stall_l2_hit=stall_l2_hit,
+            stall_memory=stall_memory,
+            stall_trace_cache=stall_tc,
+            stall_itlb=stall_itlb,
+            stall_dtlb=stall_dtlb,
+            stall_branch=stall_branch,
+            stall_moclear=stall_moclear,
+            stall_coherence=coherence_stall_per_instr,
+            smt_slowdown=slowdown,
+        )

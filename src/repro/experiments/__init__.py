@@ -1,0 +1,21 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Each module exposes ``run(study=None, ...)`` returning a structured
+result object and ``report(result)`` rendering the paper's rows/series as
+text; ``python -m repro.experiments.<driver>`` prints the report.
+
+Index (see DESIGN.md §4 and EXPERIMENTS.md):
+
+* :mod:`repro.experiments.sec3_lmbench` — §3 latency/bandwidth table.
+* :mod:`repro.experiments.fig2_single_program` — Fig. 2 counter panels.
+* :mod:`repro.experiments.fig3_speedup` — Fig. 3 per-app speedups.
+* :mod:`repro.experiments.table2_avg_speedup` — Table 2 averages.
+* :mod:`repro.experiments.fig4_multiprogram` — Fig. 4 multiprogram study.
+* :mod:`repro.experiments.fig5_crossproduct` — Fig. 5 cross-product pairs.
+* :mod:`repro.experiments.ablations` — extensions: scheduler policies and
+  hardware ablations (prefetcher, bus bandwidth, trace-cache size).
+"""
+
+from repro.experiments import registry
+
+__all__ = ["registry"]

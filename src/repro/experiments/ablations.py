@@ -1,0 +1,187 @@
+"""Extension experiments beyond the paper: scheduler policies and
+hardware ablations.
+
+The paper's future work proposes better schedulers for chip-multithreaded
+SMPs; ``scheduler_comparison`` quantifies the gang and symbiosis policies
+against the default Linux placement on multiprogram pairs.  The hardware
+ablations isolate the design factors DESIGN.md calls out: the hardware
+prefetcher, the front-side-bus bandwidth, and the trace-cache capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.core.study import Study
+from repro.machine.params import paxville_params
+
+
+@dataclass
+class SchedulerComparison:
+    """(workload pair, scheduler) -> combined throughput metric."""
+
+    #: pair label -> scheduler name -> sum of the two programs' speedups.
+    results: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    config: str = "ht_on_8_2"
+
+
+def scheduler_comparison(
+    pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    schedulers: Sequence[str] = ("linux_default", "gang", "symbiosis"),
+    config: str = "ht_on_8_2",
+    problem_class: str = "B",
+) -> SchedulerComparison:
+    """Compare placement policies on multiprogram pairs.
+
+    The combined metric is the sum of both programs' speedups over their
+    serial baselines (system throughput).
+    """
+    pairs = list(pairs or [("CG", "FT"), ("CG", "CG"), ("FT", "FT"),
+                           ("MG", "SP")])
+    out = SchedulerComparison(config=config)
+    for a, b in pairs:
+        label = f"{a}/{b}"
+        out.results[label] = {}
+        for sched in schedulers:
+            study = Study(problem_class, scheduler=sched)
+            sa, sb = study.pair_speedups(a, b, config)
+            out.results[label][sched] = sa + sb
+    return out
+
+
+@dataclass
+class AblationResult:
+    """benchmark -> variant -> speedup at the ablated configuration.
+
+    Speedups are measured against the *stock* serial baseline, so a
+    hardware change's absolute effect is visible (normalizing to the
+    ablated machine's own serial run would cancel it)."""
+
+    results: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    config: str = ""
+    variants: List[str] = field(default_factory=list)
+
+
+def prefetcher_ablation(
+    benchmarks: Sequence[str] = ("MG", "SP", "FT"),
+    config: str = "ht_off_2_1",
+    problem_class: str = "B",
+) -> AblationResult:
+    """Disable the hardware prefetcher and measure the slowdown."""
+    base = paxville_params()
+    no_pf = base.with_overrides(
+        bus=dataclasses.replace(base.bus, prefetch_max_coverage=0.0)
+    )
+    out = AblationResult(config=config, variants=["prefetch_on", "prefetch_off"])
+    on = Study(problem_class)
+    off = Study(problem_class, params=no_pf)
+    for b in benchmarks:
+        base = on.serial_runtime(b)
+        out.results[b] = {
+            "prefetch_on": base / on.run(b, config).runtime_seconds,
+            "prefetch_off": base / off.run(b, config).runtime_seconds,
+        }
+    return out
+
+
+def bus_bandwidth_sweep(
+    benchmark: str = "CG",
+    config: str = "ht_off_4_2",
+    scales: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    problem_class: str = "B",
+) -> AblationResult:
+    """Scale FSB/memory bandwidth and measure the speedup response."""
+    out = AblationResult(
+        config=config, variants=[f"bw_x{s:g}" for s in scales]
+    )
+    out.results[benchmark] = {}
+    base = paxville_params()
+    stock = Study(problem_class)
+    baseline = stock.serial_runtime(benchmark)
+    for s in scales:
+        params = base.with_overrides(
+            bus=dataclasses.replace(
+                base.bus,
+                chip_read_bw=base.bus.chip_read_bw * s,
+                chip_write_bw=base.bus.chip_write_bw * s,
+                system_read_bw=base.bus.system_read_bw * s,
+                system_write_bw=base.bus.system_write_bw * s,
+            )
+        )
+        study = Study(problem_class, params=params)
+        out.results[benchmark][f"bw_x{s:g}"] = (
+            baseline / study.run(benchmark, config).runtime_seconds
+        )
+    return out
+
+
+def trace_cache_sweep(
+    benchmark: str = "MG",
+    config: str = "ht_off_4_2",
+    sizes_kuops: Sequence[int] = (6, 12, 24, 48),
+    problem_class: str = "B",
+) -> AblationResult:
+    """Scale the trace-cache capacity and measure MG's response."""
+    out = AblationResult(
+        config=config, variants=[f"tc_{k}k" for k in sizes_kuops]
+    )
+    out.results[benchmark] = {}
+    base = paxville_params()
+    stock = Study(problem_class)
+    baseline = stock.serial_runtime(benchmark)
+    for k in sizes_kuops:
+        params = base.with_overrides(
+            trace_cache=dataclasses.replace(
+                base.trace_cache, size_bytes=k * 1024
+            )
+        )
+        study = Study(problem_class, params=params)
+        out.results[benchmark][f"tc_{k}k"] = (
+            baseline / study.run(benchmark, config).runtime_seconds
+        )
+    return out
+
+
+def report_scheduler(comp: SchedulerComparison) -> str:
+    scheds = sorted({s for row in comp.results.values() for s in row})
+    rows = [
+        [pair] + [comp.results[pair][s] for s in scheds]
+        for pair in sorted(comp.results)
+    ]
+    return format_table(
+        ["pair"] + list(scheds),
+        rows,
+        title=f"Scheduler comparison on {comp.config} "
+              f"(combined speedup of both programs)",
+        float_fmt="%.2f",
+    )
+
+
+def report_ablation(ab: AblationResult, title: str) -> str:
+    rows = [
+        [bench] + [ab.results[bench][v] for v in ab.variants]
+        for bench in sorted(ab.results)
+    ]
+    return format_table(
+        ["benchmark"] + list(ab.variants),
+        rows,
+        title=f"{title} ({ab.config})",
+        float_fmt="%.2f",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report_scheduler(scheduler_comparison()))
+    print()
+    print(report_ablation(prefetcher_ablation(), "Prefetcher ablation"))
+    print()
+    print(report_ablation(bus_bandwidth_sweep(), "Bus bandwidth sweep"))
+    print()
+    print(report_ablation(trace_cache_sweep(), "Trace cache sweep"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

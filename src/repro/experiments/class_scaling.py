@@ -1,0 +1,83 @@
+"""Extension: do the paper's conclusions survive problem-size changes?
+
+The paper fixes class B ("large enough to provide realistic results,
+while ensuring that the working set fits in memory").  This study
+re-runs the headline comparisons for classes W, A, B and C and reports
+how the architecture ranking and the HT-on-8-vs-HT-off-4 verdict shift:
+smaller classes fit more of their working set in cache, relieving the
+bus and making HT look better; class C pushes every configuration
+deeper into bandwidth saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.core.study import Study
+from repro.machine.configurations import Architecture
+from repro.experiments import table2_avg_speedup
+
+
+@dataclass
+class ClassScalingResult:
+    """Per-class Table-2 averages and verdicts."""
+
+    classes: List[str] = field(default_factory=list)
+    #: class letter -> {architecture -> average speedup}.
+    averages: Dict[str, Dict[Architecture, float]] = field(
+        default_factory=dict
+    )
+    #: class letter -> HT on 2-8-2 slowdown vs HT off 2-4-2.
+    ht8_slowdown: Dict[str, float] = field(default_factory=dict)
+    #: class letter -> benchmarks faster at HT on 2-8-2.
+    ht8_winners: Dict[str, List[str]] = field(default_factory=dict)
+
+
+def run(
+    classes: Sequence[str] = ("W", "A", "B", "C"),
+    benchmarks: Optional[Sequence[str]] = None,
+) -> ClassScalingResult:
+    """Sweep the problem class and recompute the headline comparisons."""
+    result = ClassScalingResult(classes=list(classes))
+    for cls in classes:
+        study = Study(cls)
+        t2 = table2_avg_speedup.run(study, benchmarks=benchmarks)
+        result.averages[cls] = t2.averages
+        result.ht8_slowdown[cls] = t2.ht_on_8_2_slowdown
+        table = study.speedup_table(benchmarks=benchmarks)
+        result.ht8_winners[cls] = [
+            b
+            for b in table.benchmarks
+            if table.get(b, "ht_on_8_2") > table.get(b, "ht_off_4_2")
+        ]
+    return result
+
+
+def report(result: ClassScalingResult) -> str:
+    archs = list(Architecture)
+    archs.remove(Architecture.SERIAL)
+    rows = []
+    for cls in result.classes:
+        rows.append(
+            [cls]
+            + [result.averages[cls][a] for a in archs]
+            + [result.ht8_slowdown[cls] * 100.0,
+               ",".join(result.ht8_winners[cls]) or "-"]
+        )
+    return format_table(
+        ["class"] + [a.value for a in archs]
+        + ["HTon-8-2 slowdown %", "HTon-8-2 winners"],
+        rows,
+        title="Problem-class scaling of the paper's headline comparisons",
+        float_fmt="%.2f",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""Extension: the paper's efficiency conclusion, quantified.
+
+The paper concludes that "the most efficient architecture is a single
+dual-core processor with HT enabled, in terms of total computing power
+per system resources available".  This driver computes speedup per
+context/core/chip for every configuration and the co-run degradation
+matrix whose structure underlies Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.efficiency import (
+    DegradationMatrix,
+    EfficiencyRow,
+    corun_degradation_matrix,
+    efficiency_table,
+    most_efficient_architecture,
+)
+from repro.analysis.report import format_table
+from repro.core.study import Study
+
+
+@dataclass
+class EfficiencyStudyResult:
+    rows: List[EfficiencyRow] = field(default_factory=list)
+    matrix: Optional[DegradationMatrix] = None
+
+    def best(self, by: str = "per_core") -> str:
+        return most_efficient_architecture(self.rows, by)
+
+
+def run(study: Optional[Study] = None) -> EfficiencyStudyResult:
+    study = study if study is not None else Study("B")
+    return EfficiencyStudyResult(
+        rows=efficiency_table(study),
+        matrix=corun_degradation_matrix(study),
+    )
+
+
+def report(result: EfficiencyStudyResult) -> str:
+    # Average efficiencies per configuration.
+    agg: Dict[str, List[EfficiencyRow]] = {}
+    for r in result.rows:
+        agg.setdefault(r.config, []).append(r)
+    rows = []
+    for cfg, items in agg.items():
+        rows.append([
+            cfg,
+            sum(i.speedup for i in items) / len(items),
+            sum(i.per_context for i in items) / len(items),
+            sum(i.per_core for i in items) / len(items),
+            sum(i.per_chip for i in items) / len(items),
+        ])
+    table = format_table(
+        ["config", "avg speedup", "per context", "per core", "per chip"],
+        rows,
+        title="Resource efficiency by configuration",
+        float_fmt="%.2f",
+    )
+
+    m = result.matrix
+    deg_rows = []
+    for a in m.benchmarks:
+        deg_rows.append(
+            [a] + [m.cell(a, b) for b in m.benchmarks]
+            + [m.friendliest_partner(a)]
+        )
+    deg_table = format_table(
+        ["victim \\ aggressor"] + m.benchmarks + ["best partner"],
+        deg_rows,
+        title=f"Co-run degradation matrix on {m.config} "
+              "(runtime vs running alone)",
+        float_fmt="%.2f",
+    )
+    return (
+        table
+        + f"\n\nmost efficient per core: {result.best('per_core')}"
+        + f"\nmost efficient per chip: {result.best('per_chip')}"
+        + "\n\n" + deg_table
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

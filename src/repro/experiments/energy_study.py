@@ -1,0 +1,92 @@
+"""Extension: energy efficiency of the Table-1 architectures.
+
+The paper motivates CMT with power but evaluates only performance; this
+study completes the argument.  For every benchmark and configuration it
+reports total energy, average power, and energy-delay product, then
+ranks architectures the way the introduction's motivation implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.core.study import Study
+from repro.counters.events import Event
+from repro.machine.power import EnergyReport, PowerModel, energy_per_instruction_nj
+
+
+@dataclass
+class EnergyStudyResult:
+    #: benchmark -> config -> report.
+    reports: Dict[str, Dict[str, EnergyReport]] = field(default_factory=dict)
+    #: benchmark -> config -> energy-delay product.
+    edp: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    config_order: List[str] = field(default_factory=list)
+
+    def average_edp(self, config: str) -> float:
+        vals = [self.edp[b][config] for b in self.edp]
+        return sum(vals) / len(vals)
+
+    def best_edp_config(self) -> str:
+        return min(self.config_order, key=self.average_edp)
+
+    def average_energy(self, config: str) -> float:
+        vals = [self.reports[b][config].total_j for b in self.reports]
+        return sum(vals) / len(vals)
+
+
+def run(
+    study: Optional[Study] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    configs: Optional[Sequence[str]] = None,
+) -> EnergyStudyResult:
+    study = study if study is not None else Study("B")
+    benches = list(benchmarks or study.paper_benchmarks())
+    cfgs = ["serial"] + list(configs or study.paper_configs())
+    model = PowerModel()
+
+    result = EnergyStudyResult(config_order=cfgs)
+    for bench in benches:
+        result.reports[bench] = {}
+        result.edp[bench] = {}
+        for cfg in cfgs:
+            r = study.run(bench, cfg)
+            report = model.estimate(r)
+            result.reports[bench][cfg] = report
+            result.edp[bench][cfg] = report.energy_delay_j_s
+    return result
+
+
+def report(result: EnergyStudyResult) -> str:
+    rows = []
+    for cfg in result.config_order:
+        any_bench = next(iter(result.reports))
+        rows.append([
+            cfg,
+            result.average_energy(cfg) / 1e3,
+            sum(
+                result.reports[b][cfg].average_watts for b in result.reports
+            ) / len(result.reports),
+            result.average_edp(cfg) / 1e6,
+        ])
+    table = format_table(
+        ["config", "avg energy kJ", "avg power W", "avg EDP MJ*s"],
+        rows,
+        title="Energy accounting per configuration "
+              "(averaged over the six class-B benchmarks)",
+        float_fmt="%.2f",
+    )
+    return (
+        table
+        + f"\n\nbest energy-delay product: {result.best_edp_config()}"
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,93 @@
+"""Figure 2: architectural counter panels for single-program runs.
+
+Nine panels — L1, L2 and trace-cache miss rates, ITLB miss rate, DTLB
+load+store misses normalized to the serial run, % stalled cycles, branch
+prediction rate, % prefetching bus accesses, and CPI — for the six
+class-B benchmarks across the seven multithreaded configurations (plus
+serial where the paper includes it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_metric_grid
+from repro.core.study import Study
+
+PANELS = [
+    "l1_miss_rate",
+    "l2_miss_rate",
+    "tc_miss_rate",
+    "itlb_miss_rate",
+    "dtlb_normalized",
+    "stall_fraction",
+    "branch_prediction_rate",
+    "prefetch_bus_fraction",
+    "cpi",
+]
+
+
+@dataclass
+class Fig2Result:
+    """panel -> benchmark -> config -> value."""
+
+    panels: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    config_order: List[str] = field(default_factory=list)
+
+    def value(self, panel: str, benchmark: str, config: str) -> float:
+        return self.panels[panel][benchmark][config]
+
+
+def run(
+    study: Optional[Study] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    configs: Optional[Sequence[str]] = None,
+) -> Fig2Result:
+    """Collect the nine Figure-2 panels."""
+    study = study if study is not None else Study("B")
+    benches = list(benchmarks or study.paper_benchmarks())
+    cfgs = ["serial"] + list(configs or study.paper_configs())
+
+    result = Fig2Result(config_order=cfgs)
+    for panel in PANELS:
+        result.panels[panel] = {b: {} for b in benches}
+
+    for bench in benches:
+        serial_metrics = study.run(bench, "serial").metrics(0)
+        for cfg in cfgs:
+            m = study.run(bench, cfg).metrics(0)
+            result.panels["l1_miss_rate"][bench][cfg] = m.l1_miss_rate
+            result.panels["l2_miss_rate"][bench][cfg] = m.l2_miss_rate
+            result.panels["tc_miss_rate"][bench][cfg] = m.tc_miss_rate
+            result.panels["itlb_miss_rate"][bench][cfg] = m.itlb_miss_rate
+            result.panels["dtlb_normalized"][bench][cfg] = m.normalized_dtlb(
+                serial_metrics
+            )
+            result.panels["stall_fraction"][bench][cfg] = m.stall_fraction
+            result.panels["branch_prediction_rate"][bench][cfg] = (
+                m.branch_prediction_rate
+            )
+            result.panels["prefetch_bus_fraction"][bench][cfg] = (
+                m.prefetch_bus_fraction
+            )
+            result.panels["cpi"][bench][cfg] = m.cpi
+    return result
+
+
+def report(result: Fig2Result) -> str:
+    """Render all nine panels as benchmark-by-configuration grids."""
+    parts = ["Figure 2: single-program architectural characterization"]
+    for panel in PANELS:
+        parts.append(
+            format_metric_grid(panel, result.panels[panel], result.config_order)
+        )
+    return "\n\n".join(parts)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,63 @@
+"""Figure 3: single-program speedup over serial, per benchmark per
+configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.figures import speedup_figure
+from repro.analysis.report import format_table
+from repro.analysis.speedup import SpeedupTable
+from repro.core.study import Study
+
+
+@dataclass
+class Fig3Result:
+    table: SpeedupTable
+    config_order: List[str]
+
+
+def run(
+    study: Optional[Study] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    configs: Optional[Sequence[str]] = None,
+) -> Fig3Result:
+    """Compute per-benchmark speedups for every configuration."""
+    study = study if study is not None else Study("B")
+    cfgs = list(configs or study.paper_configs())
+    table = study.speedup_table(
+        benchmarks=benchmarks or study.paper_benchmarks(), configs=cfgs
+    )
+    return Fig3Result(table=table, config_order=cfgs)
+
+
+def report(result: Fig3Result) -> str:
+    """Render the Figure-3 speedup series."""
+    headers = ["benchmark"] + result.config_order
+    rows = []
+    for bench in result.table.benchmarks:
+        rows.append(
+            [bench] + [result.table.get(bench, c) for c in result.config_order]
+        )
+    rows.append(
+        ["AVERAGE"]
+        + [result.table.column_average(c) for c in result.config_order]
+    )
+    table = format_table(
+        headers, rows, title="Figure 3: speedup of NAS OpenMP applications",
+        float_fmt="%.2f",
+    )
+    chart = speedup_figure(
+        result.table, result.config_order,
+        title="Figure 3 (chart): speedup of NAS OpenMP applications",
+    )
+    return table + "\n\n" + chart
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,125 @@
+"""Figure 4: multiprogram workloads (CG/FT, FT/FT, CG/CG).
+
+Two copies of a benchmark — or one memory-bound (CG) plus one
+compute-bound (FT) program — run concurrently with the threads split
+evenly and every visible hardware context loaded.  The figure reports the
+same nine counter panels as Figure 2, per program, plus each program's
+speedup over its serial baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_metric_grid, format_table
+from repro.core.study import Study
+
+#: The paper's three workloads: (program A, program B).
+WORKLOADS: List[Tuple[str, str]] = [("CG", "FT"), ("FT", "FT"), ("CG", "CG")]
+
+PANELS = [
+    "l1_miss_rate",
+    "l2_miss_rate",
+    "tc_miss_rate",
+    "itlb_miss_rate",
+    "dtlb_normalized",
+    "stall_fraction",
+    "branch_prediction_rate",
+    "prefetch_bus_fraction",
+    "cpi",
+]
+
+
+def _series_label(bench: str, pair: Tuple[str, str]) -> str:
+    """Paper-style series label, e.g. ``"CG (CG/FT)"`` or ``"FT/FT"``."""
+    if pair[0] == pair[1]:
+        return f"{pair[0]}/{pair[1]}"
+    return f"{bench} ({pair[0]}/{pair[1]})"
+
+
+@dataclass
+class Fig4Result:
+    """panel -> series label -> config -> value, plus speedups."""
+
+    panels: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    #: workload label -> config -> (speedup A, speedup B).
+    speedups: Dict[str, Dict[str, Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+    config_order: List[str] = field(default_factory=list)
+
+
+def run(
+    study: Optional[Study] = None,
+    configs: Optional[Sequence[str]] = None,
+) -> Fig4Result:
+    """Run the three multiprogram workloads across configurations."""
+    study = study if study is not None else Study("B")
+    cfgs = list(configs or study.paper_configs())
+    result = Fig4Result(config_order=cfgs)
+    for panel in PANELS:
+        result.panels[panel] = {}
+
+    for pair in WORKLOADS:
+        pair_label = f"{pair[0]}/{pair[1]}"
+        result.speedups[pair_label] = {}
+        for cfg in cfgs:
+            r = study.run_pair(pair[0], pair[1], cfg)
+            result.speedups[pair_label][cfg] = study.pair_speedups(
+                pair[0], pair[1], cfg
+            )
+            seen = set()
+            for prog in r.programs:
+                label = _series_label(prog.name, pair)
+                if label in seen:
+                    continue  # homogeneous pairs report one series
+                seen.add(label)
+                m = prog.metrics
+                serial_m = study.run(prog.name, "serial").metrics(0)
+                values = {
+                    "l1_miss_rate": m.l1_miss_rate,
+                    "l2_miss_rate": m.l2_miss_rate,
+                    "tc_miss_rate": m.tc_miss_rate,
+                    "itlb_miss_rate": m.itlb_miss_rate,
+                    "dtlb_normalized": m.normalized_dtlb(serial_m),
+                    "stall_fraction": m.stall_fraction,
+                    "branch_prediction_rate": m.branch_prediction_rate,
+                    "prefetch_bus_fraction": m.prefetch_bus_fraction,
+                    "cpi": m.cpi,
+                }
+                for panel, v in values.items():
+                    result.panels[panel].setdefault(label, {})[cfg] = v
+    return result
+
+
+def report(result: Fig4Result) -> str:
+    """Render the Figure-4 panels and the per-workload speedups."""
+    parts = ["Figure 4: multiprogram workloads (threads split evenly)"]
+    for panel in PANELS:
+        parts.append(
+            format_metric_grid(panel, result.panels[panel], result.config_order)
+        )
+    for pair_label, per_cfg in result.speedups.items():
+        a, b = pair_label.split("/")
+        rows = [
+            [cfg, per_cfg[cfg][0], per_cfg[cfg][1]]
+            for cfg in result.config_order
+        ]
+        parts.append(
+            format_table(
+                ["config", f"{a} speedup", f"{b} speedup"],
+                rows,
+                title=f"== {pair_label} multiprogrammed speedup over serial ==",
+                float_fmt="%.2f",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,125 @@
+"""Extension: would the paper's conclusions survive a shared L2?
+
+Paxville gives each core a private 1 MB L2; the next Intel generation
+(Woodcrest/Conroe, shipping months after the paper) shared one large L2
+among a chip's cores.  This study re-runs the headline comparisons on
+two hypothetical machines — the same platform with (a) the existing
+2 MB per chip pooled into one shared L2, and (b) a doubled 4 MB shared
+L2 — and reports which findings flip:
+
+* sharing lets one core's working set use the whole pool (good for
+  mixed loads and for SP's window fit), but
+* co-runners now fight for L2 capacity *across cores*, not just across
+  HT siblings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.core.study import Study
+from repro.machine.params import MachineParams, paxville_params
+
+
+def shared_l2_params(l2_mb_per_chip: int = 2) -> MachineParams:
+    """A Paxville variant whose chips pool their L2 into one shared
+    cache (Woodcrest-style), all else equal."""
+    base = paxville_params()
+    return base.with_overrides(
+        l2=dataclasses.replace(
+            base.l2, size_bytes=l2_mb_per_chip * 1024 * 1024
+        ),
+        l2_scope="chip",
+    )
+
+
+@dataclass
+class NextGenResult:
+    """Headline findings per machine variant."""
+
+    variants: List[str] = field(default_factory=list)
+    #: variant -> benchmark -> config -> speedup.
+    speedups: Dict[str, Dict[str, Dict[str, float]]] = field(
+        default_factory=dict
+    )
+    #: variant -> benchmarks faster at HT on 2-8-2.
+    ht8_winners: Dict[str, List[str]] = field(default_factory=dict)
+    #: variant -> average speedup of ht_off_4_2 / ht_on_8_2.
+    avg_4_2: Dict[str, float] = field(default_factory=dict)
+    avg_8_2: Dict[str, float] = field(default_factory=dict)
+
+
+VARIANTS = {
+    "private_1MB_per_core": None,          # stock Paxville
+    "shared_2MB_per_chip": 2,
+    "shared_4MB_per_chip": 4,
+}
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    problem_class: str = "B",
+) -> NextGenResult:
+    result = NextGenResult(variants=list(VARIANTS))
+    for name, mb in VARIANTS.items():
+        params = None if mb is None else shared_l2_params(mb)
+        study = Study(problem_class, params=params)
+        benches = list(benchmarks or study.paper_benchmarks())
+        table = study.speedup_table(benchmarks=benches)
+        result.speedups[name] = {
+            b: {c: table.get(b, c) for c in table.configs}
+            for b in table.benchmarks
+        }
+        result.ht8_winners[name] = [
+            b for b in table.benchmarks
+            if table.get(b, "ht_on_8_2") > table.get(b, "ht_off_4_2")
+        ]
+        result.avg_4_2[name] = table.column_average("ht_off_4_2")
+        result.avg_8_2[name] = table.column_average("ht_on_8_2")
+    return result
+
+
+def report(result: NextGenResult) -> str:
+    rows = []
+    for v in result.variants:
+        rows.append([
+            v,
+            result.avg_4_2[v],
+            result.avg_8_2[v],
+            (1.0 - result.avg_8_2[v] / result.avg_4_2[v]) * 100.0,
+            ",".join(result.ht8_winners[v]) or "-",
+        ])
+    table = format_table(
+        ["L2 organization", "avg HToff-2-4-2", "avg HTon-2-8-2",
+         "HT-on-8 slowdown %", "HTon-8-2 winners"],
+        rows,
+        title="Next-generation what-if: private vs chip-shared L2",
+        float_fmt="%.2f",
+    )
+    detail_rows = []
+    for v in result.variants:
+        for bench in sorted(result.speedups[v]):
+            per = result.speedups[v][bench]
+            detail_rows.append([
+                v, bench, per["ht_on_4_1"], per["ht_off_4_2"],
+                per["ht_on_8_2"],
+            ])
+    detail = format_table(
+        ["variant", "benchmark", "HTon-2-4-1", "HToff-2-4-2",
+         "HTon-2-8-2"],
+        detail_rows,
+        title="Per-benchmark detail",
+        float_fmt="%.2f",
+    )
+    return table + "\n\n" + detail
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

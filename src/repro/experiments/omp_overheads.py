@@ -1,0 +1,62 @@
+"""Extension: OpenMP construct overheads across configurations.
+
+The EPCC-style construct study (cf. Zhu et al., IWOMP'06) on the
+simulated machine: how fork/join, barriers, reductions and contended
+critical sections scale with team size and physical span.  Explains the
+synchronization component of the paper's wall-clock results — LU's
+per-plane flag waits make it the most sensitive to these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.machine.params import paxville_params
+from repro.openmp.constructs import ConstructOverheads, overhead_table
+
+
+@dataclass
+class OmpOverheadResult:
+    rows: List[ConstructOverheads] = field(default_factory=list)
+    clock_hz: float = 2.8e9
+
+    def microseconds(self, config: str) -> dict:
+        for r in self.rows:
+            if r.config == config:
+                return r.in_microseconds(self.clock_hz)
+        raise KeyError(config)
+
+
+def run(config_names: Optional[Sequence[str]] = None) -> OmpOverheadResult:
+    params = paxville_params()
+    return OmpOverheadResult(
+        rows=overhead_table(config_names, params),
+        clock_hz=params.core.clock_hz,
+    )
+
+
+def report(result: OmpOverheadResult) -> str:
+    rows = []
+    for r in result.rows:
+        us = r.in_microseconds(result.clock_hz)
+        rows.append([
+            r.config, r.n_threads, us["parallel"], us["parallel_for"],
+            us["barrier"], us["reduction"], us["critical"],
+        ])
+    return format_table(
+        ["config", "threads", "PARALLEL us", "PARALLEL FOR us",
+         "BARRIER us", "REDUCTION us", "CRITICAL us"],
+        rows,
+        title="OpenMP construct overheads (EPCC-style) on the simulated "
+              "platform",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,144 @@
+"""Registry mapping paper artifacts to their drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible artifact of the paper."""
+
+    id: str
+    paper_artifact: str
+    description: str
+    module: str
+
+
+_ENTRIES: List[ExperimentEntry] = [
+    ExperimentEntry(
+        id="sec3-lmbench",
+        paper_artifact="Section 3 text table",
+        description="LMbench latency/bandwidth platform characterization",
+        module="repro.experiments.sec3_lmbench",
+    ),
+    ExperimentEntry(
+        id="fig2",
+        paper_artifact="Figure 2",
+        description="Single-program counter panels (9 metrics x 6 apps)",
+        module="repro.experiments.fig2_single_program",
+    ),
+    ExperimentEntry(
+        id="fig3",
+        paper_artifact="Figure 3",
+        description="Per-application speedup over serial",
+        module="repro.experiments.fig3_speedup",
+    ),
+    ExperimentEntry(
+        id="table2",
+        paper_artifact="Table 2",
+        description="Average speedup per architecture",
+        module="repro.experiments.table2_avg_speedup",
+    ),
+    ExperimentEntry(
+        id="fig4",
+        paper_artifact="Figure 4",
+        description="Multiprogram CG/FT, FT/FT, CG/CG study",
+        module="repro.experiments.fig4_multiprogram",
+    ),
+    ExperimentEntry(
+        id="fig5",
+        paper_artifact="Figure 5",
+        description="Cross-product pairs box-and-whisker",
+        module="repro.experiments.fig5_crossproduct",
+    ),
+    ExperimentEntry(
+        id="ablations",
+        paper_artifact="(extensions)",
+        description="Scheduler policies + prefetcher/bus/trace-cache sweeps",
+        module="repro.experiments.ablations",
+    ),
+    ExperimentEntry(
+        id="validation",
+        paper_artifact="(methodology)",
+        description="Analytic vs structural cache-model cross-validation",
+        module="repro.experiments.validation",
+    ),
+    ExperimentEntry(
+        id="omp-overheads",
+        paper_artifact="(extensions)",
+        description="EPCC-style OpenMP construct overheads per configuration",
+        module="repro.experiments.omp_overheads",
+    ),
+    ExperimentEntry(
+        id="tuning",
+        paper_artifact="(future work)",
+        description="Self-tuning loop schedules + feedback placement tuner",
+        module="repro.experiments.tuning_study",
+    ),
+    ExperimentEntry(
+        id="efficiency",
+        paper_artifact="(conclusions)",
+        description="Speedup per resource + co-run degradation matrix",
+        module="repro.experiments.efficiency_study",
+    ),
+    ExperimentEntry(
+        id="class-scaling",
+        paper_artifact="(extensions)",
+        description="Headline comparisons across problem classes W/A/B/C",
+        module="repro.experiments.class_scaling",
+    ),
+    ExperimentEntry(
+        id="energy",
+        paper_artifact="(introduction)",
+        description="Energy/EDP ranking of the Table-1 architectures",
+        module="repro.experiments.energy_study",
+    ),
+    ExperimentEntry(
+        id="sensitivity",
+        paper_artifact="(methodology)",
+        description="Robustness of the headline findings to calibration",
+        module="repro.experiments.sensitivity_study",
+    ),
+    ExperimentEntry(
+        id="scaling-curves",
+        paper_artifact="(extensions)",
+        description="Thread-count scalability curves on the full machine",
+        module="repro.experiments.scaling_curves",
+    ),
+    ExperimentEntry(
+        id="groups",
+        paper_artifact="Section 4 methodology",
+        description="Within-group comparisons isolating each HT factor",
+        module="repro.experiments.group_analysis",
+    ),
+    ExperimentEntry(
+        id="nextgen",
+        paper_artifact="(what-if)",
+        description="Private vs chip-shared L2 (Woodcrest-style) findings",
+        module="repro.experiments.nextgen",
+    ),
+]
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {e.id: e for e in _ENTRIES}
+
+
+def get(experiment_id: str) -> ExperimentEntry:
+    """Look up an experiment by id (raises ``KeyError``)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str):
+    """Import and run an experiment's driver, returning its result."""
+    import importlib
+
+    entry = get(experiment_id)
+    module = importlib.import_module(entry.module)
+    return module.run()

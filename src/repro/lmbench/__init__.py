@@ -1,0 +1,18 @@
+"""LMbench-style microbenchmarks against the simulated memory hierarchy.
+
+Reproduces the paper's Section-3 platform characterization:
+``lat_mem_rd`` (pointer-chase latency versus footprint, resolving the L1 /
+L2 / DRAM plateaus) and ``bw_mem`` (streaming read/write bandwidth for one
+and two chips).
+"""
+
+from repro.lmbench.latency import lat_mem_rd, LatencyPoint, latency_plateaus
+from repro.lmbench.bandwidth import bw_mem, BandwidthResult
+
+__all__ = [
+    "lat_mem_rd",
+    "LatencyPoint",
+    "latency_plateaus",
+    "bw_mem",
+    "BandwidthResult",
+]

@@ -1,0 +1,55 @@
+"""Machine model: topology, microarchitectural parameters, and the paper's
+Table-1 processor configurations.
+
+The simulated platform mirrors the Dell PowerEdge 2850 studied in the paper:
+two dual-core 2.8 GHz Hyper-Threaded Intel Xeon (Paxville) chips, each core
+with a 12 K-uop execution trace cache, a 16 KB L1 data cache, a private 1 MB
+L2 cache, and each chip sharing an 800 MHz front-side bus to dual-channel
+DDR-2 memory.
+"""
+
+from repro.machine.topology import (
+    HWContext,
+    Core,
+    Chip,
+    SystemTopology,
+    build_topology,
+)
+from repro.machine.params import (
+    CacheParams,
+    TLBParams,
+    BranchPredictorParams,
+    BusParams,
+    CoreParams,
+    MachineParams,
+    paxville_params,
+)
+from repro.machine.configurations import (
+    Architecture,
+    MachineConfig,
+    CONFIGURATIONS,
+    COMPARISON_GROUPS,
+    get_config,
+    multithreaded_configs,
+)
+
+__all__ = [
+    "HWContext",
+    "Core",
+    "Chip",
+    "SystemTopology",
+    "build_topology",
+    "CacheParams",
+    "TLBParams",
+    "BranchPredictorParams",
+    "BusParams",
+    "CoreParams",
+    "MachineParams",
+    "paxville_params",
+    "Architecture",
+    "MachineConfig",
+    "CONFIGURATIONS",
+    "COMPARISON_GROUPS",
+    "get_config",
+    "multithreaded_configs",
+]

@@ -1,0 +1,204 @@
+"""Microarchitectural parameter sets.
+
+Defaults model the dual-core Hyper-Threaded Intel Xeon "Paxville" of the
+Dell PowerEdge 2850 studied in the paper (Section 3): 2.8 GHz NetBurst
+cores, a 12 K-uop execution trace cache and 16 KB L1 data cache shared
+between the two hardware contexts of a core, a private 1 MB L2 per core,
+and an 800 MHz front-side bus per chip feeding dual-channel DDR-2 memory.
+
+Latency targets from the paper's LMbench measurements: L1 1.43 ns,
+L2 ~9.6 ns, main memory ~136.9 ns; single-chip read/write bandwidth
+3.57 / 1.77 GB/s rising to 4.43 / 2.06 GB/s when both chips stream
+(Section 3; low-order digits reconstructed, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and timing of a single cache level."""
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    latency_cycles: float
+    #: Number of hardware contexts that share this cache (2 for L1/trace
+    #: cache with HT on; the L2 of Paxville is private per core, so both
+    #: contexts of a core also share it).
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache size and line size must be positive")
+        if self.size_bytes % self.line_bytes:
+            raise ValueError("cache size must be a multiple of the line size")
+        n_lines = self.size_bytes // self.line_bytes
+        if self.associativity <= 0 or n_lines % self.associativity:
+            raise ValueError(
+                "associativity must be positive and divide the line count"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class TLBParams:
+    """A fully-associative TLB with LRU replacement."""
+
+    entries: int
+    page_bytes: int = 4096
+    miss_penalty_cycles: float = 30.0
+
+    @property
+    def reach_bytes(self) -> int:
+        """Total bytes mapped when the TLB is fully populated."""
+        return self.entries * self.page_bytes
+
+
+@dataclass(frozen=True)
+class BranchPredictorParams:
+    """Global-history (gshare-style) predictor parameters.
+
+    ``bht_entries`` sizes the shared branch history table; when two HT
+    contexts run on one core they share (and pollute) this table, which is
+    the mechanism behind the paper's HT-on branch-prediction degradation
+    for CG.
+    """
+
+    bht_entries: int = 4096
+    history_bits: int = 12
+    mispredict_penalty_cycles: float = 20.0
+    #: Floor on the mispredict rate of a perfectly biased branch (predictor
+    #: training, cold entries).
+    base_mispredict_rate: float = 0.005
+
+
+@dataclass(frozen=True)
+class BusParams:
+    """Front-side bus and memory-controller bandwidth model.
+
+    Each chip owns one FSB port; both ports converge on the shared memory
+    controller.  ``chip_read_bw`` is what a single chip can stream,
+    ``system_read_bw`` what both chips achieve together (less than twice a
+    single chip because the controller saturates — the paper measures
+    3.57 -> 4.43 GB/s).
+    """
+
+    chip_read_bw: float = 3.57e9
+    chip_write_bw: float = 1.77e9
+    system_read_bw: float = 4.43e9
+    system_write_bw: float = 2.06e9
+    #: Bus transaction size (cache-line transfer).
+    transaction_bytes: int = 128
+    #: Utilization above which queueing delay starts to dominate.
+    contention_knee: float = 0.55
+    #: Prefetcher only issues when utilization stays below this level.
+    prefetch_headroom: float = 0.80
+    #: Maximum fraction of demand misses a stride prefetcher can cover for
+    #: a perfectly regular stream.
+    prefetch_max_coverage: float = 0.85
+    #: Fractional capacity lost to address-bus snoop traffic per active
+    #: bus agent beyond the first on the *same* chip (shared FSB port).
+    snoop_overhead_per_agent: float = 0.02
+    #: Fractional capacity lost per active agent on the *other* chip: the
+    #: memory controller reflects snoops between the two FSB ports, which
+    #: costs both address-bus occupancy and latency.
+    snoop_overhead_cross_chip: float = 0.10
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Pipeline/issue model of one NetBurst core."""
+
+    clock_hz: float = 2.8e9
+    #: Effective sustainable uops per cycle for a single thread with a
+    #: perfect front end (NetBurst sustains ~1.7 on tuned FP code).
+    issue_width: float = 1.7
+    #: Fixed single-thread throughput loss when HT is enabled (statically
+    #: partitioned queues/buffers).
+    smt_partition_penalty: float = 0.07
+    #: Memory-level parallelism: outstanding misses that overlap, dividing
+    #: the exposed memory stall.
+    mlp: float = 2.6
+    #: Fractional MLP loss per busy HT sibling (shared load/store and miss
+    #: buffers are repartitioned when both contexts are active).
+    mlp_smt_share: float = 0.50
+    #: Penalty (cycles) of a memory-order-machine clear.
+    moclear_penalty_cycles: float = 40.0
+    #: Exposed trace-cache miss penalty (cycles per miss): decode from L2
+    #: overlaps with execution, so only a fraction of the build-mode
+    #: latency stalls the pipeline.
+    trace_cache_miss_penalty: float = 10.0
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e9 / self.clock_hz
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Full parameter bundle for one machine model."""
+
+    core: CoreParams = field(default_factory=CoreParams)
+    trace_cache: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            # 12 K uops; we track code footprint in uops and use a "line"
+            # of 6 uops (one trace line).
+            size_bytes=12 * 1024,
+            line_bytes=64,
+            associativity=8,
+            latency_cycles=0.0,
+        )
+    )
+    l1d: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size_bytes=16 * 1024,
+            line_bytes=64,
+            associativity=8,
+            latency_cycles=4.0,  # 1.43 ns at 2.8 GHz
+        )
+    )
+    l2: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size_bytes=1024 * 1024,
+            line_bytes=128,
+            associativity=8,
+            latency_cycles=27.0,  # ~9.6 ns
+        )
+    )
+    itlb: TLBParams = field(
+        default_factory=lambda: TLBParams(entries=64, miss_penalty_cycles=25.0)
+    )
+    dtlb: TLBParams = field(
+        default_factory=lambda: TLBParams(entries=64, miss_penalty_cycles=30.0)
+    )
+    branch: BranchPredictorParams = field(default_factory=BranchPredictorParams)
+    bus: BusParams = field(default_factory=BusParams)
+    #: Main-memory load-to-use latency (ns) as seen by LMbench.
+    memory_latency_ns: float = 136.9
+    #: L2 sharing scope: Paxville keeps one private L2 per core
+    #: ("core"); next-generation parts (Woodcrest/Conroe) share one L2
+    #: among a chip's cores ("chip").
+    l2_scope: str = "core"
+
+    @property
+    def memory_latency_cycles(self) -> float:
+        return self.memory_latency_ns * self.core.clock_hz / 1e9
+
+    def with_overrides(self, **kwargs) -> "MachineParams":
+        """Return a copy with top-level fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+def paxville_params() -> MachineParams:
+    """Parameters of the paper's dual-core Xeon EM64T (Paxville) platform."""
+    return MachineParams()

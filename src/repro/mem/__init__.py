@@ -1,0 +1,31 @@
+"""Memory subsystem models.
+
+Two complementary levels:
+
+* **structural** — :class:`~repro.mem.cache.SetAssocCache` and
+  :class:`~repro.mem.tlb.TLB` simulate concrete address streams
+  access-by-access (used for LMbench microbenchmarks, unit tests and
+  cross-validation of the analytic layer);
+* **analytic** — :class:`~repro.mem.hierarchy.HierarchyModel` evaluates a
+  phase's miss rates from its access mixture, and
+  :class:`~repro.mem.bus.BusModel` resolves front-side-bus contention and
+  prefetcher behaviour as a bandwidth-sharing fixed point.
+"""
+
+from repro.mem.cache import SetAssocCache, CacheStats, simulate_miss_rate
+from repro.mem.tlb import TLB, TLBStats
+from repro.mem.bus import BusModel, BusLoad, BusOutcome
+from repro.mem.hierarchy import HierarchyModel, LevelRates
+
+__all__ = [
+    "SetAssocCache",
+    "CacheStats",
+    "simulate_miss_rate",
+    "TLB",
+    "TLBStats",
+    "BusModel",
+    "BusLoad",
+    "BusOutcome",
+    "HierarchyModel",
+    "LevelRates",
+]

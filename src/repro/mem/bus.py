@@ -1,0 +1,213 @@
+"""Front-side bus and hardware-prefetcher contention model.
+
+Each chip drives one FSB port; both ports converge on the shared memory
+controller.  Demand traffic is the L2 miss stream of every core; the
+stride prefetcher opportunistically converts regular demand misses into
+prefetch hits *only when bus headroom exists* — the mechanism behind the
+paper's observation that only lightly-loaded configurations (group 2)
+spend ~50 % of their bus accesses prefetching.
+
+Queueing is modeled with an M/G/1-flavoured latency multiplier
+``1 + c * rho^2 / (1 - rho)`` on the DRAM access latency, evaluated at the
+binding bottleneck (chip port or memory controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.machine.params import BusParams
+
+
+@dataclass
+class BusLoad:
+    """Demand traffic offered by one hardware context.
+
+    Attributes:
+        key: opaque identifier (context label) used to match outcomes.
+        chip: physical chip carrying this context.
+        demand_bytes_per_sec: L2 miss traffic at the current execution
+            rate estimate.
+        read_fraction: fraction of traffic that is reads (line fills).
+        prefetchability: stride-regularity of the miss stream (0..1).
+    """
+
+    key: str
+    chip: int
+    demand_bytes_per_sec: float
+    read_fraction: float = 0.8
+    prefetchability: float = 0.5
+
+
+@dataclass
+class BusOutcome:
+    """Resolved bus behaviour for one context's load."""
+
+    key: str
+    #: Multiplier on DRAM latency from queueing (>= 1).
+    latency_multiplier: float
+    #: Fraction of demand misses converted to prefetch hits.
+    prefetch_coverage: float
+    #: Demand bus transactions per second.
+    demand_tps: float
+    #: Prefetch bus transactions per second.
+    prefetch_tps: float
+    #: Utilization of the binding bottleneck seen by this context.
+    utilization: float
+
+    @property
+    def prefetch_access_fraction(self) -> float:
+        """Fraction of this context's bus accesses that are prefetches."""
+        total = self.demand_tps + self.prefetch_tps
+        return self.prefetch_tps / total if total else 0.0
+
+
+#: Extra speculative transactions issued per useful prefetch.
+PREFETCH_WASTE = 0.18
+#: Queueing-multiplier curvature and cap.  The multiplier only models the
+#: *latency* inflation at moderate load; outright saturation is handled
+#: separately by the engine's bandwidth-sharing term (utilization > 1
+#: scales execution time directly), so the cap stays mild — a stiff
+#: M/M/1 curve here would make the CPI/bus fixed point oscillate.
+_QUEUE_COEFF = 0.45
+_QUEUE_CAP = 2.5
+
+
+class BusModel:
+    """Resolves FSB/memory-controller contention for a set of loads."""
+
+    def __init__(self, params: BusParams, n_chips_total: int = 2):
+        self.params = params
+        self.n_chips_total = n_chips_total
+
+    def _capacity(self, read_fraction: float, scope: str) -> float:
+        """Harmonic-mean capacity for a read/write mix at chip or system
+        scope."""
+        p = self.params
+        if scope == "chip":
+            read_bw, write_bw = p.chip_read_bw, p.chip_write_bw
+        else:
+            read_bw, write_bw = p.system_read_bw, p.system_write_bw
+        wf = 1.0 - read_fraction
+        denom = read_fraction / read_bw + wf / write_bw
+        return 1.0 / denom if denom > 0 else read_bw
+
+    def resolve(self, loads: Sequence[BusLoad]) -> Dict[str, BusOutcome]:
+        """Compute per-context bus outcomes for simultaneous loads.
+
+        The prefetcher and the queueing delay interact: prefetch traffic
+        raises utilization, and coverage shrinks as headroom vanishes.  A
+        short damped fixed-point iteration resolves both.
+        """
+        if not loads:
+            return {}
+        chips = sorted({l.chip for l in loads})
+        coverage = {l.key: 0.0 for l in loads}
+        # Snoop traffic from every agent with misses in flight consumes
+        # address-bus capacity; cross-chip snoops are reflected through
+        # the memory controller and cost more.
+        agents_on = {}
+        for l in loads:
+            if l.demand_bytes_per_sec > 0:
+                agents_on[l.chip] = agents_on.get(l.chip, 0) + 1
+        n_agents = sum(agents_on.values())
+        snoop_by_chip = {}
+        for c in chips:
+            local = max(agents_on.get(c, 0) - 1, 0)
+            remote = sum(v for ch, v in agents_on.items() if ch != c)
+            snoop_by_chip[c] = (
+                1.0
+                + self.params.snoop_overhead_per_agent * local
+                + self.params.snoop_overhead_cross_chip * remote
+            )
+        snoop_sys = (
+            sum(snoop_by_chip.values()) / len(snoop_by_chip)
+            if snoop_by_chip
+            else 1.0
+        )
+
+        for _ in range(24):
+            chip_offered = {c: 0.0 for c in chips}
+            chip_read_frac = {c: 0.0 for c in chips}
+            for l in loads:
+                # Covered misses move from demand to prefetch transactions
+                # (same line transfer) plus wasted speculative fetches.
+                cov = coverage[l.key]
+                offered = l.demand_bytes_per_sec * (
+                    (1.0 - cov) + cov * (1.0 + PREFETCH_WASTE)
+                )
+                chip_offered[l.chip] += offered
+                chip_read_frac[l.chip] += offered * l.read_fraction
+
+            total_offered = sum(chip_offered.values())
+            sys_read_frac = (
+                sum(chip_read_frac.values()) / total_offered if total_offered else 0.8
+            )
+            utils = {}
+            for c in chips:
+                rf = (
+                    chip_read_frac[c] / chip_offered[c]
+                    if chip_offered[c]
+                    else 0.8
+                )
+                chip_util = (
+                    chip_offered[c] * snoop_by_chip[c]
+                    / self._capacity(rf, "chip")
+                )
+                sys_util = (
+                    total_offered * snoop_sys
+                    / self._capacity(sys_read_frac, "system")
+                )
+                utils[c] = max(chip_util, sys_util)
+
+            new_cov = {}
+            for l in loads:
+                u = utils[l.chip]
+                headroom = max(0.0, (self.params.prefetch_headroom - u))
+                head_factor = min(1.0, headroom / self.params.prefetch_headroom * 2.2)
+                cov = self.params.prefetch_max_coverage * l.prefetchability * head_factor
+                # Damping keeps the loop from oscillating at the knee.
+                new_cov[l.key] = 0.5 * coverage[l.key] + 0.5 * cov
+            delta = max(abs(new_cov[k] - coverage[k]) for k in coverage)
+            coverage = new_cov
+            if delta < 1e-6:
+                break
+
+        outcomes: Dict[str, BusOutcome] = {}
+        tx = self.params.transaction_bytes
+        for l in loads:
+            u = min(utils[l.chip], 0.98)
+            mult = 1.0 + _QUEUE_COEFF * u * u / (1.0 - u)
+            mult = min(mult, _QUEUE_CAP)
+            cov = coverage[l.key]
+            miss_tps = l.demand_bytes_per_sec / tx
+            demand_tps = miss_tps * (1.0 - cov)
+            prefetch_tps = cov * miss_tps * (1.0 + PREFETCH_WASTE)
+            outcomes[l.key] = BusOutcome(
+                key=l.key,
+                latency_multiplier=mult,
+                prefetch_coverage=cov,
+                demand_tps=demand_tps,
+                prefetch_tps=prefetch_tps,
+                utilization=utils[l.chip],
+            )
+        return outcomes
+
+    def streaming_bandwidth(
+        self, n_chips_active: int, kind: str = "read"
+    ) -> float:
+        """Aggregate achievable streaming bandwidth (LMbench ``bw_mem``).
+
+        Args:
+            n_chips_active: chips with active streaming threads.
+            kind: ``"read"`` or ``"write"``.
+        """
+        p = self.params
+        if kind == "read":
+            chip, system = p.chip_read_bw, p.system_read_bw
+        elif kind == "write":
+            chip, system = p.chip_write_bw, p.system_write_bw
+        else:
+            raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
+        return min(chip * n_chips_active, system)

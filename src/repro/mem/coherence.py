@@ -1,0 +1,232 @@
+"""MESI cache-coherence models.
+
+The platform keeps the four L2s coherent over the front-side buses: a
+write to a line cached elsewhere invalidates the remote copies, and a
+read of a remotely-modified line is serviced by a cache-to-cache
+transfer (same chip) or through the memory controller (cross chip).
+Structured-grid codes exchange halo planes every sweep, so their
+coherence traffic scales with the team's physical span — one of the
+costs that separates the 2-chip configurations from the 1-chip ones.
+
+Two views, as elsewhere in the package:
+
+* :class:`MESIDirectory` — a structural protocol simulator over N peer
+  caches (used by tests and drill-downs);
+* :func:`coherence_misses_per_instr` — the analytic per-phase rate the
+  engine charges, derived from the phase's shared-write intensity and
+  the placement's physical span.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.params import CacheParams
+
+
+class LineState(enum.Enum):
+    """MESI stable states."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+class CoherenceEvent(enum.Enum):
+    """What servicing an access required."""
+
+    HIT = "hit"                      # no protocol action
+    MISS_MEMORY = "miss_memory"      # fill from DRAM
+    MISS_REMOTE = "miss_remote"      # cache-to-cache transfer
+    UPGRADE = "upgrade"              # S->M, invalidating remote sharers
+
+
+@dataclass
+class CoherenceStats:
+    """Per-cache event counts."""
+
+    events: Dict[CoherenceEvent, int] = field(default_factory=dict)
+
+    def record(self, ev: CoherenceEvent) -> None:
+        self.events[ev] = self.events.get(ev, 0) + 1
+
+    def count(self, ev: CoherenceEvent) -> int:
+        return self.events.get(ev, 0)
+
+    @property
+    def accesses(self) -> int:
+        return sum(self.events.values())
+
+
+class MESIDirectory:
+    """A directory-kept MESI protocol over N peer caches.
+
+    Tracks, per line, which caches hold it and in what state.  Capacity
+    and conflicts are out of scope here (the plain cache models own
+    those); this isolates *protocol* behaviour, so lines never get
+    evicted — appropriate for the halo-line working sets the analytic
+    model charges for.
+    """
+
+    def __init__(self, n_caches: int, line_bytes: int = 128):
+        if n_caches < 1:
+            raise ValueError("need at least one cache")
+        self.n_caches = n_caches
+        self.line_bytes = line_bytes
+        # line -> {cache_id: state}
+        self._lines: Dict[int, Dict[int, LineState]] = {}
+        self.stats: List[CoherenceStats] = [
+            CoherenceStats() for _ in range(n_caches)
+        ]
+
+    def _holders(self, line: int) -> Dict[int, LineState]:
+        return self._lines.setdefault(line, {})
+
+    def state(self, address: int, cache_id: int) -> LineState:
+        line = address // self.line_bytes
+        return self._holders(line).get(cache_id, LineState.INVALID)
+
+    def access(
+        self, address: int, cache_id: int, is_write: bool
+    ) -> CoherenceEvent:
+        """Perform one access; returns the protocol event it required."""
+        if not 0 <= cache_id < self.n_caches:
+            raise ValueError(f"cache_id {cache_id} out of range")
+        line = address // self.line_bytes
+        holders = self._holders(line)
+        mine = holders.get(cache_id, LineState.INVALID)
+        others = {c: s for c, s in holders.items() if c != cache_id}
+
+        if is_write:
+            event = self._write(cache_id, mine, others, holders)
+        else:
+            event = self._read(cache_id, mine, others, holders)
+        self.stats[cache_id].record(event)
+        return event
+
+    def _read(self, cache_id, mine, others, holders) -> CoherenceEvent:
+        if mine is not LineState.INVALID:
+            return CoherenceEvent.HIT
+        remote_dirty = any(
+            s is LineState.MODIFIED for s in others.values()
+        )
+        # Fill; remote copies downgrade to SHARED.
+        for c in others:
+            holders[c] = LineState.SHARED
+        holders[cache_id] = (
+            LineState.SHARED if others else LineState.EXCLUSIVE
+        )
+        return (
+            CoherenceEvent.MISS_REMOTE
+            if remote_dirty or others
+            else CoherenceEvent.MISS_MEMORY
+        )
+
+    def _write(self, cache_id, mine, others, holders) -> CoherenceEvent:
+        if mine is LineState.MODIFIED:
+            return CoherenceEvent.HIT
+        if mine is LineState.EXCLUSIVE:
+            holders[cache_id] = LineState.MODIFIED
+            return CoherenceEvent.HIT  # silent E->M upgrade
+        # Invalidate every remote copy.
+        remote = bool(others)
+        remote_dirty = any(
+            s is LineState.MODIFIED for s in others.values()
+        )
+        for c in list(others):
+            del holders[c]
+        holders[cache_id] = LineState.MODIFIED
+        if mine is LineState.SHARED:
+            return CoherenceEvent.UPGRADE
+        if remote_dirty or remote:
+            return CoherenceEvent.MISS_REMOTE
+        return CoherenceEvent.MISS_MEMORY
+
+    def modified_holder(self, address: int) -> Optional[int]:
+        """The unique cache holding the line MODIFIED, if any."""
+        line = address // self.line_bytes
+        owners = [
+            c for c, s in self._holders(line).items()
+            if s is LineState.MODIFIED
+        ]
+        if len(owners) > 1:  # pragma: no cover - protocol invariant
+            raise AssertionError("multiple MODIFIED holders")
+        return owners[0] if owners else None
+
+    def check_invariants(self) -> None:
+        """Protocol invariants: at most one M/E holder; M excludes all."""
+        for line, holders in self._lines.items():
+            ms = [c for c, s in holders.items() if s is LineState.MODIFIED]
+            es = [c for c, s in holders.items() if s is LineState.EXCLUSIVE]
+            if len(ms) > 1 or len(es) > 1:
+                raise AssertionError(f"line {line}: duplicate owner")
+            if ms and len(holders) > 1:
+                raise AssertionError(f"line {line}: M with other sharers")
+            if es and len(holders) > 1:
+                raise AssertionError(f"line {line}: E with other sharers")
+
+
+# ----------------------------------------------------------------------
+# analytic per-phase model
+# ----------------------------------------------------------------------
+
+#: Exposed cycles of a cache-to-cache transfer between cores of one chip
+#: (snoop + FSB data phase).
+SAME_CHIP_TRANSFER_CYCLES = 120.0
+#: Exposed cycles when the dirty line sits on the other chip (reflected
+#: through the memory controller).
+CROSS_CHIP_TRANSFER_CYCLES = 320.0
+
+
+def coherence_misses_per_instr(
+    mem_ops_per_instr: float,
+    shared_write_fraction: float,
+    n_threads: int,
+) -> float:
+    """Coherence events (invalidation/transfer) per uop for one thread.
+
+    ``shared_write_fraction`` is the fraction of the phase's memory
+    operations that touch lines another thread also writes (halo planes,
+    reduction cells).  With one thread there is no one to be coherent
+    with.
+    """
+    if not 0 <= shared_write_fraction <= 1:
+        raise ValueError("shared_write_fraction must be within [0, 1]")
+    if n_threads <= 1:
+        return 0.0
+    # Each shared-line touch alternates owners sweep by sweep: roughly
+    # every shared-write op incurs one protocol event.
+    return mem_ops_per_instr * shared_write_fraction
+
+
+def coherence_stall_cycles_per_instr(
+    misses_per_instr: float,
+    span_chips: int,
+    cross_chip_fraction: Optional[float] = None,
+) -> float:
+    """Exposed stall cycles per uop from coherence transfers.
+
+    Args:
+        misses_per_instr: output of :func:`coherence_misses_per_instr`.
+        span_chips: physical chips the team occupies.
+        cross_chip_fraction: share of transfers crossing chips; defaults
+            to the neighbor-exchange expectation for a linear slab
+            decomposition (1 boundary of T-1 crosses the chip split).
+    """
+    if span_chips <= 1:
+        return misses_per_instr * SAME_CHIP_TRANSFER_CYCLES
+    frac = (
+        cross_chip_fraction
+        if cross_chip_fraction is not None
+        else 1.0 / max(span_chips, 2)
+    )
+    per_event = (
+        (1.0 - frac) * SAME_CHIP_TRANSFER_CYCLES
+        + frac * CROSS_CHIP_TRANSFER_CYCLES
+    )
+    return misses_per_instr * per_event

@@ -1,0 +1,201 @@
+"""Analytic memory-hierarchy evaluation for one phase on one context.
+
+Computes trace-cache, L1-D, L2, ITLB and DTLB rates from a phase's access
+mixture and code characteristics, applying the HT capacity-sharing model
+of :mod:`repro.trace.patterns`.
+
+Rate conventions (matching how VTune/the paper report them):
+
+* ``tc_miss_rate`` — trace-cache misses per trace-cache *deliver* event.
+* ``l1_miss_rate`` — L1-D misses per L1-D access (memory reference).
+* ``l2_miss_rate`` — L2 misses per L2 *access* (i.e. per L1 miss): the
+  "local" miss rate, which is what the paper's Figure 2 plots.
+* ``itlb_miss_rate`` — ITLB misses per ITLB lookup.
+* ``dtlb_misses_per_instr`` — absolute DTLB load+store misses per uop
+  (the paper reports totals normalized to the serial case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.params import MachineParams
+from repro.trace.patterns import (
+    effective_capacity,
+    loop_thrash_miss_rate,
+    sharing_discount,
+)
+from repro.trace.phase import Phase
+
+#: Average uops delivered per trace-cache line (NetBurst packs 6/line).
+UOPS_PER_TRACE_LINE = 6.0
+#: ITLB lookups per uop that bypass the trace cache entirely (page
+#: crossings, interrupts).
+_ITLB_BASE_LOOKUPS_PER_UOP = 1.0 / 512.0
+#: Additional ITLB pressure per extra active context in the system: OS
+#: timer ticks, migrations and kernel entries touch new code pages more
+#: often as the machine gets busier (the paper observes ITLB misses rising
+#: with architecture complexity).
+_ITLB_OS_NOISE = 0.012
+
+
+@dataclass(frozen=True)
+class LevelRates:
+    """Resolved per-context hierarchy rates for one phase."""
+
+    tc_accesses_per_instr: float
+    tc_miss_rate: float
+    l1_accesses_per_instr: float
+    l1_miss_rate: float
+    l2_accesses_per_instr: float
+    l2_miss_rate: float
+    l2_misses_per_instr: float
+    itlb_accesses_per_instr: float
+    itlb_miss_rate: float
+    dtlb_accesses_per_instr: float
+    dtlb_miss_rate: float
+    dtlb_misses_per_instr: float
+
+    @property
+    def tc_misses_per_instr(self) -> float:
+        return self.tc_accesses_per_instr * self.tc_miss_rate
+
+    @property
+    def l1_misses_per_instr(self) -> float:
+        return self.l1_accesses_per_instr * self.l1_miss_rate
+
+    @property
+    def itlb_misses_per_instr(self) -> float:
+        return self.itlb_accesses_per_instr * self.itlb_miss_rate
+
+
+class HierarchyModel:
+    """Evaluates phase miss rates against one machine's hierarchy."""
+
+    def __init__(self, params: MachineParams):
+        self.params = params
+
+    def evaluate(
+        self,
+        phase: Phase,
+        n_threads: int,
+        core_sharers: int,
+        same_data: bool,
+        same_code: bool,
+        total_visible_contexts: int,
+        co_phase: Optional[Phase] = None,
+        l2_sharers: Optional[int] = None,
+        l2_same_data: Optional[bool] = None,
+    ) -> LevelRates:
+        """Resolve hierarchy rates for one context executing ``phase``.
+
+        Args:
+            phase: the phase this context executes.
+            n_threads: OpenMP team size of the owning program (divides
+                partitioned footprints).
+            core_sharers: active hardware contexts on this context's core
+                (1, or 2 with a busy HT sibling).
+            same_data: the HT sibling (if any) belongs to the same program
+                *instance* (team) — enables constructive data sharing.
+            same_code: the sibling executes the same binary (true for a
+                second copy of the same benchmark too) — enables
+                constructive trace-cache/ITLB sharing.
+            total_visible_contexts: logical CPUs the OS initialized (OS
+                noise on the ITLB grows with machine complexity).
+            co_phase: phase run by a different-program sibling, used to
+                model destructive code-footprint interference.
+            l2_sharers: contexts sharing the L2 when its scope differs
+                from the core (chip-shared L2 on next-generation parts);
+                defaults to ``core_sharers``.
+            l2_same_data: whether all L2 sharers belong to one program
+                instance; defaults to ``same_data``.
+        """
+        p = self.params
+        mix = phase.access_mix
+
+        # --- data caches ---------------------------------------------
+        l1_miss = mix.miss_rate(
+            p.l1d.size_bytes,
+            p.l1d.line_bytes,
+            n_threads=n_threads,
+            sharers=core_sharers,
+            same_program=same_data,
+        )
+        eff_l2_sharers = l2_sharers if l2_sharers is not None else core_sharers
+        eff_l2_same = l2_same_data if l2_same_data is not None else same_data
+        l2_global = mix.miss_rate(
+            p.l2.size_bytes,
+            p.l2.line_bytes,
+            n_threads=n_threads,
+            sharers=eff_l2_sharers,
+            same_program=eff_l2_same,
+        )
+        # Inclusion + larger L2 lines keep the global L2 miss rate at or
+        # below the L1 rate; the local rate is their ratio.
+        l2_global = min(l2_global, l1_miss)
+        l2_local = l2_global / l1_miss if l1_miss > 1e-12 else 0.0
+
+        l1_acc_per_instr = phase.mem_ops_per_instr
+        l2_acc_per_instr = l1_acc_per_instr * l1_miss
+        l2_miss_per_instr = l1_acc_per_instr * l2_global
+
+        # --- trace cache ----------------------------------------------
+        code_fp = phase.code_footprint_uops
+        if same_code and core_sharers > 1:
+            # Siblings execute the same loops: the footprint is fully
+            # shared and one sibling's fill serves the other.
+            tc_capacity = p.trace_cache.size_bytes
+            tc_discount = sharing_discount(core_sharers, 1.0)
+        elif core_sharers > 1:
+            co_fp = co_phase.code_footprint_uops if co_phase is not None else code_fp
+            share = code_fp / (code_fp + co_fp) if (code_fp + co_fp) else 0.5
+            tc_capacity = p.trace_cache.size_bytes * share
+            tc_discount = 1.0
+        else:
+            tc_capacity = p.trace_cache.size_bytes
+            tc_discount = 1.0
+        tc_miss = loop_thrash_miss_rate(code_fp, tc_capacity, width=0.35) * tc_discount
+        tc_acc_per_instr = 1.0 / UOPS_PER_TRACE_LINE
+
+        # --- ITLB -------------------------------------------------------
+        # Front-end translations happen when the trace cache misses (build
+        # mode fetches from L2) plus a small baseline.
+        itlb_acc_per_instr = (
+            tc_acc_per_instr * tc_miss + _ITLB_BASE_LOOKUPS_PER_UOP
+        )
+        itlb_capacity = effective_capacity(
+            p.itlb.reach_bytes,
+            core_sharers,
+            1.0 if same_code else 0.0,
+        )
+        itlb_base = loop_thrash_miss_rate(
+            phase.code_footprint_bytes, itlb_capacity, width=0.30
+        )
+        os_noise = _ITLB_OS_NOISE * max(total_visible_contexts - 1, 0)
+        itlb_miss = min(1.0, itlb_base + os_noise)
+
+        # --- DTLB -------------------------------------------------------
+        dtlb_miss = mix.miss_rate(
+            p.dtlb.reach_bytes,
+            p.dtlb.page_bytes,
+            n_threads=n_threads,
+            sharers=core_sharers,
+            same_program=same_data,
+        )
+        dtlb_acc_per_instr = phase.mem_ops_per_instr
+
+        return LevelRates(
+            tc_accesses_per_instr=tc_acc_per_instr,
+            tc_miss_rate=tc_miss,
+            l1_accesses_per_instr=l1_acc_per_instr,
+            l1_miss_rate=l1_miss,
+            l2_accesses_per_instr=l2_acc_per_instr,
+            l2_miss_rate=l2_local,
+            l2_misses_per_instr=l2_miss_per_instr,
+            itlb_accesses_per_instr=itlb_acc_per_instr,
+            itlb_miss_rate=itlb_miss,
+            dtlb_accesses_per_instr=dtlb_acc_per_instr,
+            dtlb_miss_rate=dtlb_miss,
+            dtlb_misses_per_instr=dtlb_acc_per_instr * dtlb_miss,
+        )

@@ -1,0 +1,33 @@
+"""NAS Parallel Benchmark (OpenMP) workload models.
+
+Each benchmark module provides:
+
+* ``dims(problem_class)`` — the official NPB problem dimensions;
+* ``build(problem_class)`` — a :class:`~repro.trace.phase.Workload` whose
+  phase descriptors (instruction volume, access mixture, footprints,
+  branch behaviour) are derived from those dimensions; and
+* a real NumPy mini-kernel in :mod:`repro.npb.kernels` implementing the
+  same algorithm at reduced scale, used to validate the numerics the
+  workload models represent.
+
+The paper experiments with class B of CG, MG, SP, FT, LU and EP
+(:data:`~repro.npb.suite.PAPER_BENCHMARKS`); IS and BT complete the suite.
+"""
+
+from repro.npb.common import ProblemClass, BenchmarkInfo, FLOP_TO_UOPS
+from repro.npb.suite import (
+    ALL_BENCHMARKS,
+    PAPER_BENCHMARKS,
+    build_workload,
+    benchmark_info,
+)
+
+__all__ = [
+    "ProblemClass",
+    "BenchmarkInfo",
+    "FLOP_TO_UOPS",
+    "ALL_BENCHMARKS",
+    "PAPER_BENCHMARKS",
+    "build_workload",
+    "benchmark_info",
+]

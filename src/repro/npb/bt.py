@@ -1,0 +1,128 @@
+"""BT — block tridiagonal ADI solver (simulated CFD application).
+
+Like SP but with 5x5 block systems per line: far more arithmetic per
+grid point (dense small-matrix work), making BT the most compute-heavy
+application of the suite.  Included for completeness of the NAS suite;
+the paper's class-B study uses CG, MG, SP, FT, LU and EP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.npb.common import (
+    BYTES_PER_UOP,
+    FLOP_TO_UOPS,
+    BenchmarkInfo,
+    ProblemClass,
+    check_class,
+)
+from repro.trace.patterns import AccessMix, RandomPattern, StencilPattern
+from repro.trace.phase import Phase, Workload
+
+INFO = BenchmarkInfo(
+    name="BT",
+    kind="application",
+    description="Block tridiagonal ADI solver, compute heavy",
+    memory_bound_score=0.40,
+)
+
+#: (grid edge, iterations)
+_DIMS: Dict[ProblemClass, Tuple[int, int]] = {
+    ProblemClass.S: (12, 60),
+    ProblemClass.W: (24, 200),
+    ProblemClass.A: (64, 200),
+    ProblemClass.B: (102, 200),
+    ProblemClass.C: (162, 200),
+}
+
+_FLOPS_PER_POINT = 3210.0
+_BYTES_PER_POINT = 320.0
+
+
+def dims(problem_class: ProblemClass) -> Tuple[int, int]:
+    """(grid edge, iterations)."""
+    return check_class(problem_class, _DIMS)
+
+
+def total_flops(problem_class: ProblemClass) -> float:
+    n, niter = dims(problem_class)
+    return float(n) ** 3 * niter * _FLOPS_PER_POINT
+
+
+def build(problem_class: ProblemClass = ProblemClass.B) -> Workload:
+    """Build the BT workload model."""
+    n, niter = dims(problem_class)
+    points = float(n) ** 3
+    grid_bytes = points * _BYTES_PER_POINT
+    plane_bytes = float(n) * float(n) * _BYTES_PER_POINT
+    instr = total_flops(problem_class) * FLOP_TO_UOPS
+
+    scratch = RandomPattern(
+        footprint_bytes=12288.0,  # 5x5 block scratch, hot in L1
+        partitioned=False,
+        shared_fraction=0.0,
+    )
+
+    def stencil(whf):
+        return StencilPattern(
+            footprint_bytes=grid_bytes,
+            partitioned=True,
+            shared_fraction=0.22,
+            reuse_window_bytes=2.0 * plane_bytes,
+            stride_bytes=3,
+            window_hit_fraction=whf,
+            window_scales=False,
+        )
+
+    # One BT time step: rhs then the three block-tridiagonal sweeps.
+    # The 5x5 block solves dominate the arithmetic, so the sweep phases
+    # are denser in scratch traffic and compute than rhs.  Every phase
+    # carries the full per-iteration code footprint.
+    code_uops = 19000.0
+    common = dict(
+        load_fraction=0.68,
+        code_footprint_uops=code_uops,
+        code_footprint_bytes=code_uops * BYTES_PER_UOP,
+        branch_misp_intrinsic=0.003,
+        branch_sites=1100,
+        parallel=True,
+        imbalance=0.03,
+        iterations=niter,
+        inner_trip_count=float(n),
+        trip_divides=True,
+        branch_history_sensitivity=0.15,
+        mlp=3.5,
+    )
+    rhs = Phase(
+        name="bt_rhs",
+        instructions=instr * 0.22,
+        mem_ops_per_instr=0.48,
+        access_mix=AccessMix.of((0.70, stencil(0.70)), (0.30, scratch)),
+        branches_per_instr=0.045,
+        ilp=1.50,
+        prefetchability=0.88,
+        barriers=2,
+        halo_bytes_per_iteration=2.0 * plane_bytes,
+        **common,
+    )
+
+    def solve(name, share):
+        return Phase(
+            name=name,
+            instructions=instr * share,
+            mem_ops_per_instr=0.43,
+            access_mix=AccessMix.of((0.58, stencil(0.70)), (0.42, scratch)),
+            branches_per_instr=0.04,
+            ilp=1.58,
+            prefetchability=0.84,
+            barriers=2,
+            halo_bytes_per_iteration=1.5 * plane_bytes,
+            **common,
+        )
+
+    phases = (rhs, solve("bt_x_solve", 0.26), solve("bt_y_solve", 0.26),
+              solve("bt_z_solve", 0.26))
+    return Workload(
+        name="BT", problem_class=problem_class.value, phases=phases,
+    )

@@ -1,0 +1,214 @@
+"""CG — conjugate gradient, irregular memory access and communication.
+
+The NPB-CG kernel estimates the largest eigenvalue of a sparse symmetric
+matrix with a shifted power method; each of ``niter`` outer iterations
+runs 25 CG steps dominated by the sparse matrix-vector product
+``q = A p``: streaming over the CSR arrays plus a data-dependent gather
+``p[colidx[k]]``.
+
+Characterization: strongly memory-bound (the paper's memory-hungry
+multiprogram representative), irregular gather (poor prefetchability),
+short data-dependent inner loops over row nonzeros (poor branch
+behaviour that degrades further when an HT sibling pollutes the shared
+history — the paper's Figure 2 branch-prediction outlier).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.npb.common import (
+    BYTES_PER_UOP,
+    FLOP_TO_UOPS,
+    BenchmarkInfo,
+    ProblemClass,
+    check_class,
+)
+from repro.trace.patterns import AccessMix, RandomPattern, StreamingPattern
+from repro.trace.phase import Phase, Workload
+
+INFO = BenchmarkInfo(
+    name="CG",
+    kind="kernel",
+    description="Conjugate gradient, irregular sparse matrix-vector",
+    memory_bound_score=0.95,
+)
+
+#: (n, nonzer, niter, shift)
+_DIMS: Dict[ProblemClass, Tuple[int, int, int, float]] = {
+    ProblemClass.S: (1400, 7, 15, 10.0),
+    ProblemClass.W: (7000, 8, 15, 12.0),
+    ProblemClass.A: (14000, 11, 15, 20.0),
+    ProblemClass.B: (75000, 13, 75, 60.0),
+    ProblemClass.C: (150000, 15, 75, 110.0),
+}
+
+_CG_STEPS_PER_ITER = 25
+
+
+def dims(problem_class: ProblemClass) -> Tuple[int, int, int, float]:
+    """(matrix order n, nonzer, outer iterations, shift)."""
+    return check_class(problem_class, _DIMS)
+
+
+def nnz(problem_class: ProblemClass) -> float:
+    """Nonzeros of the assembled matrix, ~n * (nonzer + 1)^2 (makea)."""
+    n, nonzer, _, _ = dims(problem_class)
+    return float(n) * (nonzer + 1) ** 2
+
+
+def total_flops(problem_class: ProblemClass) -> float:
+    """Dominant flop count: 2*nnz per SpMV plus ~10n of vector work per
+    CG step, times 25 steps per outer iteration."""
+    n, _, niter, _ = dims(problem_class)
+    per_step = 2.0 * nnz(problem_class) + 10.0 * n
+    return niter * _CG_STEPS_PER_ITER * per_step
+
+
+def build(problem_class: ProblemClass = ProblemClass.B) -> Workload:
+    """Build the CG workload model."""
+    n, nonzer, niter, _shift = dims(problem_class)
+    nz = nnz(problem_class)
+
+    matrix_bytes = nz * 12.0  # 8 B value + 4 B column index
+    vector_bytes = 8.0 * n
+    instr = total_flops(problem_class) * FLOP_TO_UOPS
+
+    # Reference mixture of the SpMV + vector updates:
+    #  - streaming the CSR value/index arrays (partitioned by rows),
+    #  - the gather p[colidx[k]] into the shared source vector,
+    #  - streaming the five private work vectors,
+    #  - scalar/stack traffic that always hits L1.
+    mix = AccessMix.of(
+        (0.34, StreamingPattern(
+            footprint_bytes=matrix_bytes,
+            partitioned=True,
+            shared_fraction=0.0,
+            stride_bytes=11,
+            passes=float(niter * _CG_STEPS_PER_ITER),
+        )),
+        # The gather p[colidx[k]]: NPB's matrix has geometric banding,
+        # so most gathers land in a near band with a far-reaching tail.
+        (0.15, RandomPattern(
+            footprint_bytes=min(vector_bytes, 65536.0),
+            partitioned=False,
+            shared_fraction=0.5,
+        )),
+        (0.11, RandomPattern(
+            footprint_bytes=vector_bytes,
+            partitioned=False,       # every thread gathers the whole p
+            shared_fraction=0.5,     # rows overlap only partially
+        )),
+        (0.22, StreamingPattern(
+            footprint_bytes=5.0 * vector_bytes,
+            partitioned=True,
+            shared_fraction=0.05,
+            stride_bytes=8,
+            passes=float(niter * _CG_STEPS_PER_ITER),
+        )),
+        (0.18, RandomPattern(
+            footprint_bytes=4096.0,
+            partitioned=False,
+            shared_fraction=0.0,
+        )),
+    )
+
+    code_uops = 5200.0
+    setup = Phase(
+        name="makea",
+        instructions=instr * 0.015,
+        mem_ops_per_instr=0.40,
+        access_mix=AccessMix.of(
+            # makea assembles rows mostly sequentially, with random
+            # inserts confined to the rows currently under construction.
+            (0.70, StreamingPattern(footprint_bytes=matrix_bytes,
+                                    partitioned=False, stride_bytes=12,
+                                    passes=1.0)),
+            (0.30, RandomPattern(footprint_bytes=2.0e6,
+                                 partitioned=False)),
+        ),
+        code_footprint_uops=3000.0,
+        code_footprint_bytes=3000.0 * BYTES_PER_UOP,
+        branches_per_instr=0.12,
+        branch_misp_intrinsic=0.02,
+        branch_sites=500,
+        ilp=1.1,
+        parallel=False,
+        prefetchability=0.2,
+        inner_trip_count=float(nonzer),
+    )
+    # The CG inner loop: q = A p (SpMV, ~78 % of the work), the two
+    # dot-product reductions, and the vector updates (axpy).  Every phase
+    # carries the whole inner-loop code footprint (the stages alternate
+    # every few hundred microseconds).
+    cg_common = dict(
+        load_fraction=0.82,
+        code_footprint_uops=code_uops,
+        code_footprint_bytes=code_uops * BYTES_PER_UOP,
+        branch_misp_intrinsic=0.018,
+        branch_sites=900,
+        parallel=True,
+        imbalance=0.04,
+        iterations=niter,
+        trip_divides=False,
+        branch_history_sensitivity=0.95,
+        mlp=4.0,
+    )
+    spmv = Phase(
+        name="spmv",
+        instructions=instr * 0.985 * 0.78,
+        mem_ops_per_instr=0.46,
+        access_mix=mix,
+        branches_per_instr=0.12,
+        ilp=1.12,
+        prefetchability=0.32,
+        barriers=_CG_STEPS_PER_ITER,
+        moclears_per_kinstr=0.15,
+        inner_trip_count=float((nonzer + 1) ** 2 // 2),
+        halo_bytes_per_iteration=vector_bytes,  # q exchange
+        **cg_common,
+    )
+    vector_mix = AccessMix.of(
+        (0.72, StreamingPattern(
+            footprint_bytes=5.0 * vector_bytes,
+            partitioned=True,
+            shared_fraction=0.05,
+            stride_bytes=8,
+            passes=float(niter * _CG_STEPS_PER_ITER),
+        )),
+        (0.28, RandomPattern(
+            footprint_bytes=4096.0,
+            partitioned=False,
+            shared_fraction=0.0,
+        )),
+    )
+    reductions = Phase(
+        name="dot_products",
+        instructions=instr * 0.985 * 0.10,
+        mem_ops_per_instr=0.42,
+        access_mix=vector_mix,
+        branches_per_instr=0.08,
+        ilp=1.25,
+        prefetchability=0.85,
+        barriers=2 * _CG_STEPS_PER_ITER,  # rho and p.q reductions
+        inner_trip_count=float(nonzer * 40),
+        halo_bytes_per_iteration=512.0,   # the reduced scalars
+        **cg_common,
+    )
+    axpy = Phase(
+        name="axpy_updates",
+        instructions=instr * 0.985 * 0.12,
+        mem_ops_per_instr=0.50,
+        access_mix=vector_mix,
+        branches_per_instr=0.07,
+        ilp=1.40,
+        prefetchability=0.90,
+        barriers=0,
+        inner_trip_count=float(nonzer * 40),
+        halo_bytes_per_iteration=vector_bytes,  # p broadcast
+        **cg_common,
+    )
+    return Workload(
+        name="CG", problem_class=problem_class.value,
+        phases=(setup, spmv, reductions, axpy),
+    )

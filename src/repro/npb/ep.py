@@ -1,0 +1,93 @@
+"""EP — embarrassingly parallel Gaussian deviate generation.
+
+NPB-EP generates 2^m uniform pairs, transforms accepted pairs to
+Gaussian deviates (Marsaglia polar method) and tallies them per annulus.
+The working set is a few KB of tables: EP never leaves L1 and scales
+with raw execution resources only — which makes it the configuration
+discriminator for pure compute (it exposes the SMT issue-slot capacity
+directly, with no cache or bus effects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.npb.common import (
+    BYTES_PER_UOP,
+    FLOP_TO_UOPS,
+    BenchmarkInfo,
+    ProblemClass,
+    check_class,
+)
+from repro.trace.patterns import AccessMix, RandomPattern
+from repro.trace.phase import Phase, Workload
+
+INFO = BenchmarkInfo(
+    name="EP",
+    kind="kernel",
+    description="Embarrassingly parallel random-number kernel",
+    memory_bound_score=0.02,
+)
+
+#: log2 of the pair count.
+_DIMS: Dict[ProblemClass, int] = {
+    ProblemClass.S: 24,
+    ProblemClass.W: 25,
+    ProblemClass.A: 28,
+    ProblemClass.B: 30,
+    ProblemClass.C: 32,
+}
+
+#: Flops per generated pair: two LCG randoms, the radius test and (for
+#: accepted pairs) log/sqrt via polynomial expansion.
+_FLOPS_PER_PAIR = 45.0
+
+
+def dims(problem_class: ProblemClass) -> int:
+    """log2 of the number of random pairs."""
+    return check_class(problem_class, _DIMS)
+
+
+def total_flops(problem_class: ProblemClass) -> float:
+    return float(1 << dims(problem_class)) * _FLOPS_PER_PAIR
+
+
+def build(problem_class: ProblemClass = ProblemClass.B) -> Workload:
+    """Build the EP workload model."""
+    instr = total_flops(problem_class) * FLOP_TO_UOPS
+
+    mix = AccessMix.of(
+        (1.0, RandomPattern(
+            footprint_bytes=3072.0,   # annulus tallies + scratch
+            partitioned=False,
+            shared_fraction=0.0,
+        )),
+    )
+
+    code_uops = 1600.0
+    generate = Phase(
+        name="generate",
+        instructions=instr,
+        mem_ops_per_instr=0.08,
+        load_fraction=0.6,
+        access_mix=mix,
+        code_footprint_uops=code_uops,
+        code_footprint_bytes=code_uops * BYTES_PER_UOP,
+        branches_per_instr=0.09,
+        # The acceptance branch (pi/4 taken) is biased but data-random.
+        branch_misp_intrinsic=0.012,
+        branch_sites=60,
+        ilp=1.08,              # long dependency chains through the LCG
+        parallel=True,
+        imbalance=0.01,
+        prefetchability=0.1,
+        barriers=1,
+        iterations=1,
+        inner_trip_count=2048.0,
+        trip_divides=False,
+        branch_history_sensitivity=0.30,
+        smt_capacity=0.85,
+    )
+    return Workload(
+        name="EP", problem_class=problem_class.value, phases=(generate,),
+    )

@@ -1,0 +1,147 @@
+"""FT — spectral PDE solver (3-D FFT).
+
+NPB-FT evolves a PDE in Fourier space: one forward 3-D FFT, then per
+time step a frequency-space multiply and an inverse 3-D FFT.  The FFT
+passes are cache-blocked (the paper's era NPB-3 implementation works on
+pencils that fit L2), making FT the *compute-bound* representative of
+the paper's multiprogram study: long vectorizable loops, high ILP, and
+only the transpose steps streaming the full arrays.
+
+The workload models one time step as its real stages: the ``evolve``
+frequency-space multiply (pure streaming) followed by the three FFT
+passes — the x/y passes work on cache-resident pencils, while the z
+pass embeds the transpose that streams both arrays with long strides.
+Every phase carries the full per-iteration hot-code footprint (the
+stages alternate too fast for the trace cache to retain one).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.npb.common import (
+    BYTES_PER_UOP,
+    FLOP_TO_UOPS,
+    BenchmarkInfo,
+    ProblemClass,
+    check_class,
+)
+from repro.trace.patterns import AccessMix, RandomPattern, StreamingPattern
+from repro.trace.phase import Phase, Workload
+
+INFO = BenchmarkInfo(
+    name="FT",
+    kind="kernel",
+    description="3-D FFT PDE evolution, compute-bound blocked passes",
+    memory_bound_score=0.35,
+)
+
+#: (nx, ny, nz, iterations)
+_DIMS: Dict[ProblemClass, Tuple[int, int, int, int]] = {
+    ProblemClass.S: (64, 64, 64, 6),
+    ProblemClass.W: (128, 128, 32, 6),
+    ProblemClass.A: (256, 256, 128, 6),
+    ProblemClass.B: (512, 256, 256, 20),
+    ProblemClass.C: (512, 512, 512, 20),
+}
+
+#: Hot code of one whole time step (cfftz + evolve + transpose), uops.
+_CODE_UOPS = 8200.0
+
+
+def dims(problem_class: ProblemClass) -> Tuple[int, int, int, int]:
+    """(nx, ny, nz, iterations)."""
+    return check_class(problem_class, _DIMS)
+
+
+def total_flops(problem_class: ProblemClass) -> float:
+    """~5 N log2 N per 3-D FFT plus the evolve multiply, per iteration."""
+    nx, ny, nz, niter = dims(problem_class)
+    n = float(nx) * ny * nz
+    per_fft = 5.0 * n * math.log2(n)
+    return niter * (per_fft + 4.0 * n) + per_fft
+
+
+def build(problem_class: ProblemClass = ProblemClass.B) -> Workload:
+    """Build the FT workload model (evolve + three FFT passes)."""
+    nx, ny, nz, niter = dims(problem_class)
+    n = float(nx) * ny * nz
+    array_bytes = n * 16.0          # complex128
+    pencil_bytes = float(max(nx, ny, nz)) * 16.0 * 18.0  # blocked pencils
+    instr = total_flops(problem_class) * FLOP_TO_UOPS
+
+    pencil = StreamingPattern(
+        footprint_bytes=pencil_bytes,
+        partitioned=False,
+        shared_fraction=0.0,
+        stride_bytes=16,
+        passes=12.0,
+    )
+    twiddles = RandomPattern(
+        footprint_bytes=16384.0,
+        partitioned=False,
+        shared_fraction=0.6,
+    )
+
+    def array_stream(stride: int) -> StreamingPattern:
+        return StreamingPattern(
+            footprint_bytes=2.0 * array_bytes,
+            partitioned=True,
+            shared_fraction=0.05,
+            stride_bytes=stride,
+            passes=float(3 * max(niter, 1)),
+        )
+
+    def phase(name, share, mem, ilp, mix, prefetch, barriers):
+        return Phase(
+            name=name,
+            instructions=instr * share,
+            mem_ops_per_instr=mem,
+            load_fraction=0.62,
+            access_mix=mix,
+            code_footprint_uops=_CODE_UOPS,
+            code_footprint_bytes=_CODE_UOPS * BYTES_PER_UOP,
+            branches_per_instr=0.045,
+            branch_misp_intrinsic=0.003,
+            branch_sites=400,
+            ilp=ilp,
+            parallel=True,
+            imbalance=0.02,
+            prefetchability=prefetch,
+            barriers=barriers,
+            iterations=niter,
+            inner_trip_count=float(max(nx, ny, nz)),
+            trip_divides=False,
+            branch_history_sensitivity=0.10,
+            smt_capacity=1.45,
+            mlp=4.0,
+        )
+
+    # evolve: one streaming multiply over the spectral array.
+    evolve_mix = AccessMix.of(
+        (0.62, array_stream(6)),
+        (0.38, twiddles),
+    )
+    # x/y passes: butterflies on cache-resident pencils.
+    blocked_mix = AccessMix.of(
+        (0.74, pencil),
+        (0.10, array_stream(6)),
+        (0.16, twiddles),
+    )
+    # z pass: butterflies + the transpose that streams both arrays.
+    transpose_mix = AccessMix.of(
+        (0.50, pencil),
+        (0.34, array_stream(6)),
+        (0.16, twiddles),
+    )
+
+    phases = (
+        phase("evolve", 0.10, 0.46, 1.40, evolve_mix, 0.85, 1),
+        phase("fft_x", 0.30, 0.36, 1.52, blocked_mix, 0.55, 2),
+        phase("fft_y", 0.30, 0.36, 1.52, blocked_mix, 0.55, 2),
+        phase("fft_z", 0.30, 0.40, 1.40, transpose_mix, 0.50, 2),
+    )
+    return Workload(
+        name="FT", problem_class=problem_class.value, phases=phases,
+    )

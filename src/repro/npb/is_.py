@@ -1,0 +1,107 @@
+"""IS — integer bucket sort.
+
+NPB-IS ranks integer keys with a counting/bucket sort: histogram
+construction scatters increments across a large count array and the key
+arrays stream.  The scatter is data-random (poor locality and poor
+prefetchability) and the benchmark is short and integer-only.  Included
+for suite completeness; the paper's class-B study excludes it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.npb.common import (
+    BYTES_PER_UOP,
+    FLOP_TO_UOPS,
+    BenchmarkInfo,
+    ProblemClass,
+    check_class,
+)
+from repro.trace.patterns import AccessMix, RandomPattern, StreamingPattern
+from repro.trace.phase import Phase, Workload
+
+INFO = BenchmarkInfo(
+    name="IS",
+    kind="kernel",
+    description="Integer bucket sort, random scatter",
+    memory_bound_score=0.90,
+)
+
+#: (log2 keys, log2 max key, iterations)
+_DIMS: Dict[ProblemClass, Tuple[int, int, int]] = {
+    ProblemClass.S: (16, 11, 10),
+    ProblemClass.W: (20, 16, 10),
+    ProblemClass.A: (23, 19, 10),
+    ProblemClass.B: (25, 21, 10),
+    ProblemClass.C: (27, 23, 10),
+}
+
+#: Integer ops per key per ranking iteration.
+_OPS_PER_KEY = 28.0
+
+
+def dims(problem_class: ProblemClass) -> Tuple[int, int, int]:
+    """(log2 keys, log2 max key, iterations)."""
+    return check_class(problem_class, _DIMS)
+
+
+def total_flops(problem_class: ProblemClass) -> float:
+    log2_keys, _, niter = dims(problem_class)
+    return float(1 << log2_keys) * niter * _OPS_PER_KEY
+
+
+def build(problem_class: ProblemClass = ProblemClass.B) -> Workload:
+    """Build the IS workload model."""
+    log2_keys, log2_max, niter = dims(problem_class)
+    keys_bytes = float(1 << log2_keys) * 4.0
+    hist_bytes = float(1 << log2_max) * 4.0
+    instr = total_flops(problem_class) * FLOP_TO_UOPS
+
+    mix = AccessMix.of(
+        (0.55, StreamingPattern(
+            footprint_bytes=2.0 * keys_bytes,
+            partitioned=True,
+            shared_fraction=0.0,
+            stride_bytes=4,
+            passes=float(niter),
+        )),
+        (0.10, RandomPattern(
+            footprint_bytes=hist_bytes,
+            partitioned=False,       # every thread scatters into the
+            shared_fraction=0.55,    # shared histogram (then merges)
+        )),
+        (0.35, RandomPattern(
+            footprint_bytes=4096.0,
+            partitioned=False,
+            shared_fraction=0.0,
+        )),
+    )
+
+    code_uops = 1900.0
+    rank = Phase(
+        name="rank",
+        instructions=instr,
+        mem_ops_per_instr=0.55,
+        load_fraction=0.60,
+        access_mix=mix,
+        code_footprint_uops=code_uops,
+        code_footprint_bytes=code_uops * BYTES_PER_UOP,
+        branches_per_instr=0.13,
+        branch_misp_intrinsic=0.030,   # data-dependent bucket compares
+        branch_sites=250,
+        ilp=1.10,
+        parallel=True,
+        imbalance=0.06,
+        prefetchability=0.30,
+        barriers=4,
+        iterations=niter,
+        moclears_per_kinstr=0.4,       # scatter conflicts replay
+        inner_trip_count=512.0,
+        trip_divides=False,
+        branch_history_sensitivity=0.80,
+        halo_bytes_per_iteration=hist_bytes,  # histogram merge
+    )
+    return Workload(
+        name="IS", problem_class=problem_class.value, phases=(rank,),
+    )

@@ -1,0 +1,141 @@
+"""LU — SSOR solver with wavefront (pipelined) parallelism.
+
+NPB-LU applies symmetric successive over-relaxation to a 7-point
+operator: the lower/upper triangular sweeps carry wavefront dependencies
+that the OpenMP version pipelines with point-to-point flag
+synchronization.  The pipeline fill/drain and per-plane flag waits make
+LU the highest-synchronization, highest-imbalance member of the paper's
+set, with moderate, moderately prefetchable memory traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.npb.common import (
+    BYTES_PER_UOP,
+    FLOP_TO_UOPS,
+    BenchmarkInfo,
+    ProblemClass,
+    check_class,
+)
+from repro.trace.patterns import AccessMix, RandomPattern, StencilPattern
+from repro.trace.phase import Phase, Workload
+
+INFO = BenchmarkInfo(
+    name="LU",
+    kind="application",
+    description="SSOR with pipelined wavefronts, sync heavy",
+    memory_bound_score=0.55,
+)
+
+#: (grid edge, iterations)
+_DIMS: Dict[ProblemClass, Tuple[int, int]] = {
+    ProblemClass.S: (12, 50),
+    ProblemClass.W: (33, 300),
+    ProblemClass.A: (64, 250),
+    ProblemClass.B: (102, 250),
+    ProblemClass.C: (162, 250),
+}
+
+_FLOPS_PER_POINT = 1200.0
+_BYTES_PER_POINT = 160.0
+
+
+def dims(problem_class: ProblemClass) -> Tuple[int, int]:
+    """(grid edge, iterations)."""
+    return check_class(problem_class, _DIMS)
+
+
+def total_flops(problem_class: ProblemClass) -> float:
+    n, niter = dims(problem_class)
+    return float(n) ** 3 * niter * _FLOPS_PER_POINT
+
+
+def build(problem_class: ProblemClass = ProblemClass.B) -> Workload:
+    """Build the LU workload model."""
+    n, niter = dims(problem_class)
+    points = float(n) ** 3
+    grid_bytes = points * _BYTES_PER_POINT
+    plane_bytes = float(n) * float(n) * _BYTES_PER_POINT
+    instr = total_flops(problem_class) * FLOP_TO_UOPS
+    code_uops = 11500.0  # whole SSOR iteration (rhs + both sweeps)
+
+    scratch = RandomPattern(
+        footprint_bytes=10240.0,  # 5x5 block factors per point, scalars
+        partitioned=False,
+        shared_fraction=0.0,
+    )
+
+    def stencil(whf):
+        return StencilPattern(
+            footprint_bytes=grid_bytes,
+            partitioned=True,
+            shared_fraction=0.20,
+            reuse_window_bytes=2.0 * plane_bytes,
+            stride_bytes=4,
+            window_hit_fraction=whf,
+            window_scales=False,
+        )
+
+    # One SSOR iteration: the rhs evaluation followed by the lower and
+    # upper triangular wavefront sweeps.  The sweeps carry the pipelined
+    # point-to-point synchronization (one flag wait per plane) and the
+    # fill/drain imbalance; rhs is an ordinary balanced stencil pass.
+    # Every phase carries the full per-iteration code footprint.
+    common = dict(
+        load_fraction=0.72,
+        code_footprint_uops=code_uops,
+        code_footprint_bytes=code_uops * BYTES_PER_UOP,
+        branch_misp_intrinsic=0.006,
+        branch_sites=800,
+        parallel=True,
+        iterations=niter,
+        inner_trip_count=float(n),
+        trip_divides=False,
+        branch_history_sensitivity=0.25,
+        mlp=3.0,
+    )
+    rhs = Phase(
+        name="rhs",
+        instructions=instr * 0.30,
+        mem_ops_per_instr=0.50,
+        access_mix=AccessMix.of((0.72, stencil(0.66)), (0.28, scratch)),
+        branches_per_instr=0.055,
+        ilp=1.45,
+        imbalance=0.04,
+        prefetchability=0.80,
+        barriers=2,
+        halo_bytes_per_iteration=1.0 * plane_bytes,
+        **common,
+    )
+    lower = Phase(
+        name="blts_lower",
+        instructions=instr * 0.35,
+        mem_ops_per_instr=0.47,
+        access_mix=AccessMix.of((0.72, stencil(0.63)), (0.28, scratch)),
+        branches_per_instr=0.065,
+        ilp=1.30,
+        imbalance=0.18,          # wavefront pipeline fill/drain
+        prefetchability=0.62,
+        barriers=int(n),         # per-plane flag waits
+        halo_bytes_per_iteration=1.5 * plane_bytes,
+        **common,
+    )
+    upper = Phase(
+        name="buts_upper",
+        instructions=instr * 0.35,
+        mem_ops_per_instr=0.47,
+        access_mix=AccessMix.of((0.72, stencil(0.63)), (0.28, scratch)),
+        branches_per_instr=0.065,
+        ilp=1.30,
+        imbalance=0.18,
+        prefetchability=0.62,
+        barriers=int(n),
+        halo_bytes_per_iteration=1.5 * plane_bytes,
+        **common,
+    )
+    return Workload(
+        name="LU", problem_class=problem_class.value,
+        phases=(rhs, lower, upper),
+    )

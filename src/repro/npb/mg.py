@@ -1,0 +1,138 @@
+"""MG — multigrid V-cycles on a 3-D grid.
+
+NPB-MG applies V-cycles of a 27-point multigrid solver to a 3-D Poisson
+problem.  The smoother/residual/restrict/prolongate routines are large,
+heavily unrolled stencil loops whose combined code footprint overflows
+the 12 K-uop trace cache — MG is the paper's trace-cache outlier
+(87.3 % miss rate at HT off 2-4-2 dropping to 35.6 % at HT on 2-8-2,
+because HT siblings running the same loops share fills).
+
+Memory behaviour: regular plane-sweeping stencils over a grid much
+larger than L2 — streaming with plane-level reuse, highly prefetchable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.npb.common import (
+    BYTES_PER_UOP,
+    FLOP_TO_UOPS,
+    BenchmarkInfo,
+    ProblemClass,
+    check_class,
+)
+from repro.trace.patterns import AccessMix, RandomPattern, StencilPattern
+from repro.trace.phase import Phase, Workload
+
+INFO = BenchmarkInfo(
+    name="MG",
+    kind="kernel",
+    description="Multigrid V-cycles, long-stride structured grid",
+    memory_bound_score=0.75,
+)
+
+#: (grid edge n, iterations)
+_DIMS: Dict[ProblemClass, Tuple[int, int]] = {
+    ProblemClass.S: (32, 4),
+    ProblemClass.W: (128, 4),
+    ProblemClass.A: (256, 4),
+    ProblemClass.B: (256, 20),
+    ProblemClass.C: (512, 20),
+}
+
+#: Flops per fine-grid point per V-cycle (27-point smoother + residual +
+#: transfer operators over all levels, geometric-series overhead ~ 8/7).
+_FLOPS_PER_POINT = 55.0
+#: Hot code of one whole V-cycle (all unrolled 27-point routines), uops
+#: — ~2.2x the 12 K-uop trace cache.
+_CODE_UOPS = 27000.0
+
+
+def dims(problem_class: ProblemClass) -> Tuple[int, int]:
+    """(grid edge, V-cycle iterations)."""
+    return check_class(problem_class, _DIMS)
+
+
+def total_flops(problem_class: ProblemClass) -> float:
+    n, niter = dims(problem_class)
+    return float(n) ** 3 * niter * _FLOPS_PER_POINT
+
+
+def build(problem_class: ProblemClass = ProblemClass.B) -> Workload:
+    """Build the MG workload model (resid/psinv/transfer phases).
+
+    One V-cycle alternates residual evaluation and smoothing on the fine
+    levels with the grid-transfer operators on the coarse hierarchy; the
+    transfer phase touches the coarse grids (1/7 of the points) with
+    shorter loops.  Every phase carries the full V-cycle code footprint:
+    the routines alternate within milliseconds, so the 12 K-uop trace
+    cache never retains one (MG is the paper's trace-cache outlier).
+    """
+    n, niter = dims(problem_class)
+    points = float(n) ** 3
+    # u and r exist on every level (sum 8/7), v on the fine level only.
+    grid_bytes = points * 8.0 * (2.0 * 8.0 / 7.0 + 1.0)
+    plane_bytes = float(n) * float(n) * 8.0
+    instr = total_flops(problem_class) * FLOP_TO_UOPS
+
+    scalars = RandomPattern(
+        footprint_bytes=6144.0,    # loop scalars and coefficients
+        partitioned=False,
+        shared_fraction=0.0,
+    )
+
+    def stencil(footprint, window_planes, stride):
+        return StencilPattern(
+            footprint_bytes=footprint,
+            partitioned=True,
+            shared_fraction=0.15,      # halo planes between slabs
+            reuse_window_bytes=window_planes * plane_bytes,
+            stride_bytes=stride,
+            window_hit_fraction=0.65,
+            window_scales=False,
+        )
+
+    def phase(name, share, mem, ilp, footprint, stride, prefetch,
+              barriers, trips, halo_planes):
+        return Phase(
+            name=name,
+            instructions=instr * share,
+            mem_ops_per_instr=mem,
+            load_fraction=0.72,
+            access_mix=AccessMix.of(
+                (0.78, stencil(footprint, 3.0, stride)),
+                (0.22, scalars),
+            ),
+            code_footprint_uops=_CODE_UOPS,
+            code_footprint_bytes=_CODE_UOPS * BYTES_PER_UOP,
+            branches_per_instr=0.06,
+            branch_misp_intrinsic=0.004,
+            branch_sites=700,
+            ilp=ilp,
+            parallel=True,
+            imbalance=0.05,
+            prefetchability=prefetch,
+            barriers=barriers,
+            iterations=niter,
+            inner_trip_count=trips,
+            trip_divides=False,
+            branch_history_sensitivity=0.15,
+            mlp=4.0,
+            halo_bytes_per_iteration=halo_planes * plane_bytes,
+        )
+
+    phases = (
+        # resid: 27-point residual on the fine grid, the traffic hog.
+        phase("resid", 0.42, 0.52, 1.45, grid_bytes, 3, 0.82, 4,
+              float(n), 1.0),
+        # psinv: the smoother, same shape, slightly more arithmetic.
+        phase("psinv", 0.38, 0.48, 1.50, grid_bytes, 3, 0.80, 4,
+              float(n), 1.0),
+        # rprj3/interp: the coarse hierarchy (1/7 the points, short loops).
+        phase("transfer", 0.20, 0.50, 1.35, grid_bytes / 7.0, 3, 0.72, 4,
+              float(n) / 2.0, 0.5),
+    )
+    return Workload(
+        name="MG", problem_class=problem_class.value, phases=phases,
+    )

@@ -1,0 +1,138 @@
+"""SP — scalar pentadiagonal ADI solver (simulated CFD application).
+
+NPB-SP alternates direction-implicit sweeps (x/y/z line solves) over a
+5-variable structured grid.  Access is extremely regular — long
+unit-stride sweeps with line-solve recurrences — giving SP the most
+prefetchable miss stream of the suite.  Work-sharing splits the grid
+along an outer dimension, so the line-solve inner loops shorten with
+the team size: at 8 threads the loop-exit mispredict term grows, which
+is the paper's Figure 2 SP branch-prediction outlier, while the
+L2 window fit keeps SP the one application *faster* at HT on 2-8-2.
+
+The workload models one ADI time step as its real five-stage pipeline:
+``compute_rhs`` then the three line sweeps then the solution update.
+Phase-weighted averages match the whole-application characteristics
+while each stage keeps its own flavour (rhs is more compute-rich, the
+z sweep walks the worst stride, ``add`` is one pure streaming pass).
+Every phase carries the *full per-iteration* hot-code footprint: the
+stages alternate every few milliseconds, so the trace cache never
+retains a single routine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.npb.common import (
+    BYTES_PER_UOP,
+    FLOP_TO_UOPS,
+    BenchmarkInfo,
+    ProblemClass,
+    check_class,
+)
+from repro.trace.patterns import AccessMix, RandomPattern, StencilPattern
+from repro.trace.phase import Phase, Workload
+
+INFO = BenchmarkInfo(
+    name="SP",
+    kind="application",
+    description="Scalar pentadiagonal ADI solver, regular streaming",
+    memory_bound_score=0.80,
+)
+
+#: (grid edge, iterations)
+_DIMS: Dict[ProblemClass, Tuple[int, int]] = {
+    ProblemClass.S: (12, 100),
+    ProblemClass.W: (36, 400),
+    ProblemClass.A: (64, 400),
+    ProblemClass.B: (102, 400),
+    ProblemClass.C: (162, 400),
+}
+
+#: Flops per grid point per iteration (rhs + 3 sweeps + add).
+_FLOPS_PER_POINT = 1055.0
+#: Bytes per grid point: 5 solution vars + rhs + forcing + lhs work
+#: arrays (~35 doubles).
+_BYTES_PER_POINT = 280.0
+#: Hot code of one whole ADI iteration (all stages), in uops.
+_CODE_UOPS = 9500.0
+
+
+def dims(problem_class: ProblemClass) -> Tuple[int, int]:
+    """(grid edge, iterations)."""
+    return check_class(problem_class, _DIMS)
+
+
+def total_flops(problem_class: ProblemClass) -> float:
+    n, niter = dims(problem_class)
+    return float(n) ** 3 * niter * _FLOPS_PER_POINT
+
+
+def build(problem_class: ProblemClass = ProblemClass.B) -> Workload:
+    """Build the SP workload model (five phases per ADI step)."""
+    n, niter = dims(problem_class)
+    points = float(n) ** 3
+    grid_bytes = points * _BYTES_PER_POINT
+    plane_bytes = float(n) * float(n) * _BYTES_PER_POINT
+    instr = total_flops(problem_class) * FLOP_TO_UOPS
+
+    scratch = RandomPattern(
+        footprint_bytes=8192.0,  # per-line lhs scratch, scalars
+        partitioned=False,
+        shared_fraction=0.0,
+    )
+
+    def stencil(stride: int, whf: float) -> StencilPattern:
+        return StencilPattern(
+            footprint_bytes=grid_bytes,
+            partitioned=True,
+            shared_fraction=0.30,   # halo planes + shared rhs reuse
+            reuse_window_bytes=1.5 * plane_bytes,
+            stride_bytes=stride,
+            window_hit_fraction=whf,
+            window_scales=True,
+            thrash_width=0.45,
+        )
+
+    def phase(name, share, mem, ilp, stride, whf, prefetch, barriers,
+              halo_planes):
+        return Phase(
+            name=name,
+            instructions=instr * share,
+            mem_ops_per_instr=mem,
+            load_fraction=0.70,
+            access_mix=AccessMix.of(
+                (0.80, stencil(stride, whf)),
+                (0.20, scratch),
+            ),
+            code_footprint_uops=_CODE_UOPS,
+            code_footprint_bytes=_CODE_UOPS * BYTES_PER_UOP,
+            branches_per_instr=0.05,
+            branch_misp_intrinsic=0.004,
+            branch_sites=900,
+            ilp=ilp,
+            parallel=True,
+            imbalance=0.03,
+            prefetchability=prefetch,
+            barriers=barriers,
+            iterations=niter,
+            inner_trip_count=float(n),
+            trip_divides=True,  # pencils split along the sweep dimension
+            branch_history_sensitivity=0.18,
+            mlp=4.0,
+            halo_bytes_per_iteration=halo_planes * plane_bytes,
+        )
+
+    phases = (
+        # rhs: stencil reads of all five fields, flux arithmetic.
+        phase("compute_rhs", 0.25, 0.50, 1.62, 4, 0.76, 0.90, 2, 2.0),
+        # The three line sweeps; z walks the longest stride.
+        phase("x_solve", 0.22, 0.53, 1.45, 4, 0.73, 0.94, 2, 1.0),
+        phase("y_solve", 0.22, 0.53, 1.45, 4, 0.73, 0.93, 2, 1.0),
+        phase("z_solve", 0.22, 0.53, 1.45, 5, 0.69, 0.90, 2, 1.5),
+        # add: u += rhs, one pure streaming pass.
+        phase("add", 0.09, 0.55, 1.58, 4, 0.73, 0.95, 1, 0.5),
+    )
+    return Workload(
+        name="SP", problem_class=problem_class.value, phases=phases,
+    )

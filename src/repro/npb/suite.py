@@ -1,0 +1,60 @@
+"""Suite registry: build any NAS workload model by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.npb import bt, cg, ep, ft, is_, lu, mg, sp
+from repro.npb.common import BenchmarkInfo, ProblemClass
+from repro.trace.phase import Workload
+
+_MODULES = {
+    "CG": cg,
+    "MG": mg,
+    "FT": ft,
+    "EP": ep,
+    "IS": is_,
+    "SP": sp,
+    "LU": lu,
+    "BT": bt,
+}
+
+#: Every benchmark of the NAS OpenMP suite we model.
+ALL_BENCHMARKS: List[str] = sorted(_MODULES)
+
+#: The six class-B benchmarks the paper studies (Section 3.2; names
+#: reconstructed from the garbled OCR, see EXPERIMENTS.md §reconstruction).
+PAPER_BENCHMARKS: List[str] = ["CG", "MG", "SP", "FT", "LU", "EP"]
+
+
+def _resolve_class(
+    problem_class: Union[ProblemClass, str]
+) -> ProblemClass:
+    if isinstance(problem_class, ProblemClass):
+        return problem_class
+    return ProblemClass.from_str(problem_class)
+
+
+def build_workload(
+    name: str, problem_class: Union[ProblemClass, str] = ProblemClass.B
+) -> Workload:
+    """Build a benchmark workload model by name (case-insensitive)."""
+    key = name.upper()
+    try:
+        module = _MODULES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {ALL_BENCHMARKS}"
+        ) from None
+    return module.build(_resolve_class(problem_class))
+
+
+def benchmark_info(name: str) -> BenchmarkInfo:
+    """Static description of a benchmark."""
+    key = name.upper()
+    try:
+        return _MODULES[key].INFO
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {ALL_BENCHMARKS}"
+        ) from None

@@ -1,0 +1,183 @@
+"""NPB-style verification: run every mini-kernel and check its result.
+
+The NAS benchmarks end with a VERIFICATION SUCCESSFUL/UNSUCCESSFUL
+stamp comparing computed values against references.  This module does
+the same for the NumPy mini-kernels that ground the workload models:
+each check exercises the *algorithmic* property the full benchmark
+verifies (CG's eigenvalue convergence, MG's residual reduction, FT's
+spectral identity, EP's acceptance statistics, IS's sortedness, SP's
+diffusion contraction, LU's SSOR convergence).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.npb import kernels
+
+
+@dataclass(frozen=True)
+class VerificationCheck:
+    """Outcome of one benchmark's verification."""
+
+    benchmark: str
+    quantity: str
+    value: float
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class VerificationReport:
+    checks: List[VerificationCheck] = field(default_factory=list)
+
+    @property
+    def successful(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def for_benchmark(self, name: str) -> List[VerificationCheck]:
+        return [c for c in self.checks if c.benchmark == name]
+
+
+def _verify_cg() -> List[VerificationCheck]:
+    zeta, rnorm = kernels.cg_solve(n=256, nonzer=5, niter=8)
+    return [
+        VerificationCheck(
+            "CG", "residual_norm", rnorm, rnorm < 1e-8,
+            "25 CG steps must converge on the SPD system",
+        ),
+        VerificationCheck(
+            "CG", "zeta", zeta, math.isfinite(zeta) and zeta > 0,
+            "shifted eigenvalue estimate is positive and finite",
+        ),
+    ]
+
+
+def _verify_mg() -> List[VerificationCheck]:
+    r1 = kernels.mg_vcycle(n=16, cycles=1)
+    r4 = kernels.mg_vcycle(n=16, cycles=4)
+    ratio = r4 / r1 if r1 else float("inf")
+    return [
+        VerificationCheck(
+            "MG", "residual_ratio", ratio, ratio < 0.35,
+            "four V-cycles reduce the residual by ~3x+ vs one",
+        ),
+    ]
+
+
+def _verify_ft() -> List[VerificationCheck]:
+    sums = kernels.ft_evolve(shape=(16, 16, 16), niter=4, alpha=1e-3)
+    finite = bool(np.all(np.isfinite(np.abs(sums))))
+    frozen = kernels.ft_evolve(shape=(16, 16, 16), niter=3, alpha=0.0)
+    identity = bool(np.allclose(frozen, frozen[0]))
+    return [
+        VerificationCheck(
+            "FT", "checksums_finite", float(finite), finite,
+            "evolution checksums stay finite",
+        ),
+        VerificationCheck(
+            "FT", "identity_at_zero_diffusion", float(identity), identity,
+            "alpha=0 evolution reproduces the initial field",
+        ),
+    ]
+
+
+def _verify_ep() -> List[VerificationCheck]:
+    counts, accepted = kernels.ep_pairs(log2_pairs=17)
+    rate = accepted / float(1 << 17)
+    ok_rate = abs(rate - math.pi / 4.0) < 0.01
+    ok_counts = int(counts.sum()) == int(accepted)
+    return [
+        VerificationCheck(
+            "EP", "acceptance_rate", rate, ok_rate,
+            "unit-disc acceptance approximates pi/4",
+        ),
+        VerificationCheck(
+            "EP", "annulus_total", float(counts.sum()), ok_counts,
+            "annulus tallies account for every accepted pair",
+        ),
+    ]
+
+
+def _verify_is() -> List[VerificationCheck]:
+    ranks, sorted_ok = kernels.is_sort(n_keys=8192, max_key=1024)
+    monotone = bool(np.all(np.diff(ranks) >= 0))
+    return [
+        VerificationCheck(
+            "IS", "sorted", float(sorted_ok), sorted_ok,
+            "bucket sort yields a nondecreasing key sequence",
+        ),
+        VerificationCheck(
+            "IS", "ranks_monotone", float(monotone), monotone,
+            "key ranks are prefix sums of the histogram",
+        ),
+    ]
+
+
+def _verify_sp() -> List[VerificationCheck]:
+    n0 = kernels.sp_line_solve(n=16, iters=0)
+    n3 = kernels.sp_line_solve(n=16, iters=3)
+    return [
+        VerificationCheck(
+            "SP", "diffusion_contraction", n3 / n0, n3 < n0,
+            "implicit ADI sweeps contract the field norm",
+        ),
+    ]
+
+
+def _verify_lu() -> List[VerificationCheck]:
+    r1 = kernels.lu_ssor_sweep(n=10, iters=1)
+    r6 = kernels.lu_ssor_sweep(n=10, iters=6)
+    return [
+        VerificationCheck(
+            "LU", "ssor_convergence", r6 / r1, r6 < r1,
+            "SSOR sweeps reduce the residual",
+        ),
+    ]
+
+
+_VERIFIERS: Dict[str, Callable[[], List[VerificationCheck]]] = {
+    "CG": _verify_cg,
+    "MG": _verify_mg,
+    "FT": _verify_ft,
+    "EP": _verify_ep,
+    "IS": _verify_is,
+    "SP": _verify_sp,
+    "LU": _verify_lu,
+}
+
+
+def verify_all() -> VerificationReport:
+    """Run every kernel verification (NPB's 'VERIFICATION' stage)."""
+    report = VerificationReport()
+    for name in sorted(_VERIFIERS):
+        report.checks.extend(_VERIFIERS[name]())
+    return report
+
+
+def format_report(report: VerificationReport) -> str:
+    lines = ["NPB mini-kernel verification"]
+    for c in report.checks:
+        stamp = "OK " if c.passed else "FAIL"
+        lines.append(
+            f"  [{stamp}] {c.benchmark:3s} {c.quantity:28s} "
+            f"{c.value:12.6g}  {c.detail}"
+        )
+    lines.append(
+        "VERIFICATION SUCCESSFUL"
+        if report.successful
+        else "VERIFICATION UNSUCCESSFUL"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_report(verify_all()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,33 @@
+"""OpenMP runtime model: teams, work-sharing, synchronization.
+
+Models the runtime mechanics that shape wall-clock time under different
+thread counts: loop iteration partitioning (static/dynamic/guided),
+fork/join and barrier latency (which grow with team size), and reduction
+trees.  The concrete partitioners are real implementations — they produce
+exact iteration ranges and are property-tested — and the cost models feed
+the phase engine.
+"""
+
+from repro.openmp.env import OMPEnvironment, ScheduleKind
+from repro.openmp.loops import (
+    Chunk,
+    static_chunks,
+    dynamic_chunks,
+    guided_chunks,
+    partition_imbalance,
+)
+from repro.openmp.sync import SyncCosts, barrier_cycles, fork_join_cycles, reduction_cycles
+
+__all__ = [
+    "OMPEnvironment",
+    "ScheduleKind",
+    "Chunk",
+    "static_chunks",
+    "dynamic_chunks",
+    "guided_chunks",
+    "partition_imbalance",
+    "SyncCosts",
+    "barrier_cycles",
+    "fork_join_cycles",
+    "reduction_cycles",
+]

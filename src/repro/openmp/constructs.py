@@ -1,0 +1,112 @@
+"""EPCC-style OpenMP construct overhead microbenchmarks.
+
+Measures the per-construct overheads (PARALLEL, FOR, BARRIER,
+REDUCTION, plus contended CRITICAL sections) on the simulated machine's
+team shapes — the methodology of Zhu et al. (IWOMP'06), which the paper
+cites for construct-level characterization of many-context chips.
+
+Overheads are reported in microseconds, the unit EPCC uses, for each of
+the paper's Table-1 configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.machine.configurations import MachineConfig, get_config
+from repro.machine.params import MachineParams
+from repro.openmp.sync import barrier_cycles, fork_join_cycles, reduction_cycles
+
+#: Cycles to acquire an uncontended lock (cached exchange).
+_LOCK_UNCONTENDED = 120.0
+#: Extra cycles per competing context for a contended lock: the line
+#: bounces between caches (sibling transfers cheap, cross-core/chip
+#: through the bus).
+_LOCK_BOUNCE_SIBLING = 90.0
+_LOCK_BOUNCE_CORE = 400.0
+_LOCK_BOUNCE_CHIP = 800.0
+
+
+@dataclass(frozen=True)
+class ConstructOverheads:
+    """Overheads (in cycles) of the core OpenMP constructs for one team."""
+
+    config: str
+    n_threads: int
+    parallel: float       # fork + join of a region
+    parallel_for: float   # region + static schedule + implicit barrier
+    barrier: float
+    reduction: float
+    critical: float       # per-entry cost under full contention
+
+    def in_microseconds(self, clock_hz: float) -> Dict[str, float]:
+        scale = 1e6 / clock_hz
+        return {
+            "parallel": self.parallel * scale,
+            "parallel_for": self.parallel_for * scale,
+            "barrier": self.barrier * scale,
+            "reduction": self.reduction * scale,
+            "critical": self.critical * scale,
+        }
+
+
+def _team_span(config: MachineConfig) -> Dict[str, int]:
+    topo = config.topology()
+    return {
+        "threads": config.n_threads,
+        "cores": topo.n_cores,
+        "chips": topo.n_chips,
+    }
+
+
+def critical_section_cycles(
+    n_threads: int, n_cores: int, n_chips: int
+) -> float:
+    """Average cycles a thread spends entering a fully contended
+    CRITICAL section (lock-line bouncing between waiters)."""
+    if n_threads <= 1:
+        return _LOCK_UNCONTENDED
+    # Each entry waits on average for half the other contenders, and the
+    # lock line travels the dominant topology distance.
+    waiters = (n_threads - 1) / 2.0
+    if n_chips > 1:
+        bounce = _LOCK_BOUNCE_CHIP
+    elif n_cores > 1:
+        bounce = _LOCK_BOUNCE_CORE
+    else:
+        bounce = _LOCK_BOUNCE_SIBLING
+    return _LOCK_UNCONTENDED + waiters * bounce
+
+
+def measure_construct_overheads(
+    config_name: str,
+    params: Optional[MachineParams] = None,
+) -> ConstructOverheads:
+    """Construct overheads for one machine configuration's full team."""
+    config = get_config(config_name)
+    span = _team_span(config)
+    t, cores, chips = span["threads"], span["cores"], span["chips"]
+    barrier = barrier_cycles(t, cores, chips)
+    fork = fork_join_cycles(t, cores, chips)
+    return ConstructOverheads(
+        config=config_name,
+        n_threads=t,
+        parallel=fork,
+        parallel_for=fork + barrier,
+        barrier=barrier,
+        reduction=reduction_cycles(t, cores, chips) + barrier,
+        critical=critical_section_cycles(t, cores, chips),
+    )
+
+
+def overhead_table(
+    config_names: Optional[Sequence[str]] = None,
+    params: Optional[MachineParams] = None,
+) -> List[ConstructOverheads]:
+    """Overheads for every multithreaded Table-1 configuration."""
+    names = list(config_names or [
+        "ht_on_2_1", "ht_off_2_1", "ht_on_4_1", "ht_off_2_2",
+        "ht_on_4_2", "ht_off_4_2", "ht_on_8_2",
+    ])
+    return [measure_construct_overheads(n, params) for n in names]

@@ -1,0 +1,40 @@
+"""OpenMP environment (the knobs ``OMP_NUM_THREADS``/``OMP_SCHEDULE``)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ScheduleKind(enum.Enum):
+    """Loop schedule kinds of the OpenMP 2.5 specification."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclass(frozen=True)
+class OMPEnvironment:
+    """Runtime configuration for an OpenMP program.
+
+    Attributes:
+        num_threads: team size; None lets the engine use the machine
+            configuration's thread count.
+        schedule: loop schedule kind (NAS-OMP uses static by default).
+        chunk: chunk size for dynamic/guided (0 = runtime default).
+    """
+
+    num_threads: Optional[int] = None
+    schedule: ScheduleKind = ScheduleKind.STATIC
+    chunk: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_threads is not None and self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if self.chunk < 0:
+            raise ValueError("chunk must be non-negative")
+
+    def resolve_threads(self, default: int) -> int:
+        return self.num_threads if self.num_threads is not None else default

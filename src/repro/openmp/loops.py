@@ -1,0 +1,159 @@
+"""Loop work-sharing: exact iteration partitioners and imbalance models.
+
+``static_chunks``/``dynamic_chunks``/``guided_chunks`` implement the
+OpenMP 2.5 schedule semantics precisely (and are property-tested for
+exactness: every iteration assigned once).  ``partition_imbalance``
+converts a schedule choice plus a phase's intrinsic imbalance into the
+slowdown factor the engine applies to the slowest team member.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.openmp.env import ScheduleKind
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous iteration range [start, end) assigned to a thread."""
+
+    thread: int
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+def static_chunks(n_iters: int, n_threads: int, chunk: int = 0) -> List[Chunk]:
+    """OpenMP ``schedule(static[, chunk])`` assignment.
+
+    Without a chunk size, iterations split into at most one contiguous
+    block per thread, remainders spread over the leading threads (the
+    libgomp/Intel convention).  With a chunk size, blocks are dealt
+    round-robin.
+    """
+    _validate(n_iters, n_threads, chunk)
+    out: List[Chunk] = []
+    if n_iters == 0:
+        return out
+    if chunk == 0:
+        base = n_iters // n_threads
+        rem = n_iters % n_threads
+        start = 0
+        for t in range(n_threads):
+            size = base + (1 if t < rem else 0)
+            if size:
+                out.append(Chunk(thread=t, start=start, end=start + size))
+            start += size
+        return out
+    pos = 0
+    t = 0
+    while pos < n_iters:
+        end = min(pos + chunk, n_iters)
+        out.append(Chunk(thread=t % n_threads, start=pos, end=end))
+        pos = end
+        t += 1
+    return out
+
+
+def dynamic_chunks(
+    n_iters: int,
+    n_threads: int,
+    chunk: int = 1,
+    costs: Sequence[float] = (),
+) -> List[Chunk]:
+    """OpenMP ``schedule(dynamic[, chunk])`` under a greedy-worker model.
+
+    Threads grab the next chunk when they finish their current one; with
+    uniform iteration costs this reduces to round-robin, with per-chunk
+    ``costs`` supplied it simulates self-scheduling (used by the
+    self-tuning scheduler extension tests).
+    """
+    if chunk <= 0:
+        chunk = 1
+    _validate(n_iters, n_threads, chunk)
+    out: List[Chunk] = []
+    if n_iters == 0:
+        return out
+    # Work queue of chunks in order.
+    bounds = [(s, min(s + chunk, n_iters)) for s in range(0, n_iters, chunk)]
+    finish = [0.0] * n_threads
+    for i, (s, e) in enumerate(bounds):
+        t = min(range(n_threads), key=lambda k: (finish[k], k))
+        cost = costs[i] if i < len(costs) else float(e - s)
+        finish[t] += cost
+        out.append(Chunk(thread=t, start=s, end=e))
+    return out
+
+
+def guided_chunks(n_iters: int, n_threads: int, chunk: int = 1) -> List[Chunk]:
+    """OpenMP ``schedule(guided[, chunk])``: exponentially shrinking
+    chunks, each ~remaining/n_threads, floored at ``chunk``."""
+    if chunk <= 0:
+        chunk = 1
+    _validate(n_iters, n_threads, chunk)
+    out: List[Chunk] = []
+    pos = 0
+    t = 0
+    while pos < n_iters:
+        remaining = n_iters - pos
+        size = max(math.ceil(remaining / n_threads), chunk)
+        size = min(size, remaining)
+        out.append(Chunk(thread=t % n_threads, start=pos, end=pos + size))
+        pos += size
+        t += 1
+    return out
+
+
+def chunks_per_thread(chunks: Sequence[Chunk], n_threads: int) -> List[int]:
+    """Iteration totals per thread for any chunk assignment."""
+    totals = [0] * n_threads
+    for c in chunks:
+        totals[c.thread] += c.size
+    return totals
+
+
+#: Per-chunk dispatch overhead (cycles) for self-scheduled loops.
+DYNAMIC_DISPATCH_CYCLES = 120.0
+
+
+def partition_imbalance(
+    schedule: ScheduleKind,
+    intrinsic_imbalance: float,
+    n_threads: int,
+) -> float:
+    """Slowdown of the slowest thread relative to the team mean.
+
+    Args:
+        schedule: loop schedule kind.
+        intrinsic_imbalance: the phase's imbalance under static
+            scheduling at large team sizes (0 = perfectly regular).
+        n_threads: team size.
+
+    Returns:
+        Fractional excess time of the slowest thread (>= 0).  Static
+        scheduling exposes the intrinsic imbalance, growing with team
+        size; dynamic/guided redistribute it down to a residual.
+    """
+    if n_threads <= 1:
+        return 0.0
+    exposure = intrinsic_imbalance * (1.0 - 1.0 / n_threads)
+    if schedule is ScheduleKind.STATIC:
+        return exposure
+    if schedule is ScheduleKind.GUIDED:
+        return exposure * 0.35
+    return exposure * 0.2
+
+
+def _validate(n_iters: int, n_threads: int, chunk: int) -> None:
+    if n_iters < 0:
+        raise ValueError("n_iters must be non-negative")
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    if chunk < 0:
+        raise ValueError("chunk must be non-negative")

@@ -1,0 +1,80 @@
+"""Synchronization cost models: barriers, fork/join, reductions.
+
+Costs are in cycles and grow with team size and with the distance between
+team members (threads on different chips synchronize through the bus; HT
+siblings through the shared L1).  Constants follow EPCC-style
+microbenchmark magnitudes for the era's Intel OpenMP runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Cycles for a same-core (HT sibling) synchronization hop.
+_HOP_SIBLING = 80.0
+#: Cycles for a same-chip cross-core hop (through the FSB snoop).
+_HOP_CORE = 350.0
+#: Cycles for a cross-chip hop.
+_HOP_CHIP = 700.0
+#: Fixed cost of entering/leaving a parallel region per member.
+_FORK_BASE = 900.0
+#: Per-element cost of a reduction combine.
+_REDUCE_COMBINE = 60.0
+
+
+@dataclass(frozen=True)
+class SyncCosts:
+    """Resolved synchronization costs for one team shape."""
+
+    barrier: float
+    fork_join: float
+    reduction: float
+
+
+def _span_hop_cycles(n_threads: int, n_cores: int, n_chips: int) -> float:
+    """Dominant communication hop for a team spanning the given span."""
+    if n_chips > 1:
+        return _HOP_CHIP
+    if n_cores > 1:
+        return _HOP_CORE
+    if n_threads > 1:
+        return _HOP_SIBLING
+    return 0.0
+
+
+def barrier_cycles(n_threads: int, n_cores: int = 1, n_chips: int = 1) -> float:
+    """Cycles for one barrier across the team (tree barrier).
+
+    ``n_cores``/``n_chips`` describe the physical span of the team, which
+    sets the cost of each combining hop.
+    """
+    if n_threads <= 1:
+        return 0.0
+    hop = _span_hop_cycles(n_threads, n_cores, n_chips)
+    return hop * math.ceil(math.log2(n_threads)) + _HOP_SIBLING
+
+
+def fork_join_cycles(n_threads: int, n_cores: int = 1, n_chips: int = 1) -> float:
+    """Cycles to fork a team and join it back (per parallel region)."""
+    if n_threads <= 1:
+        return 0.0
+    return _FORK_BASE + barrier_cycles(n_threads, n_cores, n_chips) * 2.0
+
+
+def reduction_cycles(n_threads: int, n_cores: int = 1, n_chips: int = 1) -> float:
+    """Cycles for a scalar reduction at region end (tree combine)."""
+    if n_threads <= 1:
+        return 0.0
+    hop = _span_hop_cycles(n_threads, n_cores, n_chips)
+    levels = math.ceil(math.log2(n_threads))
+    return (hop + _REDUCE_COMBINE) * levels
+
+
+def sync_costs(n_threads: int, n_cores: int, n_chips: int) -> SyncCosts:
+    """Bundle all three costs for a team shape."""
+    return SyncCosts(
+        barrier=barrier_cycles(n_threads, n_cores, n_chips),
+        fork_join=fork_join_cycles(n_threads, n_cores, n_chips),
+        reduction=reduction_cycles(n_threads, n_cores, n_chips),
+    )

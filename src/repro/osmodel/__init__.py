@@ -1,0 +1,30 @@
+"""Operating-system model: logical CPUs, thread placement, CPU masking.
+
+Reproduces the paper's methodology: the kernel only initializes the
+contexts named by the configuration (``maxcpus=`` + masking) and the
+default Linux scheduler distributes runnable threads across the remaining
+logical CPUs, balancing across physical packages and cores before
+doubling up on HT siblings.
+"""
+
+from repro.osmodel.process import ProgramSpec, ThreadPlacement, Placement
+from repro.osmodel.scheduler import (
+    Scheduler,
+    LinuxDefaultScheduler,
+    GangScheduler,
+    PackedScheduler,
+    SymbiosisScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "ProgramSpec",
+    "ThreadPlacement",
+    "Placement",
+    "Scheduler",
+    "LinuxDefaultScheduler",
+    "GangScheduler",
+    "PackedScheduler",
+    "SymbiosisScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,94 @@
+"""Process/thread abstractions for the scheduler model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.machine.topology import HWContext, SystemTopology
+from repro.trace.phase import Workload
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A multithreaded program to place on the machine.
+
+    Attributes:
+        workload: the benchmark model the program executes.
+        n_threads: OpenMP team size.
+        program_id: index distinguishing concurrent programs.
+    """
+
+    workload: Workload
+    n_threads: int
+    program_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError("a program needs at least one thread")
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload.name}#{self.program_id}"
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """One application thread bound to one hardware context."""
+
+    program_id: int
+    thread_id: int
+    context: HWContext
+
+
+@dataclass
+class Placement:
+    """Complete thread-to-context assignment for a set of programs."""
+
+    threads: List[ThreadPlacement] = field(default_factory=list)
+
+    def add(self, program_id: int, thread_id: int, context: HWContext) -> None:
+        if any(t.context.label == context.label for t in self.threads):
+            raise ValueError(
+                f"context {context.label} already hosts a thread"
+            )
+        self.threads.append(ThreadPlacement(program_id, thread_id, context))
+
+    def context_of(self, program_id: int, thread_id: int) -> HWContext:
+        for t in self.threads:
+            if t.program_id == program_id and t.thread_id == thread_id:
+                return t.context
+        raise KeyError(f"no placement for program {program_id} thread {thread_id}")
+
+    def thread_at(self, label: str) -> Optional[ThreadPlacement]:
+        for t in self.threads:
+            if t.context.label == label:
+                return t
+        return None
+
+    def program_threads(self, program_id: int) -> List[ThreadPlacement]:
+        return sorted(
+            (t for t in self.threads if t.program_id == program_id),
+            key=lambda t: t.thread_id,
+        )
+
+    def sibling_of(
+        self, placement: ThreadPlacement, topology: SystemTopology
+    ) -> Optional[ThreadPlacement]:
+        """The thread on the placement's HT sibling context, if any."""
+        for sib_ctx in topology.siblings(placement.context):
+            hosted = self.thread_at(sib_ctx.label)
+            if hosted is not None:
+                return hosted
+        return None
+
+    def contexts_used(self) -> List[HWContext]:
+        return [t.context for t in self.threads]
+
+    def validate(self, topology: SystemTopology) -> None:
+        labels = {c.label for c in topology.contexts}
+        for t in self.threads:
+            if t.context.label not in labels:
+                raise ValueError(
+                    f"thread placed on masked context {t.context.label}"
+                )

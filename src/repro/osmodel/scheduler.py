@@ -1,0 +1,213 @@
+"""Thread-placement policies (the OS scheduler's steady-state decision).
+
+For the paper's experiments every configuration runs exactly as many
+application threads as visible logical CPUs, so what matters is *which*
+thread lands on which context — in particular whether HT siblings host
+threads of the same program (constructive code sharing) or of different
+programs (destructive interference).
+
+``LinuxDefaultScheduler`` models the RHEL4 2.6.9 scheduler with SMT-aware
+sched domains: runnable threads are balanced across physical chips first,
+then across cores, and only then onto HT siblings; when several programs
+run, their threads interleave in arrival order, so siblings frequently
+host threads of *different* programs (the paper attributes multiprogram
+stalls to exactly this).  ``GangScheduler`` is the paper's envisioned
+improvement (future work): keep each program's threads on sibling pairs.
+``SymbiosisScheduler`` pairs memory-bound with compute-bound programs on
+each core (Snavely-style symbiotic scheduling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.machine.topology import HWContext, SystemTopology
+from repro.osmodel.process import Placement, ProgramSpec
+
+
+class Scheduler:
+    """Base class: assigns program threads to hardware contexts."""
+
+    name = "base"
+    #: Thread migrations per second per context under a multiprogram load
+    #: (0 = effectively pinned).  Each migration refills the migrated
+    #: thread's cached working set from memory.
+    multiprogram_migration_hz = 0.0
+
+    def place(
+        self, programs: Sequence[ProgramSpec], topology: SystemTopology
+    ) -> Placement:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_fit(
+        programs: Sequence[ProgramSpec], topology: SystemTopology
+    ) -> None:
+        total = sum(p.n_threads for p in programs)
+        if total > topology.n_contexts:
+            raise ValueError(
+                f"{total} threads exceed {topology.n_contexts} available "
+                f"hardware contexts (time multiplexing is out of scope)"
+            )
+
+
+def _breadth_first_contexts(topology: SystemTopology) -> List[HWContext]:
+    """Contexts ordered chip-first, then core, then sibling slot.
+
+    This is the order an SMT-aware balancer fills logical CPUs: one thread
+    per chip, then one per core, then the sibling slots.
+    """
+    return sorted(topology.contexts, key=lambda c: (c.thread, c.core, c.chip))
+
+
+class LinuxDefaultScheduler(Scheduler):
+    """RHEL4-era SMT-aware balancing; multiprogram threads interleave."""
+
+    name = "linux_default"
+    multiprogram_migration_hz = 18.0
+
+    def place(
+        self, programs: Sequence[ProgramSpec], topology: SystemTopology
+    ) -> Placement:
+        self._check_fit(programs, topology)
+        placement = Placement()
+        if len(programs) == 1:
+            # Single program: spread across chips and cores before
+            # doubling up on siblings (SMT-aware sched domains).
+            order = _breadth_first_contexts(topology)
+            prog = programs[0]
+            for t, ctx in zip(range(prog.n_threads), order):
+                placement.add(prog.program_id, t, ctx)
+            return placement
+        # Multiple programs: wakeup interleaving and periodic rebalancing
+        # mix programs onto sibling pairs — each core typically ends up
+        # hosting threads of different programs (the paper observes the
+        # scheduler "switching the processors on which the programs are
+        # running frequently").
+        order = sorted(
+            topology.contexts, key=lambda c: (c.chip, c.core, c.thread)
+        )
+        cursors = [0] * len(programs)
+        ctx_iter = iter(order)
+        remaining = sum(p.n_threads for p in programs)
+        pi = 0
+        spins = 0
+        while remaining:
+            k = pi % len(programs)
+            prog = programs[k]
+            if cursors[k] < prog.n_threads:
+                ctx = next(ctx_iter)
+                placement.add(prog.program_id, cursors[k], ctx)
+                cursors[k] += 1
+                remaining -= 1
+                spins = 0
+            else:
+                spins += 1
+                if spins > len(programs):
+                    raise RuntimeError("placement failed to make progress")
+            pi += 1
+        return placement
+
+
+class GangScheduler(Scheduler):
+    """Keep each program's threads together: fill sibling pairs per
+    program before moving to the next core (constructive code sharing)."""
+
+    name = "gang"
+
+    def place(
+        self, programs: Sequence[ProgramSpec], topology: SystemTopology
+    ) -> Placement:
+        self._check_fit(programs, topology)
+        # Depth-first: consume whole cores (both siblings) per program.
+        cores = topology.cores
+        slots: List[HWContext] = []
+        for core in sorted(cores, key=lambda c: (c.chip, c.index)):
+            slots.extend(sorted(core.contexts, key=lambda c: c.thread))
+        placement = Placement()
+        it = iter(slots)
+        for prog in programs:
+            for t in range(prog.n_threads):
+                placement.add(prog.program_id, t, next(it))
+        return placement
+
+
+class PackedScheduler(Scheduler):
+    """Fill one chip completely before the next (minimizes chips used)."""
+
+    name = "packed"
+
+    def place(
+        self, programs: Sequence[ProgramSpec], topology: SystemTopology
+    ) -> Placement:
+        self._check_fit(programs, topology)
+        slots = sorted(
+            topology.contexts, key=lambda c: (c.chip, c.core, c.thread)
+        )
+        placement = Placement()
+        it = iter(slots)
+        for prog in programs:
+            for t in range(prog.n_threads):
+                placement.add(prog.program_id, t, next(it))
+        return placement
+
+
+class SymbiosisScheduler(Scheduler):
+    """Pair complementary programs on each core (memory- with
+    compute-bound), the extension the paper proposes as future work."""
+
+    name = "symbiosis"
+
+    def place(
+        self, programs: Sequence[ProgramSpec], topology: SystemTopology
+    ) -> Placement:
+        self._check_fit(programs, topology)
+        if len(programs) != 2:
+            # Fall back for other program counts.
+            return LinuxDefaultScheduler().place(programs, topology)
+        # Rank programs by memory intensity; alternate sibling slots so
+        # each core hosts one thread of each program.
+        ranked = sorted(
+            programs, key=lambda p: p.workload.mem_intensity, reverse=True
+        )
+        placement = Placement()
+        cores = sorted(topology.cores, key=lambda c: (c.chip, c.index))
+        cursors = {p.program_id: 0 for p in programs}
+        for core in cores:
+            ctxs = sorted(core.contexts, key=lambda c: c.thread)
+            for slot, prog in zip(ctxs, ranked):
+                if cursors[prog.program_id] < prog.n_threads:
+                    placement.add(
+                        prog.program_id, cursors[prog.program_id], slot
+                    )
+                    cursors[prog.program_id] += 1
+        # Any leftover threads fill remaining slots breadth-first.
+        used = {c.label for c in placement.contexts_used()}
+        free = [c for c in _breadth_first_contexts(topology) if c.label not in used]
+        it = iter(free)
+        for prog in programs:
+            while cursors[prog.program_id] < prog.n_threads:
+                placement.add(prog.program_id, cursors[prog.program_id], next(it))
+                cursors[prog.program_id] += 1
+        return placement
+
+
+_SCHEDULERS = {
+    cls.name: cls
+    for cls in (
+        LinuxDefaultScheduler,
+        GangScheduler,
+        PackedScheduler,
+        SymbiosisScheduler,
+    )
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler policy by name."""
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(_SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,14 @@
+"""Simulation engine binding machine + OS + OpenMP + workloads.
+
+:class:`~repro.sim.engine.Engine` executes one or more multithreaded
+programs on a machine configuration, phase by phase, resolving cache
+sharing, SMT issue contention, branch-predictor pollution and front-side
+bus contention as coupled fixed points, and accumulating PMU counters.
+Concurrent programs are co-simulated phase-pair by phase-pair, so
+asymmetric mixes (the paper's CG/FT workload) interact faithfully.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.results import ProgramResult, RunResult, PhaseRecord
+
+__all__ = ["Engine", "ProgramResult", "RunResult", "PhaseRecord"]

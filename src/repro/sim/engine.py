@@ -1,0 +1,707 @@
+"""The phase-level simulation engine.
+
+Execution model
+---------------
+
+Programs are lists of phases.  At every *step* the engine looks at the
+phase each live program is currently in, resolves the coupled contention
+effects for every active hardware context —
+
+1. hierarchy rates (HT capacity sharing, constructive code/data sharing),
+2. branch-predictor pollution,
+3. SMT issue-slot contention,
+4. front-side-bus queueing + prefetch coverage (a damped fixed point,
+   because execution rate determines bus load determines memory stalls
+   determines execution rate)
+
+— then advances simulated time to the nearest phase boundary of any
+program, accumulating PMU counters pro rata.  Single-program runs are the
+one-program special case.  Synchronization (fork/join, barriers, load
+imbalance) enters each phase's wall time through the OpenMP cost models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.counters.collector import Collector
+from repro.counters.timeline import Timeline, TimelineSample
+from repro.counters.events import Event
+from repro.cpu.branch import analytic_mispredict_rate
+from repro.cpu.pipeline import CPIBreakdown, PipelineModel
+from repro.machine.configurations import MachineConfig
+from repro.machine.params import MachineParams
+from repro.mem.bus import BusLoad, BusModel, BusOutcome, PREFETCH_WASTE
+from repro.mem.coherence import (
+    coherence_stall_cycles_per_instr,
+)
+from repro.mem.hierarchy import HierarchyModel, LevelRates
+from repro.openmp.env import OMPEnvironment, ScheduleKind
+from repro.openmp.loops import partition_imbalance
+from repro.openmp.sync import barrier_cycles, fork_join_cycles
+from repro.osmodel.process import Placement, ProgramSpec, ThreadPlacement
+from repro.osmodel.scheduler import Scheduler, make_scheduler
+from repro.sim.results import PhaseRecord, ProgramResult, RunResult
+from repro.trace.phase import Phase, Workload
+
+_MAX_STEPS = 100_000
+_FIXED_POINT_ITERS = 40
+_DAMPING = 0.6
+#: Extra data-cache misses from self-scheduled loops: chunks migrate
+#: between threads, so iterations lose the affinity a static partition
+#: preserves across repeated sweeps.
+_SCHEDULE_LOCALITY_PENALTY = {
+    ScheduleKind.STATIC: 1.0,
+    ScheduleKind.DYNAMIC: 1.18,
+    ScheduleKind.GUIDED: 1.07,
+}
+#: Fraction of the L2 a migrated thread must refill on a cold core.
+_MIGRATION_REFILL_FRACTION = 0.6
+#: Cycles for a voluntary context switch at an oversubscribed barrier
+#: (yield + schedule + warm-up of the incoming thread's hot state).
+_OVERSUB_SWITCH_CYCLES = 28_000.0
+#: Throughput tax per extra time-shared thread on a context (timeslice
+#: rotation cold misses).
+_OVERSUB_THROUGHPUT_TAX = 0.08
+#: Migrations landing on the old core's HT sibling find a warm cache.
+_SIBLING_MIGRATION_FRACTION = 0.3
+
+
+@dataclass
+class _ActiveCtx:
+    """One busy hardware context during a step."""
+
+    placement: ThreadPlacement
+    spec: ProgramSpec
+    phase: Phase
+    n_work: int  # active team size (1 for serial phases)
+
+
+@dataclass
+class _Resolved:
+    """Contention-resolved execution state for one active context."""
+
+    active: _ActiveCtx
+    rates: LevelRates
+    mispredict_rate: float
+    cpi: CPIBreakdown
+    bus: Optional[BusOutcome]
+    coherence_per_instr: float = 0.0
+    #: Effective CPI including bandwidth-sharing time (>= cpi.cpi): when
+    #: the FSB saturates, threads wait for their share of the bus beyond
+    #: the per-miss latency the breakdown accounts for.
+    cpi_eff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpi_eff <= 0:
+            self.cpi_eff = self.cpi.cpi
+
+    @property
+    def stall_per_instr_eff(self) -> float:
+        """All non-execution cycles per uop, including bus waiting."""
+        exec_cycles = self.cpi.cpi_exec * self.cpi.smt_slowdown
+        return max(self.cpi_eff - exec_cycles, 0.0)
+
+
+@dataclass
+class _Progress:
+    """Per-program progress cursor."""
+
+    spec: ProgramSpec
+    phase_idx: int = 0
+    frac_remaining: float = 1.0
+    elapsed: float = 0.0
+    done: bool = False
+
+    @property
+    def phase(self) -> Phase:
+        return self.spec.workload.phases[self.phase_idx]
+
+    def advance_phase(self) -> None:
+        self.phase_idx += 1
+        self.frac_remaining = 1.0
+        if self.phase_idx >= len(self.spec.workload.phases):
+            self.done = True
+
+
+class Engine:
+    """Simulates one machine configuration executing programs."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        params: Optional[MachineParams] = None,
+        scheduler: Optional[Scheduler] = None,
+        omp: Optional[OMPEnvironment] = None,
+    ):
+        self.config = config
+        self.params = params if params is not None else config.machine_params()
+        self.topology = config.topology()
+        self.scheduler = scheduler if scheduler is not None else make_scheduler(
+            "linux_default"
+        )
+        self.omp = omp if omp is not None else OMPEnvironment()
+        self.hierarchy = HierarchyModel(self.params)
+        self.pipeline = PipelineModel(self.params)
+        self.bus = BusModel(self.params.bus, n_chips_total=self.topology.n_chips)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run_single(
+        self, workload: Workload, n_threads: Optional[int] = None
+    ) -> RunResult:
+        """Run one program with the configuration's thread count."""
+        threads = self.omp.resolve_threads(
+            n_threads if n_threads is not None else self.config.n_threads
+        )
+        spec = ProgramSpec(workload=workload, n_threads=threads, program_id=0)
+        return self.run([spec])
+
+    def run_pair(
+        self, workload_a: Workload, workload_b: Workload
+    ) -> RunResult:
+        """Run two programs concurrently, threads split evenly (the
+        paper's multiprogram methodology: all contexts loaded)."""
+        per_prog = max(self.config.n_contexts // 2, 1)
+        specs = [
+            ProgramSpec(workload=workload_a, n_threads=per_prog, program_id=0),
+            ProgramSpec(workload=workload_b, n_threads=per_prog, program_id=1),
+        ]
+        return self.run(specs)
+
+    def run(self, specs: Sequence[ProgramSpec]) -> RunResult:
+        """Co-simulate a set of programs to completion.
+
+        A single program may request more threads than the configuration
+        has hardware contexts; the excess threads time-share contexts
+        (round-robin timeslices) with yield costs at every barrier and a
+        small timeslice-rotation throughput tax — the OpenMP
+        oversubscription regime.  Multiprogram runs must fit.
+        """
+        if not specs:
+            raise ValueError("need at least one program")
+        total_threads = sum(s.n_threads for s in specs)
+        if total_threads > self.topology.n_contexts:
+            if len(specs) > 1:
+                raise ValueError(
+                    "oversubscription is only modeled for single-program "
+                    "runs"
+                )
+            return self._run_oversubscribed(specs[0])
+        placement = self.scheduler.place(specs, self.topology)
+        placement.validate(self.topology)
+
+        progress = [_Progress(spec=s) for s in specs]
+        collector = Collector()
+        phase_log: List[PhaseRecord] = []
+        timeline = Timeline()
+        global_t = 0.0
+        clock = self.params.core.clock_hz
+
+        for _ in range(_MAX_STEPS):
+            live = [p for p in progress if not p.done]
+            if not live:
+                break
+
+            active = self._active_contexts(live, placement)
+            resolved = self._resolve(active)
+
+            # Projected remaining wall time of each live program's phase.
+            projected: Dict[int, Tuple[float, float]] = {}
+            for prog in live:
+                full = self._phase_wall_time(prog, resolved)
+                projected[prog.spec.program_id] = (
+                    full,
+                    full * prog.frac_remaining,
+                )
+            dt = min(rem for _, rem in projected.values())
+            if dt <= 0:
+                dt = max(rem for _, rem in projected.values())
+                if dt <= 0:
+                    for prog in live:
+                        prog.advance_phase()
+                    continue
+
+            for prog in live:
+                full, _rem = projected[prog.spec.program_id]
+                f = dt / full if full > 0 else prog.frac_remaining
+                f = min(f, prog.frac_remaining)
+                self._accumulate(prog, f, resolved, collector)
+                mean_cpi, util = self._phase_summary(prog, resolved)
+                n_work = max(
+                    (r.active.n_work
+                     for r in self._program_contexts(prog, resolved)),
+                    default=1,
+                )
+                timeline.add(TimelineSample(
+                    program_id=prog.spec.program_id,
+                    t_start=global_t,
+                    t_end=global_t + dt,
+                    phase_name=prog.phase.name,
+                    instructions=prog.phase.instructions * f,
+                    cpi=mean_cpi,
+                    bus_utilization=util,
+                ))
+                prog.frac_remaining -= f
+                prog.elapsed += dt
+                if prog.frac_remaining <= 1e-9:
+                    phase_log.append(
+                        PhaseRecord(
+                            program_id=prog.spec.program_id,
+                            phase_name=prog.phase.name,
+                            wall_seconds=full,
+                            mean_cpi=mean_cpi,
+                            bus_utilization=util,
+                        )
+                    )
+                    prog.advance_phase()
+            global_t += dt
+        else:  # pragma: no cover - safety net
+            raise RuntimeError("simulation failed to converge (step limit)")
+
+        results = [
+            ProgramResult(
+                spec=p.spec,
+                runtime_seconds=p.elapsed,
+                counters=collector.for_program(p.spec.program_id),
+            )
+            for p in progress
+        ]
+        return RunResult(
+            config=self.config,
+            programs=results,
+            collector=collector,
+            phase_log=phase_log,
+            timeline=timeline,
+        )
+
+    def _run_oversubscribed(self, spec: ProgramSpec) -> RunResult:
+        """Time-share ``spec.n_threads`` threads over the contexts.
+
+        Each context executes ``shares = ceil(T / C)`` thread timeslices
+        per pass.  Per-thread footprints still divide by the *logical*
+        team size T (pre-scaled into the access mixes); the run itself
+        uses C workers, pays a rotation throughput tax, a yield latency
+        per barrier per excess share, and the remainder imbalance when C
+        does not divide T."""
+        import dataclasses
+
+        from repro.sim.structural import _scale_mix_for_threads
+
+        C = self.topology.n_contexts
+        T = spec.n_threads
+        shares = math.ceil(T / C)
+        extra_ratio = T / C
+
+        phases = []
+        for phase in spec.workload.phases:
+            if not phase.parallel:
+                phases.append(phase)
+                continue
+            mix = _scale_mix_for_threads(phase.access_mix, extra_ratio)
+            imb_extra = shares * C / T - 1.0  # remainder convoy
+            tax = 1.0 + _OVERSUB_THROUGHPUT_TAX * (extra_ratio - 1.0)
+            phases.append(dataclasses.replace(
+                phase,
+                access_mix=mix,
+                instructions=phase.instructions * tax,
+                imbalance=min(phase.imbalance + imb_extra, 2.0),
+            ))
+        workload = dataclasses.replace(
+            spec.workload, phases=tuple(phases)
+        )
+        virtual = ProgramSpec(
+            workload=workload, n_threads=C, program_id=spec.program_id
+        )
+        self._oversub_shares = shares
+        try:
+            result = self.run([virtual])
+        finally:
+            self._oversub_shares = 1
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _active_contexts(
+        self, live: List[_Progress], placement: Placement
+    ) -> List[_ActiveCtx]:
+        active: List[_ActiveCtx] = []
+        for prog in live:
+            phase = prog.phase
+            team = placement.program_threads(prog.spec.program_id)
+            n_work = prog.spec.n_threads if phase.parallel else 1
+            for t in team[:n_work]:
+                active.append(
+                    _ActiveCtx(
+                        placement=t, spec=prog.spec, phase=phase, n_work=n_work
+                    )
+                )
+        return active
+
+    def _resolve(self, active: List[_ActiveCtx]) -> Dict[str, _Resolved]:
+        """Resolve all coupled contention effects for the active set."""
+        by_core: Dict[Tuple[int, int], List[_ActiveCtx]] = {}
+        by_chip: Dict[int, List[_ActiveCtx]] = {}
+        for a in active:
+            by_core.setdefault(a.placement.context.core_key, []).append(a)
+            by_chip.setdefault(a.placement.context.chip, []).append(a)
+        l2_chip_scope = self.params.l2_scope == "chip"
+
+        total_visible = self.topology.n_contexts
+        ht = self.config.ht
+
+        rates: Dict[str, LevelRates] = {}
+        misp: Dict[str, float] = {}
+        utils: Dict[str, float] = {}
+        sibling_util: Dict[str, float] = {}
+        sharers_of: Dict[str, int] = {}
+        pair_capacity: Dict[str, float] = {}
+        coh_mpi: Dict[str, float] = {}
+        coh_stall: Dict[str, float] = {}
+
+        # Physical span of each program's active team (for coherence
+        # transfer distances).
+        prog_chips: Dict[int, int] = {}
+        for a in active:
+            prog_chips.setdefault(a.spec.program_id, 0)
+        for pid in prog_chips:
+            prog_chips[pid] = len({
+                a.placement.context.chip
+                for a in active
+                if a.spec.program_id == pid
+            })
+
+        for a in active:
+            label = a.placement.context.label
+            mates = by_core[a.placement.context.core_key]
+            sharers = len(mates)
+            sharers_of[label] = sharers
+            sibling = next(
+                (m for m in mates if m.placement.context.label != label), None
+            )
+            same_data = (
+                sibling is not None
+                and sibling.spec.program_id == a.spec.program_id
+            )
+            same_code = (
+                sibling is not None
+                and sibling.spec.workload.name == a.spec.workload.name
+            )
+            co_phase = sibling.phase if sibling is not None else None
+            if l2_chip_scope:
+                chipmates = by_chip[a.placement.context.chip]
+                l2_sharers = len(chipmates)
+                l2_same = all(
+                    m.spec.program_id == a.spec.program_id
+                    for m in chipmates
+                )
+            else:
+                l2_sharers, l2_same = None, None
+            base_rates = self.hierarchy.evaluate(
+                a.phase,
+                n_threads=a.n_work,
+                core_sharers=sharers,
+                same_data=same_data,
+                same_code=same_code,
+                total_visible_contexts=total_visible,
+                co_phase=co_phase,
+                l2_sharers=l2_sharers,
+                l2_same_data=l2_same,
+            )
+            rates[label] = self._apply_schedule_locality(
+                base_rates, a.n_work
+            )
+            misp[label] = analytic_mispredict_rate(
+                a.phase,
+                self.params.branch,
+                n_threads=a.n_work,
+                core_sharers=sharers,
+                same_program=same_code,
+                co_phase=co_phase,
+            )
+            utils[label] = self.pipeline.solo_utilization(a.phase, ht)
+            # MESI halo-exchange traffic: boundary lines exchanged per
+            # iteration, charged per uop of this thread's share.
+            if a.n_work > 1 and a.phase.halo_bytes_per_iteration > 0:
+                lines_per_iter = (
+                    a.phase.halo_bytes_per_iteration
+                    / self.params.l2.line_bytes
+                )
+                instr_per_thread = a.phase.instructions / a.n_work
+                coh_mpi[label] = (
+                    lines_per_iter * a.phase.iterations / instr_per_thread
+                )
+            else:
+                coh_mpi[label] = 0.0
+            coh_stall[label] = coherence_stall_cycles_per_instr(
+                coh_mpi[label], prog_chips[a.spec.program_id]
+            )
+
+        sibling_missiness: Dict[str, float] = {}
+        for a in active:
+            label = a.placement.context.label
+            mates = by_core[a.placement.context.core_key]
+            sib = next(
+                (m for m in mates if m.placement.context.label != label), None
+            )
+            sibling_util[label] = (
+                utils[sib.placement.context.label] if sib is not None else 0.0
+            )
+            pair_capacity[label] = (
+                0.5 * (a.phase.smt_capacity + sib.phase.smt_capacity)
+                if sib is not None
+                else a.phase.smt_capacity
+            )
+            if sib is None:
+                sibling_missiness[label] = 0.0
+            else:
+                own = rates[label].l2_misses_per_instr
+                other = rates[
+                    sib.placement.context.label
+                ].l2_misses_per_instr
+                sibling_missiness[label] = (
+                    min(1.0, other / own) if own > 1e-12 else 1.0
+                )
+
+        # --- OS migration noise (multiprogram only) -----------------------
+        # The balancer moves threads between busy logical CPUs; each move
+        # refills part of the L2 working set from memory.  Expressed as
+        # extra misses per instruction at the current execution rate.
+        n_programs = len({a.spec.program_id for a in active})
+        mig_hz = (
+            self.scheduler.multiprogram_migration_hz if n_programs > 1 else 0.0
+        )
+        if mig_hz > 0 and self.config.ht:
+            mig_hz *= _SIBLING_MIGRATION_FRACTION
+        refill_lines = (
+            _MIGRATION_REFILL_FRACTION
+            * self.params.l2.size_bytes
+            / self.params.l2.line_bytes
+        )
+        mig_misses_per_sec = mig_hz * refill_lines
+
+        # --- bus/CPI fixed point -----------------------------------------
+        clock = self.params.core.clock_hz
+        line = self.params.l2.line_bytes
+        cpi_est: Dict[str, float] = {}
+        breakdowns: Dict[str, CPIBreakdown] = {}
+        outcomes: Dict[str, BusOutcome] = {}
+
+        for a in active:
+            label = a.placement.context.label
+            bd = self.pipeline.breakdown(
+                a.phase,
+                rates[label],
+                misp[label],
+                bus_latency_multiplier=1.0,
+                prefetch_coverage=0.0,
+                ht_enabled=ht,
+                sibling_utilization=sibling_util[label],
+                self_utilization=utils[label],
+                core_sharers=sharers_of[label],
+                smt_capacity=pair_capacity[label],
+                coherence_stall_per_instr=coh_stall[label],
+                sibling_miss_ratio=sibling_missiness[label],
+            )
+            breakdowns[label] = bd
+            cpi_est[label] = bd.cpi
+
+        for _ in range(_FIXED_POINT_ITERS):
+            loads = []
+            for a in active:
+                label = a.placement.context.label
+                rate = clock / cpi_est[label]
+                miss_rate_eff = (
+                    rates[label].l2_misses_per_instr
+                    + coh_mpi[label]
+                    + mig_misses_per_sec / rate
+                )
+                demand = miss_rate_eff * rate * line
+                loads.append(
+                    BusLoad(
+                        key=label,
+                        chip=a.placement.context.chip,
+                        demand_bytes_per_sec=demand,
+                        read_fraction=0.5 + 0.5 * a.phase.load_fraction,
+                        prefetchability=a.phase.prefetchability,
+                    )
+                )
+            outcomes = self.bus.resolve(loads)
+            max_delta = 0.0
+            for a in active:
+                label = a.placement.context.label
+                out = outcomes[label]
+                bd = self.pipeline.breakdown(
+                    a.phase,
+                    rates[label],
+                    misp[label],
+                    bus_latency_multiplier=out.latency_multiplier,
+                    prefetch_coverage=out.prefetch_coverage,
+                    ht_enabled=ht,
+                    sibling_utilization=sibling_util[label],
+                    self_utilization=utils[label],
+                    core_sharers=sharers_of[label],
+                    smt_capacity=pair_capacity[label],
+                    coherence_stall_per_instr=coh_stall[label],
+                    sibling_miss_ratio=sibling_missiness[label],
+                )
+                breakdowns[label] = bd
+                # Bandwidth sharing: when the offered traffic exceeds the
+                # bus capacity (utilization > 1 at the current execution
+                # rate), each thread's time dilates until the bus is
+                # exactly full.  CPI_bw = CPI_est * utilization is the
+                # processor-sharing equilibrium.
+                cpi_bw = cpi_est[label] * out.utilization
+                target = max(bd.cpi, cpi_bw) if out.utilization > 1.0 else bd.cpi
+                new_cpi = _DAMPING * cpi_est[label] + (1 - _DAMPING) * target
+                max_delta = max(
+                    max_delta, abs(new_cpi - cpi_est[label]) / cpi_est[label]
+                )
+                cpi_est[label] = new_cpi
+            if max_delta < 1e-4:
+                break
+
+        return {
+            a.placement.context.label: _Resolved(
+                active=a,
+                rates=rates[a.placement.context.label],
+                mispredict_rate=misp[a.placement.context.label],
+                cpi=breakdowns[a.placement.context.label],
+                bus=outcomes.get(a.placement.context.label),
+                cpi_eff=max(
+                    cpi_est[a.placement.context.label],
+                    breakdowns[a.placement.context.label].cpi,
+                ),
+                coherence_per_instr=coh_mpi[a.placement.context.label],
+            )
+            for a in active
+        }
+
+    def _apply_schedule_locality(
+        self, rates: LevelRates, n_work: int
+    ) -> LevelRates:
+        """Scale data-cache misses for self-scheduled loops (affinity
+        loss when chunks migrate between threads)."""
+        factor = _SCHEDULE_LOCALITY_PENALTY.get(self.omp.schedule, 1.0)
+        if factor == 1.0 or n_work <= 1:
+            return rates
+        import dataclasses
+
+        l1_miss = min(rates.l1_miss_rate * factor, 1.0)
+        l2_global = min(
+            rates.l2_misses_per_instr * factor,
+            rates.l1_accesses_per_instr * l1_miss,
+        )
+        l2_acc = rates.l1_accesses_per_instr * l1_miss
+        return dataclasses.replace(
+            rates,
+            l1_miss_rate=l1_miss,
+            l2_accesses_per_instr=l2_acc,
+            l2_miss_rate=l2_global / l2_acc if l2_acc > 0 else 0.0,
+            l2_misses_per_instr=l2_global,
+        )
+
+    def _program_contexts(
+        self, prog: _Progress, resolved: Dict[str, _Resolved]
+    ) -> List[_Resolved]:
+        return [
+            r
+            for r in resolved.values()
+            if r.active.spec.program_id == prog.spec.program_id
+        ]
+
+    def _phase_wall_time(
+        self, prog: _Progress, resolved: Dict[str, _Resolved]
+    ) -> float:
+        """Full wall time of the program's current phase at the present
+        contention level (compute + imbalance + synchronization)."""
+        phase = prog.phase
+        clock = self.params.core.clock_hz
+        ctxs = self._program_contexts(prog, resolved)
+        if not ctxs:
+            raise RuntimeError(
+                f"no active contexts for program {prog.spec.program_id}"
+            )
+        n_work = ctxs[0].active.n_work
+        instr_per_thread = phase.instructions / n_work
+        times = [instr_per_thread * r.cpi_eff / clock for r in ctxs]
+        slowest = max(times)
+        imb = partition_imbalance(self.omp.schedule, phase.imbalance, n_work)
+        slowest *= 1.0 + imb
+
+        span_cores = len({r.active.placement.context.core_key for r in ctxs})
+        span_chips = len({r.active.placement.context.chip for r in ctxs})
+        sync_cycles = 0.0
+        if phase.parallel and n_work > 1:
+            sync_cycles = (
+                phase.iterations
+                * phase.barriers
+                * barrier_cycles(n_work, span_cores, span_chips)
+                + fork_join_cycles(n_work, span_cores, span_chips)
+                * max(phase.iterations // 4, 1)
+            )
+            shares = getattr(self, "_oversub_shares", 1)
+            if shares > 1:
+                # Every barrier forces a full timeslice rotation: each
+                # excess share yields through the scheduler once.
+                sync_cycles += (
+                    phase.iterations
+                    * phase.barriers
+                    * (shares - 1)
+                    * _OVERSUB_SWITCH_CYCLES
+                )
+        return slowest + sync_cycles / clock
+
+    def _phase_summary(
+        self, prog: _Progress, resolved: Dict[str, _Resolved]
+    ) -> Tuple[float, float]:
+        ctxs = self._program_contexts(prog, resolved)
+        mean_cpi = sum(r.cpi_eff for r in ctxs) / len(ctxs)
+        util = max((r.bus.utilization if r.bus else 0.0) for r in ctxs)
+        return mean_cpi, util
+
+    def _accumulate(
+        self,
+        prog: _Progress,
+        fraction: float,
+        resolved: Dict[str, _Resolved],
+        collector: Collector,
+    ) -> None:
+        """Record counters for executing ``fraction`` of the phase."""
+        if fraction <= 0:
+            return
+        phase = prog.phase
+        for r in self._program_contexts(prog, resolved):
+            label = r.active.placement.context.label
+            instr = phase.instructions / r.active.n_work * fraction
+            rates = r.rates
+            cov = r.bus.prefetch_coverage if r.bus else 0.0
+            l2_misses = instr * rates.l2_misses_per_instr
+            events = {
+                Event.INSTR_RETIRED: instr,
+                Event.CYCLES: instr * r.cpi_eff,
+                Event.STALL_CYCLES: instr * r.stall_per_instr_eff,
+                Event.TC_DELIVER: instr * rates.tc_accesses_per_instr,
+                Event.TC_MISS: instr * rates.tc_misses_per_instr,
+                Event.L1D_ACCESS: instr * rates.l1_accesses_per_instr,
+                Event.L1D_MISS: instr * rates.l1_misses_per_instr,
+                Event.L2_ACCESS: instr * rates.l2_accesses_per_instr,
+                Event.L2_MISS: l2_misses,
+                Event.ITLB_ACCESS: instr * rates.itlb_accesses_per_instr,
+                Event.ITLB_MISS: instr * rates.itlb_misses_per_instr,
+                Event.DTLB_ACCESS: instr * rates.dtlb_accesses_per_instr,
+                Event.DTLB_MISS: instr * rates.dtlb_misses_per_instr,
+                Event.BRANCH_RETIRED: instr * phase.branches_per_instr,
+                Event.BRANCH_MISPRED: instr
+                * phase.branches_per_instr
+                * r.mispredict_rate,
+                Event.BUS_TRANS_DEMAND: l2_misses * (1.0 - cov),
+                Event.BUS_TRANS_PREFETCH: l2_misses * cov * (1.0 + PREFETCH_WASTE),
+                Event.MACHINE_CLEAR: instr * phase.moclears_per_kinstr / 1000.0,
+                Event.COHERENCE_TRANSFER: instr * r.coherence_per_instr,
+            }
+            collector.add_many(prog.spec.program_id, label, events)

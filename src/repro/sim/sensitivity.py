@@ -1,0 +1,133 @@
+"""Parameter sensitivity analysis: how robust are the conclusions?
+
+A model-based reproduction owes its readers a robustness statement: if
+a calibration constant is off by 20 %, do the paper's findings still
+hold?  This module perturbs machine parameters one at a time, re-runs a
+target metric, and reports elasticities (percent metric change per
+percent parameter change) plus whether each *boolean finding* (e.g.
+"only SP wins at HT on 2-8-2") survives the perturbation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.study import Study
+from repro.machine.params import MachineParams, paxville_params
+
+#: (display name, path to the field) for every scalar knob we perturb.
+PERTURBABLE: List[Tuple[str, Tuple[str, ...]]] = [
+    ("memory_latency_ns", ("memory_latency_ns",)),
+    ("issue_width", ("core", "issue_width")),
+    ("mlp", ("core", "mlp")),
+    ("mlp_smt_share", ("core", "mlp_smt_share")),
+    ("smt_partition_penalty", ("core", "smt_partition_penalty")),
+    ("trace_cache_miss_penalty", ("core", "trace_cache_miss_penalty")),
+    ("chip_read_bw", ("bus", "chip_read_bw")),
+    ("system_read_bw", ("bus", "system_read_bw")),
+    ("snoop_overhead_per_agent", ("bus", "snoop_overhead_per_agent")),
+    ("snoop_overhead_cross_chip", ("bus", "snoop_overhead_cross_chip")),
+    ("prefetch_max_coverage", ("bus", "prefetch_max_coverage")),
+    ("mispredict_penalty_cycles", ("branch", "mispredict_penalty_cycles")),
+]
+
+
+def perturb_params(
+    base: MachineParams, path: Tuple[str, ...], scale: float
+) -> MachineParams:
+    """Return params with the field at ``path`` multiplied by ``scale``."""
+    if len(path) == 1:
+        value = getattr(base, path[0])
+        return dataclasses.replace(base, **{path[0]: value * scale})
+    if len(path) == 2:
+        group = getattr(base, path[0])
+        value = getattr(group, path[1])
+        new_group = dataclasses.replace(group, **{path[1]: value * scale})
+        return dataclasses.replace(base, **{path[0]: new_group})
+    raise ValueError(f"unsupported parameter path {path}")
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Effect of perturbing one parameter on one metric."""
+
+    parameter: str
+    scale: float
+    metric_value: float
+    baseline_value: float
+    finding_holds: bool
+
+    @property
+    def metric_change(self) -> float:
+        """Fractional metric change relative to the baseline."""
+        if self.baseline_value == 0:
+            return 0.0
+        return self.metric_value / self.baseline_value - 1.0
+
+    @property
+    def elasticity(self) -> float:
+        """Percent metric change per percent parameter change."""
+        dp = self.scale - 1.0
+        if dp == 0:
+            return 0.0
+        return self.metric_change / dp
+
+
+@dataclass
+class SensitivityResult:
+    metric_name: str
+    baseline: float
+    rows: List[SensitivityRow] = field(default_factory=list)
+
+    def fragile_parameters(self) -> List[str]:
+        """Parameters whose perturbation breaks the boolean finding."""
+        return sorted({
+            r.parameter for r in self.rows if not r.finding_holds
+        })
+
+    def max_elasticity(self) -> Tuple[str, float]:
+        r = max(self.rows, key=lambda x: abs(x.elasticity))
+        return r.parameter, r.elasticity
+
+
+def sweep(
+    metric: Callable[[Study], float],
+    finding: Callable[[Study], bool],
+    metric_name: str,
+    scales: Sequence[float] = (0.8, 1.25),
+    parameters: Optional[Sequence[Tuple[str, Tuple[str, ...]]]] = None,
+    problem_class: str = "B",
+) -> SensitivityResult:
+    """Perturb each parameter and re-evaluate metric + finding.
+
+    Args:
+        metric: scalar evaluated on a Study (e.g. SP's HTon-8-2 speedup).
+        finding: boolean claim evaluated on a Study.
+        metric_name: label for reports.
+        scales: multiplicative perturbations applied to each parameter.
+        parameters: knobs to perturb (default: :data:`PERTURBABLE`).
+        problem_class: NAS class for the underlying runs.
+    """
+    params = list(parameters or PERTURBABLE)
+    base_study = Study(problem_class)
+    baseline = metric(base_study)
+    result = SensitivityResult(metric_name=metric_name, baseline=baseline)
+
+    for name, path in params:
+        for scale in scales:
+            study = Study(
+                problem_class,
+                params=perturb_params(paxville_params(), path, scale),
+            )
+            result.rows.append(
+                SensitivityRow(
+                    parameter=name,
+                    scale=scale,
+                    metric_value=metric(study),
+                    baseline_value=baseline,
+                    finding_holds=finding(study),
+                )
+            )
+    return result

@@ -1,0 +1,44 @@
+"""Workload characterization primitives.
+
+A benchmark phase is described by an :class:`~repro.trace.phase.Phase`
+(instruction volume, instruction mix, branch behaviour, code footprint)
+plus an :class:`~repro.trace.patterns.AccessMix` — a weighted mixture of
+memory access patterns.  Every pattern supports two consistent views:
+
+* an **analytic** miss-rate model (``miss_rate(capacity, line)``) used by
+  the fast phase-level simulator, and
+* a **generator** of concrete address streams (``gen_addresses``) consumed
+  by the structural set-associative cache simulator.
+
+Tests cross-validate the two views against each other.
+"""
+
+from repro.trace.patterns import (
+    AccessPattern,
+    StreamingPattern,
+    RandomPattern,
+    PointerChasePattern,
+    StencilPattern,
+    AccessMix,
+    effective_capacity,
+    sharing_discount,
+    loop_thrash_miss_rate,
+)
+from repro.trace.phase import Phase, Workload
+from repro.trace.sampling import SampledStream, sample_mix
+
+__all__ = [
+    "AccessPattern",
+    "StreamingPattern",
+    "RandomPattern",
+    "PointerChasePattern",
+    "StencilPattern",
+    "AccessMix",
+    "effective_capacity",
+    "sharing_discount",
+    "loop_thrash_miss_rate",
+    "Phase",
+    "Workload",
+    "SampledStream",
+    "sample_mix",
+]

@@ -1,0 +1,125 @@
+"""Synthetic instruction-side streams: branches and trace-line fetches.
+
+The data-side patterns (:mod:`repro.trace.patterns`) have generator
+counterparts for structural validation; this module provides the same
+for the front end:
+
+* :func:`gen_branch_stream` — a (pc, taken) stream realizing a phase's
+  branch descriptors: biased conditionals over ``branch_sites`` distinct
+  PCs, data-random direction entropy, and inner-loop exit branches at
+  the phase's trip count;
+* :func:`gen_code_stream` — trace-line fetch addresses for a looping
+  code footprint (cyclic sweep, the pattern behind the trace-cache
+  thrash model).
+
+``tests/test_frontend_validation.py`` replays these through the
+structural :class:`~repro.cpu.branch.GsharePredictor` and
+:class:`~repro.mem.cache.SetAssocCache` and checks the analytic closed
+forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.trace.phase import Phase
+
+
+@dataclass(frozen=True)
+class BranchStream:
+    """A concrete branch trace."""
+
+    pcs: np.ndarray
+    outcomes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.pcs) != len(self.outcomes):
+            raise ValueError("pcs and outcomes must align")
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+
+def gen_branch_stream(
+    phase: Phase,
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    n_threads: int = 1,
+) -> BranchStream:
+    """Generate ``n`` branches realizing the phase's branch behaviour.
+
+    The stream mixes three populations, mirroring the analytic model's
+    decomposition (base + intrinsic entropy + loop exits):
+
+    * loop branches: taken ``trips - 1`` times then not-taken once, with
+      the trip count divided by the team size when ``trip_divides``;
+    * data-dependent branches: direction drawn with entropy matching
+      ``branch_misp_intrinsic`` (a biased coin whose minority side
+      appears with about twice the target mispredict probability, since
+      a trained 2-bit counter mispredicts each minority outcome once);
+    * PCs drawn from ``branch_sites`` distinct addresses.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    trips = phase.inner_trip_count
+    if phase.trip_divides and phase.parallel:
+        trips = max(trips / n_threads, 2.0)
+    trips = int(round(trips))
+
+    # Fraction of dynamic branches that are the single loop-exit branch
+    # of each inner loop: 1 per trip block.
+    sites = np.asarray(
+        rng.choice(1 << 20, size=max(phase.branch_sites, 1), replace=False),
+        dtype=np.int64,
+    )
+
+    pcs = np.empty(n, dtype=np.int64)
+    outcomes = np.empty(n, dtype=bool)
+
+    # Loop back-edge: one PC, emitted taken for a whole trip then
+    # not-taken once at the exit.  The loop branch makes up a fraction
+    # ``f_loop`` of dynamic branches; its trip length is scaled so exits
+    # occur once per ``trips`` branches overall — the analytic exit term.
+    loop_pc = int(sites[0])
+    f_loop = 0.6
+    loop_trip = max(int(round(trips * f_loop)), 2)
+    # Data branches: a trained saturating counter mispredicts each
+    # minority outcome once, so the minority probability equals the
+    # intrinsic mispredict rate (scaled to the data-branch share).
+    p_min = min(0.5, phase.branch_misp_intrinsic / (1.0 - f_loop))
+
+    loop_pos = 0
+    for i in range(n):
+        if rng.random() < f_loop:
+            pcs[i] = loop_pc
+            loop_pos += 1
+            if loop_pos >= loop_trip:
+                outcomes[i] = False  # the exit
+                loop_pos = 0
+            else:
+                outcomes[i] = True   # back edge taken
+        else:
+            pcs[i] = int(sites[int(rng.integers(1, len(sites)))]) \
+                if len(sites) > 1 else loop_pc + 64
+            outcomes[i] = rng.random() >= p_min
+    return BranchStream(pcs=pcs, outcomes=outcomes)
+
+
+def gen_code_stream(
+    code_footprint_uops: float,
+    n: int,
+    uops_per_line: float = 6.0,
+) -> np.ndarray:
+    """Trace-line fetch addresses for a looping code footprint.
+
+    The front end fetches the hot loop cyclically; addresses are
+    expressed in "uop bytes" (1 byte = 1 uop) so they can be fed to a
+    cache model sized in uops with 6-uop lines.
+    """
+    footprint = max(int(code_footprint_uops), int(uops_per_line))
+    line = int(uops_per_line)
+    n_lines = max(footprint // line, 1)
+    idx = np.arange(n, dtype=np.int64) % n_lines
+    return idx * line

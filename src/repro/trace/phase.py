@@ -1,0 +1,156 @@
+"""Phase descriptors: the unit of work the simulation engine executes.
+
+A benchmark is a :class:`Workload` — an ordered list of phases, each either
+serial or an OpenMP parallel region.  All volumes are expressed for the
+*serial* execution; the engine divides parallel work across team members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.trace.patterns import AccessMix
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase of a benchmark.
+
+    Attributes:
+        name: short identifier (e.g. ``"spmv"``, ``"fft_z"``).
+        instructions: dynamic uops executed by the whole phase (serial).
+        mem_ops_per_instr: loads+stores per uop.
+        load_fraction: fraction of memory ops that are loads.
+        access_mix: memory access pattern mixture.
+        code_footprint_uops: hot-loop code size in uops (trace cache
+            pressure).
+        code_footprint_bytes: hot-loop x86 code size in bytes (ITLB
+            pressure).
+        branches_per_instr: conditional branches per uop.
+        branch_misp_intrinsic: mispredict rate of a private, infinitely
+            large predictor (data-dependent branch entropy).
+        branch_sites: distinct dynamic branch PCs (BHT aliasing pressure).
+        ilp: sustainable uops/cycle with a perfect memory system, single
+            thread (capped by the core issue width).
+        parallel: executed by the OpenMP team (vs. the master only).
+        imbalance: fractional excess of slowest thread over the mean
+            (load imbalance; LU's pipelined wavefronts are high).
+        prefetchability: fraction of the miss stream detectable by a
+            stride prefetcher (1 = perfectly regular).
+        barriers: implicit/explicit barriers in the phase (per iteration).
+        iterations: times the phase repeats (e.g. CG's 75 outer
+            iterations); instruction counts are *totals*, iterations only
+            scale synchronization overhead.
+        moclears_per_kinstr: memory-order machine clears per 1000 uops
+            (NetBurst replay on memory disambiguation misses).
+        inner_trip_count: average trip count of the innermost loops; loop
+            exits contribute ~1 mispredict per trip, so short inner loops
+            predict worse.
+        trip_divides: True when OpenMP work-sharing shortens the inner
+            loops (partitioning along the innermost dimension), making
+            exit mispredicts grow with the team size (SP's behaviour at 8
+            threads).
+        branch_history_sensitivity: how strongly an HT sibling's
+            interleaved branch stream pollutes the shared global history
+            (high for data-dependent branch codes like CG).
+        smt_capacity: combined throughput two co-scheduled copies of this
+            phase can extract from one core, relative to one thread alone
+            (~1.25 for mixed int/FP code; ~1.0 for code saturating a
+            single non-pipelined unit, like EP's x87 log/sqrt chains).
+        mlp: memory-level parallelism of this phase's miss stream (0 =
+            use the machine default); regular multi-stream codes keep
+            more misses in flight than dependent gathers.
+        halo_bytes_per_iteration: boundary bytes each thread exchanges
+            with its neighbours per iteration (halo planes, reduction
+            cells).  Drives MESI coherence transfers whose cost depends
+            on the team's physical span.
+    """
+
+    name: str
+    instructions: float
+    mem_ops_per_instr: float
+    access_mix: AccessMix
+    code_footprint_uops: float
+    code_footprint_bytes: float
+    branches_per_instr: float
+    branch_misp_intrinsic: float
+    branch_sites: int
+    ilp: float
+    load_fraction: float = 0.7
+    parallel: bool = True
+    imbalance: float = 0.0
+    prefetchability: float = 0.5
+    barriers: int = 1
+    iterations: int = 1
+    moclears_per_kinstr: float = 0.0
+    inner_trip_count: float = 256.0
+    trip_divides: bool = False
+    branch_history_sensitivity: float = 0.2
+    smt_capacity: float = 1.25
+    mlp: float = 0.0
+    halo_bytes_per_iteration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError("phase must execute a positive instruction count")
+        if not 0 <= self.mem_ops_per_instr <= 1:
+            raise ValueError("mem_ops_per_instr must be within [0, 1]")
+        if not 0 <= self.load_fraction <= 1:
+            raise ValueError("load_fraction must be within [0, 1]")
+        if not 0 <= self.branch_misp_intrinsic <= 1:
+            raise ValueError("branch_misp_intrinsic must be within [0, 1]")
+        if self.ilp <= 0:
+            raise ValueError("ilp must be positive")
+        if not 0 <= self.prefetchability <= 1:
+            raise ValueError("prefetchability must be within [0, 1]")
+
+    def with_scale(self, factor: float) -> "Phase":
+        """Scale the phase's instruction volume (problem-class scaling)."""
+        return replace(self, instructions=self.instructions * factor)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete benchmark: named, versioned list of phases.
+
+    Attributes:
+        name: benchmark name (``"CG"``, ``"FT"``, ...).
+        problem_class: NAS class letter (``"S"``, ``"W"``, ``"A"``,
+            ``"B"``, ``"C"``).
+        phases: ordered phases.
+        memory_bound_score: 0..1 summary used by symbiosis-aware
+            scheduling extensions (derived, not used by the engine).
+    """
+
+    name: str
+    problem_class: str
+    phases: Tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("workload needs at least one phase")
+
+    @property
+    def total_instructions(self) -> float:
+        return sum(p.instructions for p in self.phases)
+
+    @property
+    def parallel_fraction(self) -> float:
+        """Fraction of dynamic instructions inside parallel regions."""
+        par = sum(p.instructions for p in self.phases if p.parallel)
+        return par / self.total_instructions
+
+    @property
+    def mem_intensity(self) -> float:
+        """Instruction-weighted memory ops per uop (boundness summary)."""
+        total = self.total_instructions
+        return (
+            sum(p.instructions * p.mem_ops_per_instr for p in self.phases) / total
+        )
+
+    def scaled(self, factor: float) -> "Workload":
+        """Uniformly scale instruction volume (used for reduced classes)."""
+        return replace(
+            self, phases=tuple(p.with_scale(factor) for p in self.phases)
+        )

@@ -1,0 +1,27 @@
+"""Runtime tuning — the paper's future-work direction, implemented.
+
+The paper closes by proposing schedulers that use runtime performance
+information to pick thread mixes and placements on chip-multithreaded
+SMPs (citing Curtis-Maury et al. and Zhang & Voss).  This package
+implements both ideas on the simulated platform:
+
+* :mod:`repro.tuning.loop_tuner` — a self-tuning loop scheduler that
+  trials static/dynamic/guided schedules and commits to the fastest
+  (Zhang & Voss, IPDPS'05);
+* :mod:`repro.tuning.placement_tuner` — a feedback placement tuner that
+  samples candidate thread placements in short trial intervals and
+  commits to the best-throughput policy (Curtis-Maury et al., QEST'05).
+"""
+
+from repro.tuning.loop_tuner import LoopTuneResult, tune_loop_schedule
+from repro.tuning.placement_tuner import (
+    PlacementTuneResult,
+    tune_placement,
+)
+
+__all__ = [
+    "LoopTuneResult",
+    "tune_loop_schedule",
+    "PlacementTuneResult",
+    "tune_placement",
+]

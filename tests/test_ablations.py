@@ -1,0 +1,68 @@
+"""Tests for the extension experiments (schedulers + hardware ablations)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    bus_bandwidth_sweep,
+    prefetcher_ablation,
+    report_ablation,
+    report_scheduler,
+    scheduler_comparison,
+    trace_cache_sweep,
+)
+
+
+class TestPrefetcherAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return prefetcher_ablation(benchmarks=("MG", "SP"),
+                                   config="ht_off_2_1")
+
+    def test_prefetcher_helps_regular_codes(self, result):
+        for bench in ("MG", "SP"):
+            assert (
+                result.results[bench]["prefetch_on"]
+                > result.results[bench]["prefetch_off"]
+            )
+
+    def test_report(self, result):
+        text = report_ablation(result, "Prefetcher ablation")
+        assert "prefetch_on" in text
+
+
+class TestBusBandwidthSweep:
+    def test_memory_bound_speedup_monotone_in_bandwidth(self):
+        result = bus_bandwidth_sweep(benchmark="CG", config="ht_off_4_2",
+                                     scales=(0.5, 1.0, 2.0))
+        vals = [result.results["CG"][v] for v in result.variants]
+        assert vals == sorted(vals)
+        # Halving bandwidth must hurt a bus-bound code noticeably.
+        assert vals[0] < vals[1] * 0.9
+
+
+class TestTraceCacheSweep:
+    def test_mg_gains_from_bigger_trace_cache(self):
+        result = trace_cache_sweep(benchmark="MG", config="ht_off_4_2",
+                                   sizes_kuops=(6, 12, 48))
+        vals = [result.results["MG"][v] for v in result.variants]
+        assert vals[-1] > vals[0]
+
+
+class TestSchedulerComparison:
+    @pytest.fixture(scope="class")
+    def comp(self):
+        return scheduler_comparison(pairs=[("CG", "FT"), ("FT", "FT")],
+                                    config="ht_on_8_2")
+
+    def test_all_schedulers_reported(self, comp):
+        for pair in comp.results.values():
+            assert set(pair) == {"linux_default", "gang", "symbiosis"}
+
+    def test_pinned_policies_avoid_migration_cost(self, comp):
+        """Gang/symbiosis pin threads (no migration refills), so they
+        should not lose to the default placement on the mixed pair."""
+        row = comp.results["CG/FT"]
+        assert max(row["gang"], row["symbiosis"]) >= row["linux_default"]
+
+    def test_report(self, comp):
+        assert "Scheduler comparison" in report_scheduler(comp)

@@ -1,0 +1,126 @@
+"""Tests for the analysis layer: speedups, stats, report formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.report import format_box_plot, format_metric_grid, format_table
+from repro.analysis.speedup import (
+    SpeedupTable,
+    average_speedup_by_architecture,
+    speedup_table,
+)
+from repro.analysis.stats import box_stats
+from repro.machine.configurations import Architecture
+
+
+class TestSpeedupTable:
+    def test_build_from_runtimes(self):
+        t = speedup_table(
+            {"CG": 100.0},
+            {"CG": {"ht_off_2_1": 50.0, "ht_off_4_2": 25.0}},
+        )
+        assert t.get("CG", "ht_off_2_1") == pytest.approx(2.0)
+        assert t.get("CG", "ht_off_4_2") == pytest.approx(4.0)
+
+    def test_column_average(self):
+        t = SpeedupTable()
+        t.set("A", "c", 2.0)
+        t.set("B", "c", 4.0)
+        assert t.column_average("c") == pytest.approx(3.0)
+
+    def test_missing_column(self):
+        t = SpeedupTable()
+        t.set("A", "c", 2.0)
+        with pytest.raises(KeyError):
+            t.column_average("other")
+
+    def test_nonpositive_rejected(self):
+        t = SpeedupTable()
+        with pytest.raises(ValueError):
+            t.set("A", "c", 0.0)
+
+    def test_architecture_averages(self):
+        t = SpeedupTable()
+        t.set("CG", "ht_off_4_2", 2.5)
+        t.set("FT", "ht_off_4_2", 3.5)
+        t.set("CG", "ht_on_4_1", 2.0)
+        avgs = average_speedup_by_architecture(t)
+        assert avgs[Architecture.CMP_BASED_SMP] == pytest.approx(3.0)
+        assert avgs[Architecture.CMT] == pytest.approx(2.0)
+        assert Architecture.SERIAL not in avgs
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        s = box_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.minimum == 1.0
+        assert s.median == 3.0
+        assert s.maximum == 5.0
+        assert s.q1 == 2.0
+        assert s.q3 == 4.0
+        assert s.iqr == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+    def test_single_value(self):
+        s = box_stats([2.0])
+        assert s.minimum == s.median == s.maximum == 2.0
+
+    def test_contains(self):
+        s = box_stats([1.0, 3.0])
+        assert s.contains(2.0)
+        assert not s.contains(4.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_ordering_invariant(self, values):
+        s = box_stats(values)
+        assert (
+            s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+        )
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_bounds_are_sample_extremes(self, values):
+        s = box_stats(values)
+        assert s.minimum == min(values)
+        assert s.maximum == max(values)
+
+
+class TestReportFormatting:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bee"], [[1.0, 2.0], [3.0, 4.0]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_metric_grid(self):
+        out = format_metric_grid(
+            "cpi", {"CG": {"c1": 1.5, "c2": 2.5}}, ["c1", "c2"]
+        )
+        assert "cpi" in out
+        assert "1.500" in out and "2.500" in out
+
+    def test_metric_grid_missing_value_nan(self):
+        out = format_metric_grid("m", {"CG": {"c1": 1.0}}, ["c1", "c2"])
+        assert "nan" in out
+
+    def test_box_plot_render(self):
+        stats = {
+            "a": box_stats([1.0, 2.0, 3.0]),
+            "b": box_stats([2.0, 4.0, 6.0]),
+        }
+        out = format_box_plot(stats, ["a", "b"], width=40)
+        assert "med=2.00" in out
+        assert "#" in out
+
+    def test_box_plot_empty_raises(self):
+        with pytest.raises(ValueError):
+            format_box_plot({}, ["a"])

@@ -1,0 +1,145 @@
+"""Tests for the branch predictor: structural gshare + analytic model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.branch import GsharePredictor, analytic_mispredict_rate
+from repro.machine.params import BranchPredictorParams
+from repro.trace.phase import Phase
+from repro.trace.patterns import AccessMix, RandomPattern
+
+
+def make_phase(**over):
+    defaults = dict(
+        name="p",
+        instructions=1e9,
+        mem_ops_per_instr=0.3,
+        access_mix=AccessMix.of((1.0, RandomPattern(footprint_bytes=4096.0)),),
+        code_footprint_uops=3000.0,
+        code_footprint_bytes=7000.0,
+        branches_per_instr=0.1,
+        branch_misp_intrinsic=0.01,
+        branch_sites=300,
+        ilp=1.4,
+        inner_trip_count=200.0,
+    )
+    defaults.update(over)
+    return Phase(**defaults)
+
+
+class TestGshareStructural:
+    def test_biased_branch_learned(self):
+        p = GsharePredictor(BranchPredictorParams())
+        pcs = np.full(2000, 0x400, dtype=np.int64)
+        outcomes = np.ones(2000, dtype=bool)
+        stats = p.run(pcs, outcomes)
+        assert stats.mispredict_rate < 0.05
+
+    def test_alternating_pattern_learned_via_history(self):
+        """gshare learns T/NT alternation through the history register."""
+        p = GsharePredictor(BranchPredictorParams())
+        n = 4000
+        pcs = np.full(n, 0x400, dtype=np.int64)
+        outcomes = np.arange(n) % 2 == 0
+        stats = p.run(pcs, outcomes)
+        assert stats.mispredict_rate < 0.10
+
+    def test_random_branches_near_half(self):
+        p = GsharePredictor(BranchPredictorParams())
+        rng = np.random.default_rng(0)
+        pcs = rng.integers(0, 1 << 20, 4000).astype(np.int64)
+        outcomes = rng.random(4000) < 0.5
+        stats = p.run(pcs, outcomes)
+        assert 0.35 < stats.mispredict_rate < 0.65
+
+    def test_reset(self):
+        p = GsharePredictor(BranchPredictorParams())
+        p.predict_and_update(0x10, True)
+        p.reset()
+        assert p.stats.branches == 0
+
+    def test_length_mismatch(self):
+        p = GsharePredictor(BranchPredictorParams())
+        with pytest.raises(ValueError):
+            p.run(np.zeros(2, dtype=np.int64), np.ones(3, dtype=bool))
+
+    def test_requires_power_of_two_table(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(BranchPredictorParams(bht_entries=1000))
+
+    def test_prediction_rate_complements(self):
+        p = GsharePredictor(BranchPredictorParams())
+        p.run(np.zeros(100, dtype=np.int64), np.ones(100, dtype=bool))
+        assert p.stats.prediction_rate == pytest.approx(
+            1.0 - p.stats.mispredict_rate
+        )
+
+
+class TestAnalyticModel:
+    def setup_method(self):
+        self.params = BranchPredictorParams()
+
+    def test_floor_is_base_plus_intrinsic(self):
+        phase = make_phase(branch_misp_intrinsic=0.02,
+                           inner_trip_count=1e9, branch_sites=1)
+        rate = analytic_mispredict_rate(phase, self.params)
+        assert rate == pytest.approx(
+            self.params.base_mispredict_rate + 0.02, abs=1e-3
+        )
+
+    def test_short_inner_loops_mispredict_more(self):
+        long_loops = make_phase(inner_trip_count=1000.0)
+        short_loops = make_phase(inner_trip_count=10.0)
+        assert analytic_mispredict_rate(
+            short_loops, self.params
+        ) > analytic_mispredict_rate(long_loops, self.params)
+
+    def test_trip_division_raises_mispredicts_with_threads(self):
+        phase = make_phase(inner_trip_count=100.0, trip_divides=True)
+        r1 = analytic_mispredict_rate(phase, self.params, n_threads=1)
+        r8 = analytic_mispredict_rate(phase, self.params, n_threads=8)
+        assert r8 > r1
+
+    def test_no_trip_division_thread_invariant(self):
+        phase = make_phase(inner_trip_count=100.0, trip_divides=False)
+        r1 = analytic_mispredict_rate(phase, self.params, n_threads=1)
+        r8 = analytic_mispredict_rate(phase, self.params, n_threads=8)
+        assert r8 == pytest.approx(r1)
+
+    def test_ht_sibling_pollutes_history(self):
+        phase = make_phase(branch_history_sensitivity=0.9)
+        solo = analytic_mispredict_rate(phase, self.params, core_sharers=1)
+        pair = analytic_mispredict_rate(phase, self.params, core_sharers=2)
+        assert pair > solo
+
+    def test_insensitive_code_barely_polluted(self):
+        tough = make_phase(branch_history_sensitivity=0.9)
+        easy = make_phase(branch_history_sensitivity=0.05)
+        delta_tough = analytic_mispredict_rate(
+            tough, self.params, core_sharers=2
+        ) - analytic_mispredict_rate(tough, self.params, core_sharers=1)
+        delta_easy = analytic_mispredict_rate(
+            easy, self.params, core_sharers=2
+        ) - analytic_mispredict_rate(easy, self.params, core_sharers=1)
+        assert delta_tough > delta_easy
+
+    def test_different_program_sibling_adds_aliasing(self):
+        phase = make_phase(branch_sites=2000)
+        co = make_phase(branch_sites=2000)
+        same = analytic_mispredict_rate(
+            phase, self.params, core_sharers=2, same_program=True
+        )
+        diff = analytic_mispredict_rate(
+            phase, self.params, core_sharers=2, same_program=False,
+            co_phase=co,
+        )
+        assert diff > same
+
+    def test_bounded(self):
+        phase = make_phase(branch_misp_intrinsic=0.9, inner_trip_count=2.0,
+                           branch_sites=100000,
+                           branch_history_sensitivity=1.0)
+        rate = analytic_mispredict_rate(
+            phase, self.params, n_threads=8, core_sharers=2
+        )
+        assert rate <= 1.0

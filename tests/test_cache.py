@@ -1,0 +1,191 @@
+"""Tests for the structural set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.params import CacheParams
+from repro.mem.cache import (
+    CacheStats,
+    SetAssocCache,
+    cyclic_chain_miss_rate,
+    simulate_miss_rate,
+)
+
+
+def small_cache(size=1024, line=64, ways=2):
+    return SetAssocCache(
+        CacheParams(size_bytes=size, line_bytes=line, associativity=ways,
+                    latency_cycles=1.0)
+    )
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_second_hits(self):
+        c = small_cache()
+        assert c.access(0) is True
+        assert c.access(0) is False
+
+    def test_same_line_hits(self):
+        c = small_cache(line=64)
+        c.access(0)
+        assert c.access(63) is False
+        assert c.access(64) is True
+
+    def test_lru_eviction_order(self):
+        # 2-way, 8 sets: lines 0, 8, 16 all map to set 0.
+        c = small_cache(size=1024, line=64, ways=2)
+        n_sets = c.params.n_sets
+        a, b, d = 0, n_sets * 64, 2 * n_sets * 64
+        c.access(a)
+        c.access(b)
+        c.access(d)          # evicts a (LRU)
+        assert c.access(b) is False
+        assert c.access(a) is True   # was evicted
+
+    def test_lru_touch_refreshes(self):
+        c = small_cache(size=1024, line=64, ways=2)
+        n_sets = c.params.n_sets
+        a, b, d = 0, n_sets * 64, 2 * n_sets * 64
+        c.access(a)
+        c.access(b)
+        c.access(a)          # refresh a; b is now LRU
+        c.access(d)          # evicts b
+        assert c.access(a) is False
+        assert c.access(b) is True
+
+    def test_occupancy(self):
+        c = small_cache()
+        assert c.occupancy == 0.0
+        c.access(0)
+        assert c.occupancy == pytest.approx(1.0 / c.params.n_lines)
+
+    def test_reset(self):
+        c = small_cache()
+        c.access(0)
+        c.reset()
+        assert c.occupancy == 0.0
+        assert c.stats.total_accesses == 0
+        assert c.access(0) is True
+
+
+class TestRunAndStats:
+    def test_run_matches_single_access(self):
+        addrs = np.array([0, 64, 0, 128, 64, 0], dtype=np.int64)
+        c1 = small_cache()
+        for a in addrs:
+            c1.access(int(a))
+        c2 = small_cache()
+        c2.run(addrs)
+        assert c1.stats.total_misses == c2.stats.total_misses
+
+    def test_per_context_attribution(self):
+        c = small_cache()
+        addrs = np.array([0, 0, 64, 64], dtype=np.int64)
+        ctxs = np.array([0, 1, 0, 1], dtype=np.int64)
+        c.run(addrs, ctxs)
+        # Context 0 misses both lines; context 1 hits both (filled by 0).
+        assert c.stats.miss_rate(0) == 1.0
+        assert c.stats.miss_rate(1) == 0.0
+
+    def test_context_length_mismatch(self):
+        c = small_cache()
+        with pytest.raises(ValueError):
+            c.run(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int64))
+
+    def test_stats_miss_rate_empty(self):
+        assert CacheStats().miss_rate() == 0.0
+
+
+class TestWorkingSetBehaviour:
+    def test_fitting_working_set_all_hits_after_warmup(self):
+        c = small_cache(size=1024, line=64, ways=2)
+        addrs = np.tile(np.arange(8, dtype=np.int64) * 64, 20)
+        rate = simulate_miss_rate(c.params, addrs, warmup_fraction=0.5)
+        assert rate == 0.0
+
+    def test_thrashing_working_set(self):
+        params = small_cache(size=1024, line=64, ways=2).params
+        # Cyclic sweep over 4x the cache: LRU thrashes completely.
+        addrs = np.tile(np.arange(64, dtype=np.int64) * 64, 10)
+        rate = simulate_miss_rate(params, addrs, warmup_fraction=0.2)
+        assert rate > 0.95
+
+    def test_warmup_fraction_validation(self):
+        params = small_cache().params
+        with pytest.raises(ValueError):
+            simulate_miss_rate(params, np.zeros(4, dtype=np.int64), 1.0)
+
+
+class TestMonotonicityProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bigger_cache_never_misses_more(self, seed, ways):
+        rng = np.random.default_rng(seed)
+        addrs = rng.integers(0, 1 << 14, size=400, dtype=np.int64)
+        small = CacheParams(size_bytes=1024, line_bytes=64,
+                            associativity=ways, latency_cycles=1.0)
+        # LRU inclusion holds when sets are nested: double the ways.
+        big = CacheParams(size_bytes=2048, line_bytes=64,
+                          associativity=2 * ways, latency_cycles=1.0)
+        assert simulate_miss_rate(big, addrs, 0.0) <= simulate_miss_rate(
+            small, addrs, 0.0
+        ) + 1e-12
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_fully_associative_stack_property(self, seed):
+        """LRU stack property: a larger fully-associative cache never
+        misses more (exact inclusion, single set)."""
+        rng = np.random.default_rng(seed)
+        addrs = rng.integers(0, 1 << 13, size=300, dtype=np.int64)
+        small = CacheParams(size_bytes=1024, line_bytes=64, associativity=16,
+                            latency_cycles=1.0)
+        big = CacheParams(size_bytes=2048, line_bytes=64, associativity=32,
+                          latency_cycles=1.0)
+        assert simulate_miss_rate(big, addrs, 0.0) <= simulate_miss_rate(
+            small, addrs, 0.0
+        ) + 1e-12
+
+
+class TestCyclicChainClosedForm:
+    @given(
+        st.integers(min_value=2, max_value=128),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_structural_simulation(self, n_slots, seed):
+        """The closed form equals the structural simulator on cyclic
+        permutation chains (steady state)."""
+        params = CacheParams(size_bytes=1024, line_bytes=64, associativity=2,
+                             latency_cycles=1.0)
+        rng = np.random.default_rng(seed)
+        lines = rng.choice(256, size=n_slots, replace=False).astype(np.int64)
+        addrs_once = lines * 64
+        order = rng.permutation(n_slots)
+        chain = addrs_once[order]
+        predicted = cyclic_chain_miss_rate(params, addrs_once)
+        # Replay the chain many times; measure the steady-state rate.
+        stream = np.tile(chain, 12)
+        measured = simulate_miss_rate(params, stream, warmup_fraction=0.5)
+        assert measured == pytest.approx(predicted, abs=1e-9)
+
+    def test_fits_entirely(self):
+        params = CacheParams(size_bytes=1024, line_bytes=64, associativity=2,
+                             latency_cycles=1.0)
+        addrs = np.arange(8, dtype=np.int64) * 64
+        assert cyclic_chain_miss_rate(params, addrs) == 0.0
+
+    def test_total_thrash(self):
+        params = CacheParams(size_bytes=1024, line_bytes=64, associativity=2,
+                             latency_cycles=1.0)
+        addrs = np.arange(64, dtype=np.int64) * 64  # 4x capacity, uniform
+        assert cyclic_chain_miss_rate(params, addrs) == 1.0
+
+    def test_empty_chain(self):
+        params = CacheParams(size_bytes=1024, line_bytes=64, associativity=2,
+                             latency_cycles=1.0)
+        assert cyclic_chain_miss_rate(params, np.array([], dtype=np.int64)) == 0.0

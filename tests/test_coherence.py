@@ -1,0 +1,147 @@
+"""Tests for the MESI coherence models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.coherence import (
+    CROSS_CHIP_TRANSFER_CYCLES,
+    SAME_CHIP_TRANSFER_CYCLES,
+    CoherenceEvent,
+    LineState,
+    MESIDirectory,
+    coherence_misses_per_instr,
+    coherence_stall_cycles_per_instr,
+)
+
+
+class TestMESIProtocol:
+    def test_cold_read_is_exclusive(self):
+        d = MESIDirectory(2)
+        assert d.access(0, 0, is_write=False) is CoherenceEvent.MISS_MEMORY
+        assert d.state(0, 0) is LineState.EXCLUSIVE
+
+    def test_second_reader_shares(self):
+        d = MESIDirectory(2)
+        d.access(0, 0, is_write=False)
+        ev = d.access(0, 1, is_write=False)
+        assert ev is CoherenceEvent.MISS_REMOTE
+        assert d.state(0, 0) is LineState.SHARED
+        assert d.state(0, 1) is LineState.SHARED
+
+    def test_silent_e_to_m_upgrade(self):
+        d = MESIDirectory(2)
+        d.access(0, 0, is_write=False)       # E
+        ev = d.access(0, 0, is_write=True)   # E->M, no bus action
+        assert ev is CoherenceEvent.HIT
+        assert d.state(0, 0) is LineState.MODIFIED
+
+    def test_write_invalidates_sharers(self):
+        d = MESIDirectory(3)
+        for c in range(3):
+            d.access(0, c, is_write=False)
+        ev = d.access(0, 0, is_write=True)
+        assert ev is CoherenceEvent.UPGRADE
+        assert d.state(0, 1) is LineState.INVALID
+        assert d.state(0, 2) is LineState.INVALID
+        assert d.modified_holder(0) == 0
+
+    def test_read_of_modified_line_is_remote_transfer(self):
+        d = MESIDirectory(2)
+        d.access(0, 0, is_write=False)
+        d.access(0, 0, is_write=True)        # cache 0 holds M
+        ev = d.access(0, 1, is_write=False)
+        assert ev is CoherenceEvent.MISS_REMOTE
+        assert d.state(0, 0) is LineState.SHARED
+
+    def test_ping_pong_writes(self):
+        """Two writers alternating on one line: every access after the
+        first is a remote transfer (the false-sharing pathology)."""
+        d = MESIDirectory(2)
+        d.access(0, 0, is_write=True)
+        events = [
+            d.access(0, c, is_write=True) for c in (1, 0, 1, 0)
+        ]
+        assert all(ev is CoherenceEvent.MISS_REMOTE for ev in events)
+
+    def test_line_granularity(self):
+        d = MESIDirectory(2, line_bytes=128)
+        d.access(0, 0, is_write=True)
+        assert d.access(127, 1, is_write=False) is CoherenceEvent.MISS_REMOTE
+        assert d.access(128, 1, is_write=False) is CoherenceEvent.MISS_MEMORY
+
+    def test_stats_accumulate(self):
+        d = MESIDirectory(2)
+        d.access(0, 0, is_write=False)
+        d.access(0, 0, is_write=False)
+        assert d.stats[0].count(CoherenceEvent.HIT) == 1
+        assert d.stats[0].accesses == 2
+
+    def test_invalid_cache_id(self):
+        d = MESIDirectory(2)
+        with pytest.raises(ValueError):
+            d.access(0, 5, is_write=False)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_under_random_traffic(self, seed):
+        """Protocol invariants hold under arbitrary access interleavings:
+        at most one M/E owner, M excludes all other copies."""
+        rng = np.random.default_rng(seed)
+        d = MESIDirectory(4, line_bytes=64)
+        for _ in range(300):
+            addr = int(rng.integers(0, 512)) * 64
+            cache = int(rng.integers(0, 4))
+            write = bool(rng.random() < 0.4)
+            d.access(addr, cache, write)
+        d.check_invariants()
+
+
+class TestAnalyticCoherence:
+    def test_single_thread_no_coherence(self):
+        assert coherence_misses_per_instr(0.5, 0.1, 1) == 0.0
+
+    def test_rate_proportional_to_shared_writes(self):
+        a = coherence_misses_per_instr(0.5, 0.01, 4)
+        b = coherence_misses_per_instr(0.5, 0.02, 4)
+        assert b == pytest.approx(2 * a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coherence_misses_per_instr(0.5, 1.5, 4)
+
+    def test_cross_chip_costlier(self):
+        one = coherence_stall_cycles_per_instr(1e-4, span_chips=1)
+        two = coherence_stall_cycles_per_instr(1e-4, span_chips=2)
+        assert two > one
+        assert one == pytest.approx(1e-4 * SAME_CHIP_TRANSFER_CYCLES)
+
+    def test_explicit_cross_fraction(self):
+        all_cross = coherence_stall_cycles_per_instr(
+            1e-4, span_chips=2, cross_chip_fraction=1.0
+        )
+        assert all_cross == pytest.approx(1e-4 * CROSS_CHIP_TRANSFER_CYCLES)
+
+
+class TestEngineIntegration:
+    def test_stencil_codes_record_coherence_traffic(self):
+        from repro.counters.events import Event
+        from repro.machine.configurations import get_config
+        from repro.npb.suite import build_workload
+        from repro.sim.engine import Engine
+
+        r = Engine(get_config("ht_off_4_2")).run_single(
+            build_workload("SP", "B")
+        )
+        assert r.collector.total()[Event.COHERENCE_TRANSFER] > 0
+
+    def test_serial_run_has_no_coherence(self):
+        from repro.counters.events import Event
+        from repro.machine.configurations import get_config
+        from repro.npb.suite import build_workload
+        from repro.sim.engine import Engine
+
+        r = Engine(get_config("serial")).run_single(
+            build_workload("SP", "B")
+        )
+        assert r.collector.total()[Event.COHERENCE_TRANSFER] == 0

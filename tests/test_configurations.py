@@ -1,0 +1,83 @@
+"""Tests for the paper's Table-1 configurations."""
+
+import pytest
+
+from repro.machine.configurations import (
+    Architecture,
+    CONFIGURATIONS,
+    COMPARISON_GROUPS,
+    get_config,
+    multithreaded_configs,
+)
+
+
+class TestTable1:
+    def test_eight_configurations(self):
+        assert len(CONFIGURATIONS) == 8
+
+    @pytest.mark.parametrize(
+        "name,ht,threads,chips,n_ctx,arch",
+        [
+            ("serial", False, 1, 1, 1, Architecture.SERIAL),
+            ("ht_on_2_1", True, 2, 1, 2, Architecture.SMT),
+            ("ht_off_2_1", False, 2, 1, 2, Architecture.CMP),
+            ("ht_on_4_1", True, 4, 1, 4, Architecture.CMT),
+            ("ht_off_2_2", False, 2, 2, 2, Architecture.SMP),
+            ("ht_on_4_2", True, 4, 2, 4, Architecture.SMT_BASED_SMP),
+            ("ht_off_4_2", False, 4, 2, 4, Architecture.CMP_BASED_SMP),
+            ("ht_on_8_2", True, 8, 2, 8, Architecture.CMT_BASED_SMP),
+        ],
+    )
+    def test_rows(self, name, ht, threads, chips, n_ctx, arch):
+        cfg = get_config(name)
+        assert cfg.ht is ht
+        assert cfg.n_threads == threads
+        assert cfg.n_chips == chips
+        assert cfg.n_contexts == n_ctx
+        assert cfg.architecture is arch
+
+    def test_cmt_contexts_are_one_chip(self):
+        cfg = get_config("ht_on_4_1")
+        topo = cfg.topology()
+        assert topo.n_chips == 1
+        assert topo.n_cores == 2
+
+    def test_smt_smp_contexts_span_chips_one_core_each(self):
+        cfg = get_config("ht_on_4_2")
+        topo = cfg.topology()
+        assert topo.n_chips == 2
+        assert topo.n_cores == 2  # one core per chip, both siblings
+
+    def test_paper_labels(self):
+        assert get_config("ht_on_4_1").paper_label == "HTon-2-4-1"
+        assert get_config("serial").paper_label == "Serial"
+
+    def test_topology_matches_context_labels(self):
+        for cfg in CONFIGURATIONS.values():
+            topo = cfg.topology()
+            assert {c.label for c in topo.contexts} == set(cfg.context_labels)
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_config("ht_on_16_4")
+
+    def test_multithreaded_excludes_serial(self):
+        names = [c.name for c in multithreaded_configs()]
+        assert "serial" not in names
+        assert len(names) == 7
+
+
+class TestGroups:
+    def test_four_groups(self):
+        assert set(COMPARISON_GROUPS) == {
+            "group1", "group2", "group3", "group4"
+        }
+
+    def test_group_membership(self):
+        assert COMPARISON_GROUPS["group2"] == ["ht_off_2_1", "ht_on_4_1"]
+        assert COMPARISON_GROUPS["group4"] == ["ht_off_4_2", "ht_on_8_2"]
+
+    def test_groups_reference_real_configs(self):
+        for members in COMPARISON_GROUPS.values():
+            for name in members:
+                assert name in CONFIGURATIONS

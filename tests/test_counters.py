@@ -1,0 +1,123 @@
+"""Tests for the performance-counter model."""
+
+import pytest
+
+from repro.counters.collector import Collector, CounterSet
+from repro.counters.events import Event, RATE_DEFINITIONS
+from repro.counters.metrics import derive_metrics
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        cs = CounterSet()
+        cs.add(Event.CYCLES, 100.0)
+        cs.add(Event.CYCLES, 50.0)
+        assert cs[Event.CYCLES] == 150.0
+        assert cs[Event.INSTR_RETIRED] == 0.0
+
+    def test_negative_rejected(self):
+        cs = CounterSet()
+        with pytest.raises(ValueError):
+            cs.add(Event.CYCLES, -1.0)
+
+    def test_merge(self):
+        a = CounterSet({Event.CYCLES: 10.0})
+        b = CounterSet({Event.CYCLES: 5.0, Event.INSTR_RETIRED: 2.0})
+        m = a.merge(b)
+        assert m[Event.CYCLES] == 15.0
+        assert m[Event.INSTR_RETIRED] == 2.0
+        assert a[Event.CYCLES] == 10.0  # merge is pure
+
+    def test_ratio(self):
+        cs = CounterSet({Event.L1D_MISS: 5.0, Event.L1D_ACCESS: 50.0})
+        assert cs.ratio(Event.L1D_MISS, Event.L1D_ACCESS) == 0.1
+        assert cs.ratio(Event.L2_MISS, Event.L2_ACCESS) == 0.0
+
+
+class TestCollector:
+    def test_program_aggregation(self):
+        c = Collector()
+        c.add(0, "A0", Event.CYCLES, 10.0)
+        c.add(0, "A1", Event.CYCLES, 20.0)
+        c.add(1, "A2", Event.CYCLES, 40.0)
+        assert c.for_program(0)[Event.CYCLES] == 30.0
+        assert c.for_program(1)[Event.CYCLES] == 40.0
+        assert c.total()[Event.CYCLES] == 70.0
+
+    def test_context_aggregation(self):
+        c = Collector()
+        c.add(0, "A0", Event.CYCLES, 10.0)
+        c.add(1, "A0", Event.CYCLES, 5.0)
+        assert c.for_context("A0")[Event.CYCLES] == 15.0
+
+    def test_add_many(self):
+        c = Collector()
+        c.add_many(0, "A0", {Event.CYCLES: 1.0, Event.INSTR_RETIRED: 2.0})
+        assert c.total()[Event.INSTR_RETIRED] == 2.0
+
+    def test_enumeration(self):
+        c = Collector()
+        c.add(2, "B1", Event.CYCLES, 1.0)
+        c.add(0, "B0", Event.CYCLES, 1.0)
+        assert list(c.programs()) == [0, 2]
+        assert list(c.contexts()) == ["B0", "B1"]
+
+
+class TestDerivedMetrics:
+    def make_counters(self):
+        return CounterSet({
+            Event.CYCLES: 1000.0,
+            Event.INSTR_RETIRED: 500.0,
+            Event.STALL_CYCLES: 400.0,
+            Event.L1D_ACCESS: 200.0,
+            Event.L1D_MISS: 20.0,
+            Event.L2_ACCESS: 20.0,
+            Event.L2_MISS: 10.0,
+            Event.TC_DELIVER: 80.0,
+            Event.TC_MISS: 8.0,
+            Event.ITLB_ACCESS: 10.0,
+            Event.ITLB_MISS: 1.0,
+            Event.DTLB_ACCESS: 200.0,
+            Event.DTLB_MISS: 4.0,
+            Event.BRANCH_RETIRED: 50.0,
+            Event.BRANCH_MISPRED: 2.0,
+            Event.BUS_TRANS_DEMAND: 9.0,
+            Event.BUS_TRANS_PREFETCH: 3.0,
+        })
+
+    def test_all_rates(self):
+        m = derive_metrics(self.make_counters())
+        assert m.cpi == pytest.approx(2.0)
+        assert m.l1_miss_rate == pytest.approx(0.1)
+        assert m.l2_miss_rate == pytest.approx(0.5)
+        assert m.tc_miss_rate == pytest.approx(0.1)
+        assert m.itlb_miss_rate == pytest.approx(0.1)
+        assert m.stall_fraction == pytest.approx(0.4)
+        assert m.branch_prediction_rate == pytest.approx(0.96)
+        assert m.prefetch_bus_fraction == pytest.approx(0.25)
+        assert m.dtlb_misses == pytest.approx(4.0)
+
+    def test_normalized_dtlb(self):
+        m = derive_metrics(self.make_counters())
+        serial = derive_metrics(CounterSet({Event.DTLB_MISS: 2.0}))
+        assert m.normalized_dtlb(serial) == pytest.approx(2.0)
+
+    def test_normalized_dtlb_zero_baseline(self):
+        m = derive_metrics(self.make_counters())
+        empty = derive_metrics(CounterSet())
+        assert m.normalized_dtlb(empty) == 0.0
+
+    def test_empty_counters_all_zero(self):
+        m = derive_metrics(CounterSet())
+        assert m.cpi == 0.0
+        assert m.prefetch_bus_fraction == 0.0
+
+
+class TestEventTaxonomy:
+    def test_rate_definitions_reference_events(self):
+        for num, den in RATE_DEFINITIONS.values():
+            assert isinstance(num, Event) and isinstance(den, Event)
+
+    def test_numerator_classification(self):
+        assert Event.L1D_MISS.is_ratio_numerator
+        assert not Event.L1D_ACCESS.is_ratio_numerator

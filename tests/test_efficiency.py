@@ -1,0 +1,74 @@
+"""Tests for efficiency/symbiosis analysis."""
+
+import pytest
+
+from repro.analysis.efficiency import (
+    corun_degradation_matrix,
+    efficiency_table,
+    most_efficient_architecture,
+)
+from repro.core.study import Study
+from repro.experiments import efficiency_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study("B")
+
+
+@pytest.fixture(scope="module")
+def rows(study):
+    return efficiency_table(study)
+
+
+class TestEfficiencyTable:
+    def test_covers_all_cells(self, rows):
+        assert len(rows) == 6 * 7
+
+    def test_normalization_arithmetic(self, rows):
+        r = next(x for x in rows if x.config == "ht_on_8_2"
+                 and x.benchmark == "EP")
+        assert r.per_context == pytest.approx(r.speedup / 8)
+        assert r.per_core == pytest.approx(r.speedup / 4)
+        assert r.per_chip == pytest.approx(r.speedup / 2)
+
+    def test_paper_conclusion_most_efficient_per_chip(self, rows):
+        """'The most efficient architecture is a single dual-core
+        processor with HT enabled' — per chip (and close per core)."""
+        assert most_efficient_architecture(rows, by="per_chip") == "ht_on_4_1"
+
+    def test_unknown_basis(self, rows):
+        with pytest.raises(ValueError):
+            most_efficient_architecture(rows, by="per_watt")
+
+
+class TestDegradationMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self, study):
+        return corun_degradation_matrix(
+            study, benchmarks=["CG", "FT", "EP"], config="ht_on_8_2"
+        )
+
+    def test_all_cells_present(self, matrix):
+        assert len(matrix.cells) == 9
+
+    def test_degradation_at_least_near_one(self, matrix):
+        for v in matrix.cells.values():
+            assert v > 0.9  # co-running never speeds a program up much
+
+    def test_ep_is_friendly_to_memory_codes(self, matrix):
+        """EP barely touches memory: it degrades CG less than another
+        CG copy does."""
+        assert matrix.cell("CG", "EP") < matrix.cell("CG", "CG")
+
+    def test_friendliest_partner(self, matrix):
+        assert matrix.friendliest_partner("CG") == "EP"
+
+
+class TestEfficiencyStudyDriver:
+    def test_report_renders(self, study):
+        result = efficiency_study.run(study)
+        text = efficiency_study.report(result)
+        assert "Resource efficiency" in text
+        assert "degradation matrix" in text
+        assert "most efficient per chip: ht_on_4_1" in text

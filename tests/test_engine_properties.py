@@ -1,0 +1,91 @@
+"""Property-style invariants of the simulation engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.counters.events import Event
+from repro.machine.configurations import CONFIGURATIONS, get_config
+from repro.npb.suite import PAPER_BENCHMARKS, build_workload
+from repro.sim.engine import Engine
+
+
+class TestScalingInvariants:
+    @given(st.sampled_from(["EP", "CG", "SP"]),
+           st.floats(min_value=0.25, max_value=3.0))
+    @settings(max_examples=10, deadline=None)
+    def test_runtime_linear_in_instruction_volume(self, bench, factor):
+        """Scaling a workload's instruction volume scales its runtime by
+        nearly the same factor: the per-phase models depend on rates,
+        not totals.  Synchronization costs are iteration-bound (they do
+        not scale with the instruction volume), so small factors show a
+        slight constant offset."""
+        w = build_workload(bench, "B")
+        engine = Engine(get_config("ht_off_2_1"))
+        base = engine.run_single(w).runtime_seconds
+        scaled = engine.run_single(w.scaled(factor)).runtime_seconds
+        assert scaled / base == pytest.approx(factor, rel=0.05)
+
+    @given(st.sampled_from(PAPER_BENCHMARKS))
+    @settings(max_examples=6, deadline=None)
+    def test_instruction_conservation(self, bench):
+        """Every configuration retires exactly the workload's uops."""
+        w = build_workload(bench, "B")
+        for cfg in ("serial", "ht_on_4_1", "ht_off_4_2"):
+            r = Engine(get_config(cfg)).run_single(w)
+            assert r.collector.total()[Event.INSTR_RETIRED] == pytest.approx(
+                w.total_instructions, rel=1e-6
+            )
+
+    @given(st.sampled_from(PAPER_BENCHMARKS))
+    @settings(max_examples=6, deadline=None)
+    def test_counter_ratios_bounded(self, bench):
+        """Structural counter identities hold on every run."""
+        w = build_workload(bench, "B")
+        r = Engine(get_config("ht_on_8_2")).run_single(w)
+        cs = r.collector.total()
+        assert cs[Event.L1D_MISS] <= cs[Event.L1D_ACCESS] + 1e-6
+        assert cs[Event.L2_MISS] <= cs[Event.L2_ACCESS] + 1e-6
+        assert cs[Event.L2_ACCESS] == pytest.approx(
+            cs[Event.L1D_MISS], rel=1e-9
+        )
+        assert cs[Event.TC_MISS] <= cs[Event.TC_DELIVER] + 1e-6
+        assert cs[Event.BRANCH_MISPRED] <= cs[Event.BRANCH_RETIRED] + 1e-6
+        assert cs[Event.STALL_CYCLES] <= cs[Event.CYCLES] + 1e-6
+
+
+class TestConfigurationInvariants:
+    def test_more_contexts_never_slower_for_ep(self):
+        """EP has no shared-resource downside across HT-off configs:
+        runtime is monotone in core count."""
+        w = build_workload("EP", "B")
+        order = ["serial", "ht_off_2_1", "ht_off_4_2"]
+        times = [
+            Engine(get_config(c)).run_single(w).runtime_seconds
+            for c in order
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_every_config_finishes_every_benchmark(self):
+        for cfg in CONFIGURATIONS:
+            r = Engine(get_config(cfg)).run_single(
+                build_workload("MG", "B")
+            )
+            assert r.runtime_seconds > 0
+
+    def test_multiprogram_never_faster_than_solo_per_program(self):
+        """Adding a co-runner cannot speed a program up (same thread
+        count, shared machine)."""
+        cg = build_workload("CG", "B")
+        ft = build_workload("FT", "B")
+        cfg = get_config("ht_off_4_2")
+        solo = Engine(cfg).run_single(cg, n_threads=2).runtime_seconds
+        pair = Engine(cfg).run_pair(cg, ft).program(0).runtime_seconds
+        assert pair >= solo * 0.999
+
+    def test_wall_time_at_least_critical_path(self):
+        """Runtime can never beat instructions / (contexts * peak IPC)."""
+        w = build_workload("EP", "B")
+        cfg = get_config("ht_off_4_2")
+        r = Engine(cfg).run_single(w)
+        peak_rate = 4 * 1.7 * 2.8e9  # contexts * width * clock
+        assert r.runtime_seconds >= w.total_instructions / peak_rate

@@ -1,0 +1,133 @@
+"""Tests for the experiment drivers and registry."""
+
+import pytest
+
+from repro.core.study import Study
+from repro.experiments import (
+    fig2_single_program,
+    fig3_speedup,
+    fig4_multiprogram,
+    fig5_crossproduct,
+    registry,
+    sec3_lmbench,
+    table2_avg_speedup,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study("B")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        ids = set(registry.EXPERIMENTS)
+        assert {"sec3-lmbench", "fig2", "fig3", "table2", "fig4",
+                "fig5", "ablations"} <= ids
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            registry.get("fig9")
+
+    def test_entries_reference_importable_modules(self):
+        import importlib
+
+        for entry in registry.EXPERIMENTS.values():
+            module = importlib.import_module(entry.module)
+            assert hasattr(module, "run") or entry.id == "ablations"
+
+
+class TestSec3Driver:
+    def test_report_contains_all_rows(self):
+        result = sec3_lmbench.run()
+        text = sec3_lmbench.report(result)
+        for needle in ("L1 latency", "L2 latency", "memory latency",
+                       "read BW", "write BW"):
+            assert needle in text
+
+    def test_measured_close_to_paper(self):
+        result = sec3_lmbench.run()
+        for key in ("l1_ns", "l2_ns", "memory_ns"):
+            assert result.plateaus[key] == pytest.approx(
+                sec3_lmbench.PAPER_VALUES[key], rel=0.06
+            )
+
+
+class TestFig2Driver:
+    def test_all_panels_populated(self, study):
+        result = fig2_single_program.run(
+            study, benchmarks=["EP", "CG"], configs=["ht_off_2_1"]
+        )
+        for panel in fig2_single_program.PANELS:
+            assert set(result.panels[panel]) == {"EP", "CG"}
+            for bench in ("EP", "CG"):
+                assert "serial" in result.panels[panel][bench]
+                assert "ht_off_2_1" in result.panels[panel][bench]
+
+    def test_report_renders(self, study):
+        result = fig2_single_program.run(
+            study, benchmarks=["EP"], configs=["ht_off_2_1"]
+        )
+        text = fig2_single_program.report(result)
+        assert "l1_miss_rate" in text and "cpi" in text
+
+
+class TestFig3Driver:
+    def test_table_and_average_row(self, study):
+        result = fig3_speedup.run(study)
+        text = fig3_speedup.report(result)
+        assert "AVERAGE" in text
+        assert result.table.get("EP", "ht_off_4_2") > 3.5
+
+
+class TestTable2Driver:
+    def test_seven_architectures(self, study):
+        result = table2_avg_speedup.run(study)
+        assert len(result.averages) == 7
+        text = table2_avg_speedup.report(result)
+        assert "CMP-based SMP" in text
+        assert "paper: 3.6%" in text
+
+    def test_slowdown_metrics_consistent(self, study):
+        result = table2_avg_speedup.run(study)
+        assert -1.0 < result.ht_on_8_2_slowdown < 1.0
+        assert -1.0 < result.cmt_vs_cmp_smp_slowdown < 1.0
+
+
+class TestFig4Driver:
+    def test_series_labels(self, study):
+        result = fig4_multiprogram.run(study, configs=["ht_off_4_2"])
+        labels = set(result.panels["cpi"])
+        assert "CG (CG/FT)" in labels
+        assert "FT (CG/FT)" in labels
+        assert "FT/FT" in labels
+        assert "CG/CG" in labels
+
+    def test_speedups_for_all_workloads(self, study):
+        result = fig4_multiprogram.run(study, configs=["ht_off_4_2"])
+        assert set(result.speedups) == {"CG/FT", "FT/FT", "CG/CG"}
+
+    def test_report_renders(self, study):
+        result = fig4_multiprogram.run(study, configs=["ht_off_4_2"])
+        text = fig4_multiprogram.report(result)
+        assert "multiprogrammed speedup" in text
+
+
+class TestFig5Driver:
+    def test_sample_counts(self, study):
+        result = fig5_crossproduct.run(
+            study, benchmarks=["CG", "FT", "EP"], configs=["ht_off_4_2"]
+        )
+        # 6 unordered pairs (with replacement) x 2 samples each.
+        assert len(result.samples["ht_off_4_2"]) == 12
+
+    def test_report_renders(self, study):
+        result = fig5_crossproduct.run(
+            study, benchmarks=["CG", "EP"], configs=["ht_off_4_2", "ht_on_8_2"]
+        )
+        text = fig5_crossproduct.report(result)
+        assert "winner tally" in text
+
+    def test_run_experiment_via_registry(self):
+        result = registry.run_experiment("sec3-lmbench")
+        assert result.plateaus["l1_ns"] > 0

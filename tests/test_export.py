@@ -1,0 +1,63 @@
+"""Tests for CSV/JSON artifact export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    grid_to_csv,
+    rows_to_csv,
+    speedup_table_to_csv,
+    to_json,
+)
+from repro.analysis.speedup import SpeedupTable
+from repro.analysis.stats import box_stats
+from repro.machine.configurations import Architecture
+
+
+class TestToJson:
+    def test_dataclass(self):
+        s = box_stats([1.0, 2.0, 3.0])
+        data = json.loads(to_json(s))
+        assert data["median"] == 2.0
+
+    def test_enum_keys_and_values(self):
+        payload = {Architecture.CMT: 2.5}
+        data = json.loads(to_json(payload))
+        assert data == {"CMT": 2.5}
+
+    def test_nested_structures(self):
+        payload = {"rows": [box_stats([1.0]), box_stats([2.0])]}
+        data = json.loads(to_json(payload))
+        assert len(data["rows"]) == 2
+
+    def test_tuple_keys_flattened(self):
+        payload = {("CG", "FT"): 1.5}
+        data = json.loads(to_json(payload))
+        assert data == {"CG/FT": 1.5}
+
+
+class TestCsv:
+    def test_grid_to_csv(self):
+        grid = {"CG": {"c1": 1.0, "c2": 2.0}, "EP": {"c1": 3.0}}
+        text = grid_to_csv(grid, ["c1", "c2"])
+        lines = text.strip().splitlines()
+        assert lines[0] == "benchmark,c1,c2"
+        assert lines[1] == "CG,1.0,2.0"
+        assert lines[2] == "EP,3.0,"
+
+    def test_rows_to_csv(self):
+        rows = [box_stats([1.0, 2.0]), box_stats([3.0, 4.0])]
+        text = rows_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "minimum,q1,median,q3,maximum"
+        assert lines[1].startswith("1.0,")
+
+    def test_rows_to_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_speedup_table(self):
+        t = SpeedupTable()
+        t.set("CG", "ht_off_4_2", 2.4)
+        text = speedup_table_to_csv(t)
+        assert "CG,2.4" in text

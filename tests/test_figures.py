@@ -1,0 +1,55 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import grouped_bars, hbar, speedup_figure
+from repro.analysis.speedup import SpeedupTable
+
+
+class TestHbar:
+    def test_full_scale(self):
+        assert hbar(2.0, 2.0, width=10) == "#" * 10
+
+    def test_half_scale(self):
+        assert hbar(1.0, 2.0, width=10) == "#" * 5
+
+    def test_clamps(self):
+        assert hbar(5.0, 2.0, width=10) == "#" * 10
+        assert hbar(-1.0, 2.0, width=10) == ""
+
+    def test_zero_max(self):
+        assert hbar(1.0, 0.0) == ""
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        grid = {"CG": {"a": 1.0, "b": 2.0}, "EP": {"a": 4.0}}
+        out = grouped_bars(grid, ["a", "b"], title="T", width=8)
+        assert out.startswith("T")
+        assert "CG:" in out and "EP:" in out
+        # EP's a=4.0 is the max -> full width.
+        assert "#" * 8 in out
+
+    def test_missing_series_skipped(self):
+        grid = {"EP": {"a": 1.0}}
+        out = grouped_bars(grid, ["a", "b"])
+        assert "b" not in out.replace("bars", "")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            grouped_bars({"CG": {}}, ["a"])
+
+    def test_fixed_vmax(self):
+        grid = {"CG": {"a": 1.0}}
+        out = grouped_bars(grid, ["a"], width=10, vmax=2.0)
+        assert "#" * 5 in out and "#" * 6 not in out
+
+
+class TestSpeedupFigure:
+    def test_renders_from_table(self):
+        t = SpeedupTable()
+        t.set("CG", "c1", 1.5)
+        t.set("CG", "c2", 3.0)
+        out = speedup_figure(t, ["c1", "c2"], width=12)
+        assert "CG:" in out
+        assert "3.00" in out

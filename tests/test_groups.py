@@ -1,0 +1,93 @@
+"""Tests for the Section-4 comparison-group analysis."""
+
+import pytest
+
+from repro.analysis.groups import (
+    GroupDelta,
+    group_deltas,
+    ht_benefit_summary,
+    report_groups,
+)
+from repro.core.study import Study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study("B")
+
+
+@pytest.fixture(scope="module")
+def speedup_deltas(study):
+    return group_deltas(study, metric="speedup")
+
+
+class TestGroupDeltas:
+    def test_covers_all_groups_and_benchmarks(self, speedup_deltas):
+        groups = {d.group for d in speedup_deltas}
+        assert groups == {"group1", "group2", "group3", "group4"}
+        assert len(speedup_deltas) == 4 * 6
+
+    def test_group1_baseline_is_serial_unity(self, speedup_deltas):
+        g1 = [d for d in speedup_deltas if d.group == "group1"]
+        assert all(d.baseline_value == 1.0 for d in g1)
+
+    def test_group2_isolates_ht_on_one_chip(self, speedup_deltas):
+        g2 = [d for d in speedup_deltas if d.group == "group2"]
+        assert all(d.baseline_config == "ht_off_2_1" for d in g2)
+        assert all(d.variant_config == "ht_on_4_1" for d in g2)
+
+    def test_relative_arithmetic(self):
+        d = GroupDelta("g", "CG", "speedup", "a", "b", 2.0, 2.5)
+        assert d.delta == pytest.approx(0.5)
+        assert d.relative == pytest.approx(0.25)
+
+    def test_group4_ht_hurts_on_average(self, speedup_deltas):
+        """The paper's group-4 verdict: HT on the fully loaded machine
+        costs a few percent on average."""
+        summary = ht_benefit_summary(speedup_deltas)
+        assert summary["group4"] < 0.0
+
+    def test_group2_ht_helps_on_average(self, speedup_deltas):
+        """Group 2: doubling contexts with HT on one chip helps the
+        average benchmark (paper: 'HT is of benefit when enabled for
+        smaller numbers of processors')."""
+        summary = ht_benefit_summary(speedup_deltas)
+        assert summary["group2"] > 0.0
+
+    def test_stall_metric_rises_with_ht(self, study):
+        deltas = group_deltas(
+            study, metric="stall_fraction", benchmarks=["CG", "MG", "SP"]
+        )
+        g4 = [d for d in deltas if d.group == "group4"]
+        assert all(d.delta > 0 for d in g4)
+
+    def test_report_renders(self, speedup_deltas):
+        text = report_groups(speedup_deltas)
+        assert "group1" in text and "group4" in text
+        assert "average relative change per group" in text
+
+    def test_orientation_always_ht_off_baseline(self, speedup_deltas):
+        """Group 3 is listed HT-on-first in the paper's text; the delta
+        must still measure *enabling* HT."""
+        g3 = [d for d in speedup_deltas if d.group == "group3"]
+        assert all(d.baseline_config == "ht_off_2_2" for d in g3)
+        assert all(d.variant_config == "ht_on_4_2" for d in g3)
+
+    def test_paper_story_ht_helps_until_fully_loaded(self, speedup_deltas):
+        """'HT is of benefit when enabled for smaller numbers of
+        processors (<4)': groups 1-3 gain on average, group 4 loses."""
+        summary = ht_benefit_summary(speedup_deltas)
+        assert summary["group1"] > 0
+        assert summary["group2"] > 0
+        assert summary["group3"] > 0
+        assert summary["group4"] < 0
+
+
+class TestGroupAnalysisDriver:
+    def test_driver_and_report(self, study):
+        from repro.experiments import group_analysis
+
+        result = group_analysis.run(study, metrics=["speedup", "cpi"])
+        text = group_analysis.report(result)
+        assert "group verdicts" in text
+        assert set(result.by_metric) == {"speedup", "cpi"}

@@ -1,0 +1,153 @@
+"""Tests for the analytic hierarchy model, including cross-validation
+against the structural cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine.params import paxville_params
+from repro.mem.cache import simulate_miss_rate
+from repro.mem.hierarchy import HierarchyModel, UOPS_PER_TRACE_LINE
+from repro.trace.patterns import AccessMix, RandomPattern, StreamingPattern
+from repro.trace.phase import Phase
+from repro.trace.sampling import sample_mix
+
+
+def make_phase(mix=None, code_uops=4000.0, **over):
+    mix = mix or AccessMix.of(
+        (0.6, StreamingPattern(footprint_bytes=64e6, stride_bytes=8)),
+        (0.4, RandomPattern(footprint_bytes=4096.0)),
+    )
+    defaults = dict(
+        name="p",
+        instructions=1e9,
+        mem_ops_per_instr=0.4,
+        access_mix=mix,
+        code_footprint_uops=code_uops,
+        code_footprint_bytes=code_uops * 2.3,
+        branches_per_instr=0.08,
+        branch_misp_intrinsic=0.01,
+        branch_sites=400,
+        ilp=1.4,
+    )
+    defaults.update(over)
+    return Phase(**defaults)
+
+
+@pytest.fixture
+def model():
+    return HierarchyModel(paxville_params())
+
+
+def evaluate(model, phase, **over):
+    kw = dict(
+        n_threads=1,
+        core_sharers=1,
+        same_data=True,
+        same_code=True,
+        total_visible_contexts=1,
+        co_phase=None,
+    )
+    kw.update(over)
+    return model.evaluate(phase, **kw)
+
+
+class TestLevelConsistency:
+    def test_l2_global_never_exceeds_l1(self, model):
+        r = evaluate(model, make_phase())
+        assert r.l2_misses_per_instr <= r.l1_misses_per_instr + 1e-12
+
+    def test_l2_local_rate_is_ratio(self, model):
+        r = evaluate(model, make_phase())
+        assert r.l2_miss_rate == pytest.approx(
+            r.l2_misses_per_instr / r.l1_misses_per_instr, rel=1e-9
+        )
+
+    def test_accesses_per_instr(self, model):
+        phase = make_phase(mem_ops_per_instr=0.5)
+        r = evaluate(model, phase)
+        assert r.l1_accesses_per_instr == pytest.approx(0.5)
+        assert r.dtlb_accesses_per_instr == pytest.approx(0.5)
+        assert r.tc_accesses_per_instr == pytest.approx(
+            1.0 / UOPS_PER_TRACE_LINE
+        )
+        assert r.l2_accesses_per_instr == pytest.approx(
+            r.l1_misses_per_instr
+        )
+
+    def test_rates_bounded(self, model):
+        r = evaluate(model, make_phase())
+        for v in (r.l1_miss_rate, r.l2_miss_rate, r.tc_miss_rate,
+                  r.itlb_miss_rate, r.dtlb_miss_rate):
+            assert 0.0 <= v <= 1.0
+
+
+class TestSharingEffects:
+    def test_ht_sibling_raises_data_miss_rates(self, model):
+        mix = AccessMix.of(
+            (1.0, RandomPattern(footprint_bytes=40e3, shared_fraction=0.0)),
+        )
+        phase = make_phase(mix=mix)
+        solo = evaluate(model, phase, core_sharers=1)
+        pair = evaluate(model, phase, core_sharers=2, same_data=True,
+                        same_code=True)
+        assert pair.l1_miss_rate > solo.l1_miss_rate
+
+    def test_same_code_sibling_amortizes_trace_cache(self, model):
+        phase = make_phase(code_uops=30000.0)  # overflows the 12 K TC
+        solo = evaluate(model, phase, core_sharers=1)
+        pair = evaluate(model, phase, core_sharers=2, same_code=True)
+        assert pair.tc_miss_rate == pytest.approx(
+            solo.tc_miss_rate / 2, rel=0.01
+        )
+
+    def test_different_code_sibling_degrades_trace_cache(self, model):
+        phase = make_phase(code_uops=8000.0)
+        other = make_phase(code_uops=8000.0)
+        solo = evaluate(model, phase, core_sharers=1)
+        mixed = evaluate(model, phase, core_sharers=2, same_code=False,
+                         same_data=False, co_phase=other)
+        assert mixed.tc_miss_rate > solo.tc_miss_rate
+
+    def test_itlb_os_noise_grows_with_visible_contexts(self, model):
+        phase = make_phase()
+        small = evaluate(model, phase, total_visible_contexts=1)
+        big = evaluate(model, phase, total_visible_contexts=8)
+        assert big.itlb_miss_rate > small.itlb_miss_rate
+
+    def test_work_sharing_cuts_partitioned_footprint(self, model):
+        mix = AccessMix.of(
+            (1.0, StreamingPattern(footprint_bytes=2e6, stride_bytes=8,
+                                   partitioned=True, passes=50)),
+        )
+        phase = make_phase(mix=mix)
+        one = evaluate(model, phase, n_threads=1)
+        eight = evaluate(model, phase, n_threads=8)
+        # 2 MB / 8 threads = 256 KB fits the 1 MB L2.
+        assert eight.l2_misses_per_instr < one.l2_misses_per_instr
+
+
+class TestCrossValidation:
+    """The analytic miss rates must track the structural simulator."""
+
+    @pytest.mark.parametrize("footprint,expect_rel", [
+        (4 * 1024, 0.05),        # fits L1
+        (256 * 1024, 0.12),      # fits L2, misses L1
+        (16 * 1024 * 1024, 0.15) # misses both
+    ])
+    def test_random_pattern_l1(self, model, footprint, expect_rel):
+        params = paxville_params()
+        mix = AccessMix.of((1.0, RandomPattern(footprint_bytes=footprint)),)
+        analytic = mix.miss_rate(params.l1d.size_bytes, params.l1d.line_bytes)
+        stream = sample_mix(mix, 40000, 40000, np.random.default_rng(7))
+        measured = simulate_miss_rate(params.l1d, stream.addresses, 0.3)
+        assert measured == pytest.approx(analytic, abs=0.05)
+
+    def test_streaming_pattern_structural(self, model):
+        params = paxville_params()
+        mix = AccessMix.of(
+            (1.0, StreamingPattern(footprint_bytes=8e6, stride_bytes=8)),
+        )
+        analytic = mix.miss_rate(params.l1d.size_bytes, params.l1d.line_bytes)
+        stream = sample_mix(mix, 30000, 30000, np.random.default_rng(8))
+        measured = simulate_miss_rate(params.l1d, stream.addresses, 0.2)
+        assert measured == pytest.approx(analytic, abs=0.03)

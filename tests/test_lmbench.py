@@ -1,0 +1,64 @@
+"""Tests for the LMbench microbenchmark models."""
+
+import pytest
+
+from repro.lmbench.bandwidth import bw_mem
+from repro.lmbench.latency import lat_mem_rd, latency_plateaus
+from repro.machine.params import paxville_params
+
+
+class TestLatMemRd:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return lat_mem_rd()
+
+    def test_monotone_nondecreasing(self, sweep):
+        lats = [p.latency_ns for p in sweep]
+        for a, b in zip(lats, lats[1:]):
+            assert b >= a - 1e-9
+
+    def test_plateaus_match_paper(self, sweep):
+        p = latency_plateaus(sweep)
+        assert p["l1_ns"] == pytest.approx(1.43, rel=0.02)
+        assert p["l2_ns"] == pytest.approx(9.6, rel=0.05)
+        assert p["memory_ns"] == pytest.approx(136.9, rel=0.05)
+
+    def test_l1_region_hits(self, sweep):
+        small = [p for p in sweep if p.footprint_bytes <= 8 * 1024]
+        assert all(p.l1_miss_rate < 0.01 for p in small)
+
+    def test_memory_region_misses_both(self, sweep):
+        big = [p for p in sweep if p.footprint_bytes >= 16 * 1024 * 1024]
+        assert all(p.l1_miss_rate > 0.99 for p in big)
+        assert all(p.l2_miss_rate > 0.99 for p in big)
+
+    def test_structural_mode_agrees_at_reduced_sizes(self):
+        """The exact cyclic closed form and the access-by-access
+        simulation agree where the structural sample covers the chain."""
+        fps = [4096, 65536, 262144]
+        exact = lat_mem_rd(footprints=fps, mode="exact")
+        structural = lat_mem_rd(footprints=fps, mode="structural",
+                                samples=6000)
+        for e, s in zip(exact, structural):
+            assert s.latency_ns == pytest.approx(e.latency_ns, rel=0.1)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            lat_mem_rd(footprints=[4096], mode="magic")
+
+
+class TestBwMem:
+    def test_paper_values(self):
+        assert bw_mem(1, "read").gbytes_per_second == pytest.approx(3.57)
+        assert bw_mem(1, "write").gbytes_per_second == pytest.approx(1.77)
+        assert bw_mem(2, "read").gbytes_per_second == pytest.approx(4.43)
+        assert bw_mem(2, "write").gbytes_per_second == pytest.approx(2.06)
+
+    def test_two_chips_sublinear(self):
+        one = bw_mem(1, "read").bytes_per_second
+        two = bw_mem(2, "read").bytes_per_second
+        assert one < two < 2 * one
+
+    def test_invalid_chips(self):
+        with pytest.raises(ValueError):
+            bw_mem(0, "read")

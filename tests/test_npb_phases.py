@@ -1,0 +1,81 @@
+"""Structural tests for the multi-phase workload decompositions."""
+
+import pytest
+
+from repro.npb.suite import ALL_BENCHMARKS, build_workload
+
+EXPECTED_PHASES = {
+    "CG": ["makea", "spmv", "dot_products", "axpy_updates"],
+    "MG": ["resid", "psinv", "transfer"],
+    "SP": ["compute_rhs", "x_solve", "y_solve", "z_solve", "add"],
+    "FT": ["evolve", "fft_x", "fft_y", "fft_z"],
+    "LU": ["rhs", "blts_lower", "buts_upper"],
+    "BT": ["bt_rhs", "bt_x_solve", "bt_y_solve", "bt_z_solve"],
+    "EP": ["generate"],
+    "IS": ["rank"],
+}
+
+
+class TestPhaseStructure:
+    @pytest.mark.parametrize("bench", sorted(EXPECTED_PHASES))
+    def test_phase_names(self, bench):
+        w = build_workload(bench, "B")
+        assert [p.name for p in w.phases] == EXPECTED_PHASES[bench]
+
+    @pytest.mark.parametrize("bench", ["CG", "MG", "SP", "FT", "LU", "BT"])
+    def test_parallel_phases_share_code_footprint(self, bench):
+        """Stages alternate within each iteration, so every parallel
+        phase must carry the whole per-iteration hot-code footprint
+        (otherwise the trace-cache model would wrongly see each routine
+        in isolation)."""
+        w = build_workload(bench, "B")
+        footprints = {
+            p.code_footprint_uops for p in w.phases if p.parallel
+        }
+        assert len(footprints) == 1
+
+    @pytest.mark.parametrize("bench", ["SP", "FT", "MG", "LU", "BT"])
+    def test_parallel_phases_share_iteration_count(self, bench):
+        w = build_workload(bench, "B")
+        iters = {p.iterations for p in w.phases if p.parallel}
+        assert len(iters) == 1
+
+    def test_cg_spmv_dominates(self):
+        w = build_workload("CG", "B")
+        spmv = next(p for p in w.phases if p.name == "spmv")
+        assert spmv.instructions > 0.7 * w.total_instructions
+
+    def test_sp_shares_sum_to_whole(self):
+        w = build_workload("SP", "B")
+        from repro.npb.sp import total_flops
+        from repro.npb.common import FLOP_TO_UOPS, ProblemClass
+
+        expected = total_flops(ProblemClass.B) * FLOP_TO_UOPS
+        assert w.total_instructions == pytest.approx(expected, rel=1e-6)
+
+    def test_ft_z_pass_streams_hardest(self):
+        """The z pass embeds the transpose: its mixture must put more
+        weight on the full-array stream than the blocked x/y passes."""
+        w = build_workload("FT", "B")
+        def stream_weight(phase):
+            return sum(
+                wgt for wgt, p in phase.access_mix.components
+                if p.footprint_bytes > 1e8
+            )
+        z = next(p for p in w.phases if p.name == "fft_z")
+        x = next(p for p in w.phases if p.name == "fft_x")
+        assert stream_weight(z) > stream_weight(x)
+
+    def test_lu_sweeps_carry_the_sync(self):
+        w = build_workload("LU", "B")
+        rhs = next(p for p in w.phases if p.name == "rhs")
+        lower = next(p for p in w.phases if p.name == "blts_lower")
+        assert lower.barriers > 50 * rhs.barriers
+        assert lower.imbalance > rhs.imbalance
+
+    def test_halo_traffic_only_on_parallel_phases(self):
+        for bench in ALL_BENCHMARKS:
+            w = build_workload(bench, "B")
+            for p in w.phases:
+                if not p.parallel:
+                    assert p.halo_bytes_per_iteration == 0.0

@@ -1,0 +1,165 @@
+"""Tests for the OpenMP runtime model: partitioners and sync costs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.openmp.env import OMPEnvironment, ScheduleKind
+from repro.openmp.loops import (
+    Chunk,
+    chunks_per_thread,
+    dynamic_chunks,
+    guided_chunks,
+    partition_imbalance,
+    static_chunks,
+)
+from repro.openmp.sync import (
+    barrier_cycles,
+    fork_join_cycles,
+    reduction_cycles,
+    sync_costs,
+)
+
+
+def assert_exact_cover(chunks, n_iters):
+    """Every iteration assigned exactly once."""
+    seen = []
+    for c in chunks:
+        seen.extend(range(c.start, c.end))
+    assert sorted(seen) == list(range(n_iters))
+
+
+class TestStatic:
+    def test_even_split(self):
+        chunks = static_chunks(100, 4)
+        assert [c.size for c in chunks] == [25, 25, 25, 25]
+        assert_exact_cover(chunks, 100)
+
+    def test_remainder_spreads_to_leading_threads(self):
+        chunks = static_chunks(10, 4)
+        assert [c.size for c in chunks] == [3, 3, 2, 2]
+
+    def test_contiguous_per_thread(self):
+        chunks = static_chunks(100, 4)
+        for c in chunks:
+            assert c.end > c.start
+
+    def test_chunked_round_robin(self):
+        chunks = static_chunks(10, 2, chunk=2)
+        assert [c.thread for c in chunks] == [0, 1, 0, 1, 0]
+        assert_exact_cover(chunks, 10)
+
+    def test_zero_iterations(self):
+        assert static_chunks(0, 4) == []
+
+    def test_more_threads_than_iterations(self):
+        chunks = static_chunks(2, 8)
+        assert_exact_cover(chunks, 2)
+        assert all(c.thread < 2 for c in chunks)
+
+    @given(st.integers(0, 500), st.integers(1, 16), st.integers(0, 7))
+    @settings(max_examples=60)
+    def test_exact_cover_property(self, n, t, chunk):
+        assert_exact_cover(static_chunks(n, t, chunk), n)
+
+    @given(st.integers(1, 500), st.integers(1, 16))
+    @settings(max_examples=40)
+    def test_default_static_balanced(self, n, t):
+        totals = chunks_per_thread(static_chunks(n, t), t)
+        nonzero = [x for x in totals if x]
+        assert max(nonzero) - min(nonzero) <= 1
+
+
+class TestDynamic:
+    def test_uniform_costs_balanced(self):
+        chunks = dynamic_chunks(100, 4, chunk=5)
+        totals = chunks_per_thread(chunks, 4)
+        assert max(totals) - min(totals) <= 5
+
+    def test_skewed_costs_rebalanced(self):
+        # One expensive chunk: dynamic gives the loaded thread fewer.
+        costs = [100.0] + [1.0] * 19
+        chunks = dynamic_chunks(20, 2, chunk=1, costs=costs)
+        totals = chunks_per_thread(chunks, 2)
+        loaded = chunks[0].thread
+        assert totals[loaded] < totals[1 - loaded]
+
+    @given(st.integers(0, 300), st.integers(1, 8), st.integers(1, 10))
+    @settings(max_examples=50)
+    def test_exact_cover_property(self, n, t, chunk):
+        assert_exact_cover(dynamic_chunks(n, t, chunk), n)
+
+
+class TestGuided:
+    def test_decreasing_chunk_sizes(self):
+        chunks = guided_chunks(1000, 4, chunk=1)
+        sizes = [c.size for c in chunks]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] == 250
+
+    def test_respects_minimum(self):
+        chunks = guided_chunks(100, 4, chunk=10)
+        assert all(c.size >= 10 or c.end == 100 for c in chunks)
+
+    @given(st.integers(0, 300), st.integers(1, 8), st.integers(1, 10))
+    @settings(max_examples=50)
+    def test_exact_cover_property(self, n, t, chunk):
+        assert_exact_cover(guided_chunks(n, t, chunk), n)
+
+
+class TestImbalance:
+    def test_single_thread_perfect(self):
+        assert partition_imbalance(ScheduleKind.STATIC, 0.5, 1) == 0.0
+
+    def test_static_exposes_intrinsic(self):
+        imb = partition_imbalance(ScheduleKind.STATIC, 0.2, 8)
+        assert imb == pytest.approx(0.2 * 7 / 8)
+
+    def test_dynamic_rebalances(self):
+        s = partition_imbalance(ScheduleKind.STATIC, 0.2, 8)
+        d = partition_imbalance(ScheduleKind.DYNAMIC, 0.2, 8)
+        g = partition_imbalance(ScheduleKind.GUIDED, 0.2, 8)
+        assert d < g < s
+
+    @given(st.floats(0, 1), st.integers(1, 16))
+    @settings(max_examples=30)
+    def test_nonnegative(self, intrinsic, t):
+        for kind in ScheduleKind:
+            assert partition_imbalance(kind, intrinsic, t) >= 0.0
+
+
+class TestSyncCosts:
+    def test_single_thread_free(self):
+        assert barrier_cycles(1) == 0.0
+        assert fork_join_cycles(1) == 0.0
+        assert reduction_cycles(1) == 0.0
+
+    def test_grows_with_team(self):
+        assert barrier_cycles(8, 4, 2) > barrier_cycles(2, 1, 1)
+
+    def test_cross_chip_costlier_than_sibling(self):
+        assert barrier_cycles(2, 2, 2) > barrier_cycles(2, 1, 1)
+
+    def test_fork_join_exceeds_barrier(self):
+        assert fork_join_cycles(4, 2, 1) > barrier_cycles(4, 2, 1)
+
+    def test_bundle(self):
+        costs = sync_costs(4, 4, 2)
+        assert costs.barrier > 0
+        assert costs.fork_join > costs.barrier
+        assert costs.reduction > 0
+
+
+class TestEnvironment:
+    def test_defaults(self):
+        env = OMPEnvironment()
+        assert env.schedule is ScheduleKind.STATIC
+        assert env.resolve_threads(4) == 4
+
+    def test_explicit_threads(self):
+        assert OMPEnvironment(num_threads=2).resolve_threads(8) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OMPEnvironment(num_threads=0)
+        with pytest.raises(ValueError):
+            OMPEnvironment(chunk=-1)

@@ -1,0 +1,170 @@
+"""Tests for thread placement policies."""
+
+import pytest
+
+from repro.machine.configurations import get_config
+from repro.machine.topology import build_topology
+from repro.npb.suite import build_workload
+from repro.osmodel.process import Placement, ProgramSpec
+from repro.osmodel.scheduler import (
+    GangScheduler,
+    LinuxDefaultScheduler,
+    PackedScheduler,
+    SymbiosisScheduler,
+    make_scheduler,
+)
+
+
+def spec(bench, threads, pid=0):
+    return ProgramSpec(
+        workload=build_workload(bench, "W"), n_threads=threads, program_id=pid
+    )
+
+
+@pytest.fixture
+def full_ht():
+    return build_topology(n_chips=2, cores_per_chip=2, ht_enabled=True)
+
+
+class TestLinuxDefault:
+    def test_single_program_spreads_chips_first(self, full_ht):
+        placement = LinuxDefaultScheduler().place([spec("CG", 2)], full_ht)
+        chips = {t.context.chip for t in placement.threads}
+        assert chips == {0, 1}  # one thread per chip before doubling up
+
+    def test_single_program_avoids_siblings_until_forced(self, full_ht):
+        placement = LinuxDefaultScheduler().place([spec("CG", 4)], full_ht)
+        cores = [t.context.core_key for t in placement.threads]
+        assert len(set(cores)) == 4  # all four cores, no sibling pairs
+
+    def test_eight_threads_fill_everything(self, full_ht):
+        placement = LinuxDefaultScheduler().place([spec("CG", 8)], full_ht)
+        assert len(placement.threads) == 8
+        labels = {t.context.label for t in placement.threads}
+        assert labels == {f"A{i}" for i in range(8)}
+
+    def test_multiprogram_mixes_siblings(self, full_ht):
+        placement = LinuxDefaultScheduler().place(
+            [spec("CG", 4, 0), spec("FT", 4, 1)], full_ht
+        )
+        # Every core hosts one thread of each program.
+        for core_key in {(0, 0), (0, 1), (1, 0), (1, 1)}:
+            pids = {
+                t.program_id
+                for t in placement.threads
+                if t.context.core_key == core_key
+            }
+            assert pids == {0, 1}
+
+    def test_overcommit_rejected(self, full_ht):
+        with pytest.raises(ValueError, match="exceed"):
+            LinuxDefaultScheduler().place([spec("CG", 9)], full_ht)
+
+    def test_nonzero_migration_rate(self):
+        assert LinuxDefaultScheduler().multiprogram_migration_hz > 0
+
+
+class TestGang:
+    def test_same_program_siblings(self, full_ht):
+        placement = GangScheduler().place(
+            [spec("CG", 4, 0), spec("FT", 4, 1)], full_ht
+        )
+        for core_key in {(0, 0), (0, 1), (1, 0), (1, 1)}:
+            pids = {
+                t.program_id
+                for t in placement.threads
+                if t.context.core_key == core_key
+            }
+            assert len(pids) == 1  # a core never mixes programs
+
+
+class TestPacked:
+    def test_fills_first_chip_first(self, full_ht):
+        placement = PackedScheduler().place([spec("CG", 4)], full_ht)
+        assert all(t.context.chip == 0 for t in placement.threads)
+
+
+class TestSymbiosis:
+    def test_pairs_memory_with_compute(self, full_ht):
+        placement = SymbiosisScheduler().place(
+            [spec("CG", 4, 0), spec("EP", 4, 1)], full_ht
+        )
+        for core_key in {(0, 0), (0, 1), (1, 0), (1, 1)}:
+            pids = {
+                t.program_id
+                for t in placement.threads
+                if t.context.core_key == core_key
+            }
+            assert pids == {0, 1}
+
+    def test_memory_bound_gets_primary_slot(self, full_ht):
+        placement = SymbiosisScheduler().place(
+            [spec("EP", 4, 0), spec("CG", 4, 1)], full_ht
+        )
+        # CG (memory-bound, program 1) should occupy thread slot 0.
+        slot0_pids = {
+            t.program_id for t in placement.threads if t.context.thread == 0
+        }
+        assert slot0_pids == {1}
+
+    def test_falls_back_for_single_program(self, full_ht):
+        placement = SymbiosisScheduler().place([spec("CG", 4)], full_ht)
+        assert len(placement.threads) == 4
+
+
+class TestPlacement:
+    def test_no_double_booking(self, full_ht):
+        p = Placement()
+        ctx = full_ht.context("A0")
+        p.add(0, 0, ctx)
+        with pytest.raises(ValueError, match="already hosts"):
+            p.add(1, 0, ctx)
+
+    def test_context_of(self, full_ht):
+        p = LinuxDefaultScheduler().place([spec("CG", 2)], full_ht)
+        assert p.context_of(0, 0).label in {f"A{i}" for i in range(8)}
+        with pytest.raises(KeyError):
+            p.context_of(0, 5)
+
+    def test_sibling_lookup(self, full_ht):
+        p = LinuxDefaultScheduler().place([spec("CG", 8)], full_ht)
+        t0 = p.thread_at("A0")
+        sib = p.sibling_of(t0, full_ht)
+        assert sib is not None
+        assert sib.context.label == "A1"
+
+    def test_validate_against_masked_topology(self, full_ht):
+        p = LinuxDefaultScheduler().place([spec("CG", 8)], full_ht)
+        masked = full_ht.restrict(["A0", "A1"])
+        with pytest.raises(ValueError, match="masked"):
+            p.validate(masked)
+
+    def test_program_threads_sorted(self, full_ht):
+        p = LinuxDefaultScheduler().place([spec("CG", 4)], full_ht)
+        tids = [t.thread_id for t in p.program_threads(0)]
+        assert tids == [0, 1, 2, 3]
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("linux_default", "gang", "packed", "symbiosis"):
+            assert make_scheduler(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            make_scheduler("cfs")
+
+
+class TestConfigPlacements:
+    @pytest.mark.parametrize("cfg_name", [
+        "serial", "ht_on_2_1", "ht_off_2_1", "ht_on_4_1", "ht_off_2_2",
+        "ht_on_4_2", "ht_off_4_2", "ht_on_8_2",
+    ])
+    def test_single_program_fits_every_config(self, cfg_name):
+        cfg = get_config(cfg_name)
+        topo = cfg.topology()
+        placement = LinuxDefaultScheduler().place(
+            [spec("CG", cfg.n_threads)], topo
+        )
+        assert len(placement.threads) == cfg.n_threads
+        placement.validate(topo)

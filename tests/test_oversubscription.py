@@ -1,0 +1,82 @@
+"""Tests for the time-sharing (oversubscription) model."""
+
+import pytest
+
+from repro.machine.configurations import get_config
+from repro.npb.suite import build_workload
+from repro.osmodel.process import ProgramSpec
+from repro.sim.engine import Engine
+
+
+@pytest.fixture(scope="module")
+def ep():
+    return build_workload("EP", "B")
+
+
+@pytest.fixture(scope="module")
+def cg():
+    return build_workload("CG", "B")
+
+
+class TestOversubscription:
+    def test_runs_beyond_context_count(self, ep):
+        eng = Engine(get_config("ht_off_4_2"))
+        r = eng.run_single(ep, n_threads=16)
+        assert r.runtime_seconds > 0
+
+    def test_never_beats_exact_fit(self, ep, cg):
+        """Time-sharing extra threads can only add overhead."""
+        eng = Engine(get_config("ht_off_4_2"))
+        for w in (ep, cg):
+            fit = eng.run_single(w, n_threads=4).runtime_seconds
+            over = eng.run_single(w, n_threads=8).runtime_seconds
+            assert over >= fit * 0.99
+
+    def test_degrades_gracefully(self, ep):
+        """2x oversubscription costs percent, not multiples."""
+        eng = Engine(get_config("ht_off_4_2"))
+        fit = eng.run_single(ep, n_threads=4).runtime_seconds
+        over = eng.run_single(ep, n_threads=8).runtime_seconds
+        assert over < fit * 1.3
+
+    def test_nondivisible_convoy_is_worst(self, cg):
+        """6 threads on 4 contexts leave two contexts double-loaded:
+        every barrier convoys on them (the classic remainder trap)."""
+        eng = Engine(get_config("ht_off_4_2"))
+        six = eng.run_single(cg, n_threads=6).runtime_seconds
+        eight = eng.run_single(cg, n_threads=8).runtime_seconds
+        four = eng.run_single(cg, n_threads=4).runtime_seconds
+        assert six > four
+        assert six > eight  # divisible 2x beats the 1.5x remainder case
+
+    def test_barrier_heavy_code_suffers_most(self):
+        """LU's per-plane flag waits pay the yield latency thousands of
+        times: its oversubscription penalty exceeds EP's."""
+        eng = Engine(get_config("ht_off_4_2"))
+        lu = build_workload("LU", "B")
+        ep = build_workload("EP", "B")
+
+        def penalty(w):
+            fit = eng.run_single(w, n_threads=4).runtime_seconds
+            over = eng.run_single(w, n_threads=8).runtime_seconds
+            return over / fit
+
+        assert penalty(lu) > penalty(ep)
+
+    def test_multiprogram_overcommit_rejected(self, ep, cg):
+        eng = Engine(get_config("ht_off_4_2"))
+        specs = [
+            ProgramSpec(workload=cg, n_threads=4, program_id=0),
+            ProgramSpec(workload=ep, n_threads=4, program_id=1),
+        ]
+        with pytest.raises(ValueError, match="oversubscription"):
+            eng.run(specs)
+
+    def test_instructions_still_conserved_modulo_tax(self, ep):
+        from repro.counters.events import Event
+
+        eng = Engine(get_config("ht_off_4_2"))
+        r = eng.run_single(ep, n_threads=8)
+        retired = r.collector.total()[Event.INSTR_RETIRED]
+        # The rotation tax inflates executed uops by a bounded factor.
+        assert ep.total_instructions <= retired <= ep.total_instructions * 1.2

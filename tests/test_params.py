@@ -1,0 +1,82 @@
+"""Tests for machine parameter validation and derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.params import (
+    BranchPredictorParams,
+    CacheParams,
+    MachineParams,
+    TLBParams,
+    paxville_params,
+)
+
+
+class TestCacheParams:
+    def test_geometry(self):
+        p = CacheParams(size_bytes=16384, line_bytes=64, associativity=8,
+                        latency_cycles=4.0)
+        assert p.n_lines == 256
+        assert p.n_sets == 32
+
+    def test_rejects_nonmultiple_size(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheParams(size_bytes=1000, line_bytes=64, associativity=2,
+                        latency_cycles=1.0)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError, match="associativity"):
+            CacheParams(size_bytes=1024, line_bytes=64, associativity=5,
+                        latency_cycles=1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheParams(size_bytes=0, line_bytes=64, associativity=1,
+                        latency_cycles=1.0)
+
+
+class TestTLBParams:
+    def test_reach(self):
+        assert TLBParams(entries=64).reach_bytes == 64 * 4096
+
+
+class TestPaxvilleDefaults:
+    def test_clock_and_latencies(self):
+        p = paxville_params()
+        assert p.core.clock_hz == pytest.approx(2.8e9)
+        # Paper LMbench: L1 1.43 ns = 4 cycles at 2.8 GHz.
+        assert p.l1d.latency_cycles * p.core.cycle_ns == pytest.approx(
+            1.43, rel=0.01
+        )
+        assert p.memory_latency_cycles == pytest.approx(
+            136.9 * 2.8, rel=1e-6
+        )
+
+    def test_cache_geometry_matches_paxville(self):
+        p = paxville_params()
+        assert p.l1d.size_bytes == 16 * 1024
+        assert p.l2.size_bytes == 1024 * 1024
+        assert p.trace_cache.size_bytes == 12 * 1024  # 12 K uops
+
+    def test_bandwidths_match_paper(self):
+        p = paxville_params()
+        assert p.bus.chip_read_bw == pytest.approx(3.57e9)
+        assert p.bus.system_read_bw == pytest.approx(4.43e9)
+
+    def test_with_overrides_replaces_field(self):
+        p = paxville_params()
+        p2 = p.with_overrides(memory_latency_ns=200.0)
+        assert p2.memory_latency_ns == 200.0
+        assert p.memory_latency_ns == pytest.approx(136.9)  # original intact
+
+    def test_frozen(self):
+        p = paxville_params()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.memory_latency_ns = 1.0  # type: ignore[misc]
+
+
+class TestBranchPredictorParams:
+    def test_defaults_power_of_two(self):
+        p = BranchPredictorParams()
+        assert p.bht_entries & (p.bht_entries - 1) == 0

@@ -1,0 +1,245 @@
+"""Tests for access patterns: analytic models, generators, sharing math."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.patterns import (
+    AccessMix,
+    PointerChasePattern,
+    RandomPattern,
+    StencilPattern,
+    StreamingPattern,
+    effective_capacity,
+    loop_thrash_miss_rate,
+    sharing_discount,
+)
+
+
+class TestSharingFormulas:
+    def test_no_sharing_single_thread(self):
+        assert effective_capacity(100.0, 1, 0.5) == pytest.approx(100.0)
+        assert sharing_discount(1, 0.5) == pytest.approx(1.0)
+
+    def test_unshared_pair_halves_capacity(self):
+        assert effective_capacity(100.0, 2, 0.0) == pytest.approx(50.0)
+        assert sharing_discount(2, 0.0) == pytest.approx(1.0)
+
+    def test_fully_shared_pair_keeps_capacity_and_halves_misses(self):
+        assert effective_capacity(100.0, 2, 1.0) == pytest.approx(100.0)
+        assert sharing_discount(2, 1.0) == pytest.approx(0.5)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_capacity_bounds(self, shared, sharers):
+        c = effective_capacity(1000.0, sharers, shared)
+        assert 1000.0 / sharers - 1e-9 <= c <= 1000.0 + 1e-9
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_discount_bounds(self, shared, sharers):
+        d = sharing_discount(sharers, shared)
+        assert 1.0 / sharers - 1e-9 <= d <= 1.0 + 1e-9
+
+    def test_invalid_sharers(self):
+        with pytest.raises(ValueError):
+            effective_capacity(1.0, 0, 0.0)
+
+
+class TestLoopThrash:
+    def test_fits_means_near_zero(self):
+        assert loop_thrash_miss_rate(1000, 100000) < 0.01
+
+    def test_overflow_means_near_one(self):
+        assert loop_thrash_miss_rate(100000, 1000) > 0.99
+
+    def test_half_at_equality(self):
+        assert loop_thrash_miss_rate(1000, 1000) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=1.0, max_value=1e9),
+           st.floats(min_value=1.0, max_value=1e9))
+    def test_bounded(self, f, c):
+        assert 0.0 <= loop_thrash_miss_rate(f, c) <= 1.0
+
+    def test_monotone_in_footprint(self):
+        rates = [loop_thrash_miss_rate(f, 1e6)
+                 for f in (1e4, 1e5, 1e6, 1e7, 1e8)]
+        assert rates == sorted(rates)
+
+    def test_zero_capacity(self):
+        assert loop_thrash_miss_rate(100, 0) == 1.0
+
+
+class TestStreamingPattern:
+    def test_spatial_locality(self):
+        # Unit-stride sweep over an oversized array: one miss per line.
+        p = StreamingPattern(footprint_bytes=1e9, stride_bytes=8)
+        assert p.miss_rate(1024 * 1024, 64) == pytest.approx(8 / 64, rel=0.01)
+
+    def test_fitting_array_only_cold_misses(self):
+        p = StreamingPattern(footprint_bytes=1024, stride_bytes=64, passes=8)
+        # Fits easily: only the first of 8 passes misses.
+        assert p.miss_rate(1024 * 1024, 64) == pytest.approx(1 / 8, rel=0.05)
+
+    def test_gen_addresses_sequential(self):
+        p = StreamingPattern(footprint_bytes=4096, stride_bytes=8)
+        addrs = p.gen_addresses(10, np.random.default_rng(0))
+        assert list(addrs[:3]) == [0, 8, 16]
+
+    def test_gen_wraps_at_footprint(self):
+        p = StreamingPattern(footprint_bytes=64, stride_bytes=8)
+        addrs = p.gen_addresses(20, np.random.default_rng(0))
+        assert addrs.max() < 64
+
+    def test_thread_footprint_partitioned(self):
+        p = StreamingPattern(footprint_bytes=1000.0, partitioned=True)
+        assert p.thread_footprint(4) == pytest.approx(250.0)
+
+    def test_thread_footprint_shared(self):
+        p = StreamingPattern(footprint_bytes=1000.0, partitioned=False)
+        assert p.thread_footprint(4) == pytest.approx(1000.0)
+
+
+class TestRandomPattern:
+    def test_fits_no_misses(self):
+        p = RandomPattern(footprint_bytes=1024)
+        assert p.miss_rate(1024 * 1024, 64) == pytest.approx(0.0)
+
+    def test_steady_state_resident_fraction(self):
+        p = RandomPattern(footprint_bytes=4 * 1024 * 1024)
+        # Cache holds 1/4 of the footprint -> 75% misses.
+        assert p.miss_rate(1024 * 1024, 64) == pytest.approx(0.75)
+
+    def test_gen_within_footprint(self):
+        p = RandomPattern(footprint_bytes=8192)
+        addrs = p.gen_addresses(1000, np.random.default_rng(1))
+        assert addrs.min() >= 0 and addrs.max() < 8192
+        assert addrs.max() % 8 == 0
+
+
+class TestPointerChasePattern:
+    def test_dependent_flag(self):
+        assert PointerChasePattern(footprint_bytes=1e6).dependent
+
+    def test_gen_is_permutation_cycle(self):
+        p = PointerChasePattern(footprint_bytes=1024, stride_bytes=128)
+        addrs = p.gen_addresses(8, np.random.default_rng(2))
+        assert sorted(addrs.tolist()) == [i * 128 for i in range(8)]
+
+    def test_miss_cliff(self):
+        p_small = PointerChasePattern(footprint_bytes=1024, stride_bytes=128)
+        p_big = PointerChasePattern(footprint_bytes=1 << 26, stride_bytes=128)
+        assert p_small.miss_rate(1 << 20, 128) < 0.01
+        assert p_big.miss_rate(1 << 20, 128) > 0.99
+
+
+class TestStencilPattern:
+    def test_window_fit_reduces_misses(self):
+        fits = StencilPattern(
+            footprint_bytes=1e9, reuse_window_bytes=1e4, stride_bytes=8,
+            window_hit_fraction=0.8,
+        )
+        thrashes = StencilPattern(
+            footprint_bytes=1e9, reuse_window_bytes=1e8, stride_bytes=8,
+            window_hit_fraction=0.8,
+        )
+        cap = 1 << 20
+        assert fits.miss_rate(cap, 64) < thrashes.miss_rate(cap, 64)
+
+    def test_gen_addresses_in_footprint(self):
+        p = StencilPattern(footprint_bytes=4096, reuse_window_bytes=1024)
+        addrs = p.gen_addresses(500, np.random.default_rng(3))
+        assert addrs.min() >= 0 and addrs.max() < 4096
+
+
+class TestAccessMix:
+    def _mix(self):
+        return AccessMix.of(
+            (0.5, StreamingPattern(footprint_bytes=1e8, stride_bytes=8)),
+            (0.5, RandomPattern(footprint_bytes=4096)),
+        )
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            AccessMix.of((0.7, RandomPattern(footprint_bytes=1.0)))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            AccessMix.of(
+                (-0.5, RandomPattern(footprint_bytes=1.0)),
+                (1.5, RandomPattern(footprint_bytes=1.0)),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AccessMix(components=())
+
+    def test_mixture_is_weighted_average(self):
+        mix = self._mix()
+        cap, line = 1 << 20, 64
+        expected = 0.5 * StreamingPattern(
+            footprint_bytes=1e8, stride_bytes=8
+        ).miss_rate(cap, line)
+        assert mix.miss_rate(cap, line) == pytest.approx(expected, rel=1e-6)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20)
+    def test_threads_never_increase_partitioned_misses(self, t):
+        mix = self._mix()
+        base = mix.miss_rate(1 << 20, 64, n_threads=1)
+        split = mix.miss_rate(1 << 20, 64, n_threads=t)
+        assert split <= base + 1e-9
+
+    def test_sharers_increase_misses_for_private_data(self):
+        mix = self._mix()
+        solo = mix.miss_rate(1 << 14, 64, sharers=1)
+        pair = mix.miss_rate(1 << 14, 64, sharers=2, same_program=True)
+        assert pair >= solo
+
+    def test_shared_data_with_sibling_cheaper_than_private(self):
+        shared = AccessMix.of(
+            (1.0, RandomPattern(footprint_bytes=1e6, shared_fraction=1.0)),
+        )
+        private = AccessMix.of(
+            (1.0, RandomPattern(footprint_bytes=1e6, shared_fraction=0.0)),
+        )
+        cap = 1 << 19
+        assert shared.miss_rate(cap, 64, sharers=2) < private.miss_rate(
+            cap, 64, sharers=2
+        )
+
+    def test_different_program_ignores_shared_fraction(self):
+        mix = AccessMix.of(
+            (1.0, RandomPattern(footprint_bytes=1e6, shared_fraction=1.0)),
+        )
+        cap = 1 << 19
+        same = mix.miss_rate(cap, 64, sharers=2, same_program=True)
+        diff = mix.miss_rate(cap, 64, sharers=2, same_program=False)
+        assert diff > same
+
+    def test_dependent_fraction(self):
+        mix = AccessMix.of(
+            (0.3, PointerChasePattern(footprint_bytes=1e6)),
+            (0.7, RandomPattern(footprint_bytes=1e6)),
+        )
+        assert mix.dependent_fraction() == pytest.approx(0.3)
+
+    def test_footprint_sums_components(self):
+        mix = self._mix()
+        assert mix.footprint_bytes(1) == pytest.approx(1e8 + 4096)
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e8),
+        st.floats(min_value=1e3, max_value=1e8),
+    )
+    @settings(max_examples=30)
+    def test_miss_rate_monotone_in_capacity(self, c1, c2):
+        mix = self._mix()
+        lo, hi = min(c1, c2), max(c1, c2)
+        assert mix.miss_rate(hi, 64) <= mix.miss_rate(lo, 64) + 1e-9

@@ -1,0 +1,194 @@
+"""Tests for the CPI/stall accounting and SMT contention model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.pipeline import PipelineModel, SMT_CAPACITY, smt_issue_slowdown
+from repro.machine.params import paxville_params
+from repro.mem.hierarchy import HierarchyModel
+from repro.trace.patterns import AccessMix, RandomPattern, StreamingPattern
+from repro.trace.phase import Phase
+
+
+def compute_phase(**over):
+    defaults = dict(
+        name="compute",
+        instructions=1e9,
+        mem_ops_per_instr=0.1,
+        access_mix=AccessMix.of((1.0, RandomPattern(footprint_bytes=2048.0)),),
+        code_footprint_uops=2000.0,
+        code_footprint_bytes=4600.0,
+        branches_per_instr=0.05,
+        branch_misp_intrinsic=0.005,
+        branch_sites=100,
+        ilp=1.6,
+        inner_trip_count=500.0,
+    )
+    defaults.update(over)
+    return Phase(**defaults)
+
+
+def memory_phase(**over):
+    defaults = dict(
+        name="memory",
+        instructions=1e9,
+        mem_ops_per_instr=0.5,
+        access_mix=AccessMix.of(
+            (1.0, StreamingPattern(footprint_bytes=1e9, stride_bytes=8)),
+        ),
+        code_footprint_uops=2000.0,
+        code_footprint_bytes=4600.0,
+        branches_per_instr=0.05,
+        branch_misp_intrinsic=0.005,
+        branch_sites=100,
+        ilp=1.6,
+        inner_trip_count=500.0,
+    )
+    defaults.update(over)
+    return Phase(**defaults)
+
+
+@pytest.fixture
+def setup():
+    params = paxville_params()
+    return params, PipelineModel(params), HierarchyModel(params)
+
+
+def rates_for(hier, phase, **over):
+    kw = dict(n_threads=1, core_sharers=1, same_data=True, same_code=True,
+              total_visible_contexts=1)
+    kw.update(over)
+    return hier.evaluate(phase, **kw)
+
+
+class TestSmtIssueSlowdown:
+    def test_idle_sibling_free(self):
+        assert smt_issue_slowdown(1.0, 0.0) == 1.0
+        assert smt_issue_slowdown(1.0, 0.0, capacity=0.8) == 1.0
+
+    def test_light_pair_fits(self):
+        assert smt_issue_slowdown(0.3, 0.3) == 1.0
+
+    def test_compute_pair_contends(self):
+        slow = smt_issue_slowdown(1.0, 1.0)
+        assert slow == pytest.approx(2.0 / SMT_CAPACITY)
+
+    def test_custom_capacity(self):
+        assert smt_issue_slowdown(1.0, 1.0, capacity=1.0) == pytest.approx(2.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            smt_issue_slowdown(1.0, 1.0, capacity=0.0)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=30)
+    def test_at_least_one(self, u1, u2):
+        assert smt_issue_slowdown(u1, u2) >= 1.0
+
+
+class TestSoloUtilization:
+    def test_compute_bound_near_one(self, setup):
+        _, pipe, _ = setup
+        assert pipe.solo_utilization(compute_phase(), False) > 0.9
+
+    def test_memory_bound_low(self, setup):
+        _, pipe, _ = setup
+        mem = memory_phase(mem_ops_per_instr=0.6)
+        assert pipe.solo_utilization(mem, False) < 0.6
+
+    def test_bounded(self, setup):
+        _, pipe, _ = setup
+        for phase in (compute_phase(), memory_phase()):
+            u = pipe.solo_utilization(phase, True)
+            assert 0.0 < u <= 1.0
+
+
+class TestBreakdown:
+    def test_cpi_is_exec_plus_stalls(self, setup):
+        params, pipe, hier = setup
+        phase = memory_phase()
+        rates = rates_for(hier, phase)
+        bd = pipe.breakdown(phase, rates, mispredict_rate=0.02)
+        assert bd.cpi == pytest.approx(
+            bd.cpi_exec * bd.smt_slowdown + bd.stall_per_instr
+        )
+
+    def test_stall_fraction_bounded(self, setup):
+        params, pipe, hier = setup
+        phase = memory_phase()
+        rates = rates_for(hier, phase)
+        bd = pipe.breakdown(phase, rates, 0.02)
+        assert 0.0 <= bd.stall_fraction < 1.0
+
+    def test_ht_partition_penalty(self, setup):
+        params, pipe, hier = setup
+        phase = compute_phase(ilp=3.0)  # limited by width, not ILP
+        rates = rates_for(hier, phase)
+        on = pipe.breakdown(phase, rates, 0.0, ht_enabled=True)
+        off = pipe.breakdown(phase, rates, 0.0, ht_enabled=False)
+        assert on.cpi_exec > off.cpi_exec
+
+    def test_prefetch_coverage_reduces_memory_stall(self, setup):
+        params, pipe, hier = setup
+        phase = memory_phase()
+        rates = rates_for(hier, phase)
+        none = pipe.breakdown(phase, rates, 0.0, prefetch_coverage=0.0)
+        full = pipe.breakdown(phase, rates, 0.0, prefetch_coverage=0.8)
+        assert full.stall_memory < none.stall_memory
+
+    def test_bus_multiplier_scales_memory_stall(self, setup):
+        params, pipe, hier = setup
+        phase = memory_phase()
+        rates = rates_for(hier, phase)
+        base = pipe.breakdown(phase, rates, 0.0, bus_latency_multiplier=1.0)
+        loaded = pipe.breakdown(phase, rates, 0.0, bus_latency_multiplier=2.0)
+        assert loaded.stall_memory == pytest.approx(
+            base.stall_memory * 2.0, rel=0.05
+        )
+
+    def test_sibling_mlp_sharing_raises_memory_stall(self, setup):
+        params, pipe, hier = setup
+        phase = memory_phase()
+        rates = rates_for(hier, phase)
+        solo = pipe.breakdown(phase, rates, 0.0, core_sharers=1)
+        pair = pipe.breakdown(phase, rates, 0.0, core_sharers=2)
+        assert pair.stall_memory > solo.stall_memory
+
+    def test_mispredicts_cost_cycles(self, setup):
+        params, pipe, hier = setup
+        phase = compute_phase(branches_per_instr=0.2)
+        rates = rates_for(hier, phase)
+        good = pipe.breakdown(phase, rates, mispredict_rate=0.0)
+        bad = pipe.breakdown(phase, rates, mispredict_rate=0.1)
+        expected = 0.2 * 0.1 * params.branch.mispredict_penalty_cycles
+        assert bad.stall_branch - good.stall_branch == pytest.approx(expected)
+
+    def test_phase_mlp_override(self, setup):
+        params, pipe, hier = setup
+        low = memory_phase(mlp=1.5)
+        high = memory_phase(mlp=6.0)
+        rates = rates_for(hier, low)
+        bd_low = pipe.breakdown(low, rates, 0.0)
+        bd_high = pipe.breakdown(high, rates, 0.0)
+        assert bd_low.stall_memory > bd_high.stall_memory
+
+    def test_dependent_loads_lose_mlp(self, setup):
+        from repro.trace.patterns import PointerChasePattern
+        params, pipe, hier = setup
+        chase = memory_phase(
+            access_mix=AccessMix.of(
+                (1.0, PointerChasePattern(footprint_bytes=1e9,
+                                          stride_bytes=128)),
+            ),
+        )
+        stream = memory_phase()
+        bd_chase = pipe.breakdown(chase, rates_for(hier, chase), 0.0)
+        bd_stream = pipe.breakdown(stream, rates_for(hier, stream), 0.0)
+        # Per miss, the chase exposes the full latency.
+        chase_per_miss = bd_chase.stall_memory / rates_for(
+            hier, chase
+        ).l2_misses_per_instr
+        stream_per_miss = bd_stream.stall_memory / rates_for(
+            hier, stream
+        ).l2_misses_per_instr
+        assert chase_per_miss > stream_per_miss

@@ -1,0 +1,105 @@
+"""Tests for the power/energy model."""
+
+import pytest
+
+from repro.core.study import Study
+from repro.experiments import energy_study
+from repro.machine.power import (
+    PowerModel,
+    PowerParams,
+    energy_per_instruction_nj,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study("B")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel()
+
+
+class TestPowerModel:
+    def test_components_positive(self, study, model):
+        report = model.estimate(study.run("CG", "ht_off_4_2"))
+        assert report.core_dynamic_j > 0
+        assert report.core_static_j > 0
+        assert report.uncore_j > 0
+        assert report.dram_j > 0
+        assert report.total_j == pytest.approx(
+            report.core_dynamic_j + report.core_static_j
+            + report.uncore_j + report.dram_j
+        )
+
+    def test_average_power_plausible(self, study, model):
+        """A loaded two-chip NetBurst server sits well inside its
+        ~270 W combined TDP but far above idle."""
+        report = model.estimate(study.run("SP", "ht_off_4_2"))
+        assert 60 < report.average_watts < 300
+
+    def test_more_cores_more_static_power(self, study, model):
+        one = model.estimate(study.run("EP", "ht_off_2_1"))
+        two = model.estimate(study.run("EP", "ht_off_4_2"))
+        assert two.average_watts > one.average_watts
+
+    def test_ht_adds_static_power(self, study, model):
+        """Same physical span (1 chip, 2 cores), HT on vs off."""
+        off = model.estimate(study.run("EP", "ht_off_2_1"))
+        on = model.estimate(study.run("EP", "ht_on_4_1"))
+        # Both use 2 cores on 1 chip; the HT run adds duplicated state
+        # power and runs longer per-thread but finishes sooner overall...
+        # compare static watts directly via per-second rate.
+        off_static_w = off.core_static_j / off.runtime_seconds
+        on_static_w = on.core_static_j / on.runtime_seconds
+        assert on_static_w > off_static_w
+
+    def test_dynamic_energy_scales_with_instructions(self, study, model):
+        small = model.estimate(
+            Study("W").run("EP", "ht_off_2_1")
+        )
+        big = model.estimate(study.run("EP", "ht_off_2_1"))
+        assert big.core_dynamic_j > 10 * small.core_dynamic_j
+
+    def test_energy_per_instruction(self, study, model):
+        from repro.counters.events import Event
+
+        run = study.run("EP", "ht_off_2_1")
+        report = model.estimate(run)
+        instr = run.collector.total()[Event.INSTR_RETIRED]
+        epi = energy_per_instruction_nj(report, instr)
+        assert 5 < epi < 200  # nJ/uop, NetBurst ballpark
+
+    def test_energy_per_instruction_validation(self, study, model):
+        report = model.estimate(study.run("EP", "ht_off_2_1"))
+        with pytest.raises(ValueError):
+            energy_per_instruction_nj(report, 0)
+
+    def test_custom_params(self, study):
+        hot = PowerModel(PowerParams(core_static_w=100.0))
+        cold = PowerModel(PowerParams(core_static_w=1.0))
+        run = study.run("EP", "ht_off_2_1")
+        assert hot.estimate(run).total_j > cold.estimate(run).total_j
+
+
+class TestEnergyStudy:
+    @pytest.fixture(scope="class")
+    def result(self, study):
+        return energy_study.run(study)
+
+    def test_paper_thesis_cmt_wins_edp(self, result):
+        """The paper's efficiency conclusion restated in energy terms:
+        the single HT-enabled dual-core chip has the best EDP."""
+        assert result.best_edp_config() == "ht_on_4_1"
+
+    def test_serial_worst_edp(self, result):
+        """Racing to finish beats idling: serial pays static power the
+        longest and loses on EDP despite the lowest average power."""
+        assert result.average_edp("serial") == max(
+            result.average_edp(c) for c in result.config_order
+        )
+
+    def test_report_renders(self, result):
+        text = energy_study.report(result)
+        assert "best energy-delay product: ht_on_4_1" in text

@@ -1,0 +1,42 @@
+"""Tests for run-result containers."""
+
+import pytest
+
+from repro.machine.configurations import get_config
+from repro.npb.suite import build_workload
+from repro.sim.engine import Engine
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Engine(get_config("ht_off_2_1")).run_single(
+        build_workload("EP", "B")
+    )
+
+
+class TestRunResult:
+    def test_program_lookup(self, result):
+        assert result.program(0).name == "EP"
+        with pytest.raises(KeyError):
+            result.program(7)
+
+    def test_metrics_aggregate_vs_program(self, result):
+        whole = result.metrics()
+        prog = result.metrics(0)
+        assert whole.cpi == pytest.approx(prog.cpi)
+
+    def test_speedup_over(self, result):
+        serial = Engine(get_config("serial")).run_single(
+            build_workload("EP", "B")
+        )
+        s = result.speedup_over(serial.runtime_seconds)
+        assert s == pytest.approx(
+            serial.runtime_seconds / result.runtime_seconds
+        )
+
+    def test_phase_records(self, result):
+        assert len(result.phase_log) == 1
+        rec = result.phase_log[0]
+        assert rec.phase_name == "generate"
+        assert rec.wall_seconds > 0
+        assert rec.mean_cpi > 0

@@ -1,0 +1,70 @@
+"""Tests for sampled stream extraction."""
+
+import numpy as np
+import pytest
+
+from repro.trace.patterns import AccessMix, RandomPattern, StreamingPattern
+from repro.trace.sampling import SampledStream, sample_mix
+
+
+def mix():
+    return AccessMix.of(
+        (0.5, StreamingPattern(footprint_bytes=65536, stride_bytes=8)),
+        (0.5, RandomPattern(footprint_bytes=8192)),
+    )
+
+
+class TestSampleMix:
+    def test_length_and_scale(self):
+        s = sample_mix(mix(), 1000, 1e9, np.random.default_rng(0))
+        assert abs(len(s) - 1000) <= 2  # rounding of component shares
+        assert s.scale == pytest.approx(1e9 / len(s))
+
+    def test_components_live_in_disjoint_regions(self):
+        m = AccessMix.of(
+            (0.5, StreamingPattern(footprint_bytes=4096, stride_bytes=8)),
+            (0.5, RandomPattern(footprint_bytes=4096)),
+        )
+        s = sample_mix(m, 2000, 2000, np.random.default_rng(1))
+        # First region: [0, 4096); second starts at a 4 KiB-aligned offset
+        # past the first footprint.
+        region0 = s.addresses[s.addresses < 8192]
+        region1 = s.addresses[s.addresses >= 8192]
+        assert len(region0) > 0 and len(region1) > 0
+
+    def test_zero_weight_component_ok(self):
+        m = AccessMix.of(
+            (1.0, RandomPattern(footprint_bytes=4096)),
+            (0.0, StreamingPattern(footprint_bytes=4096)),
+        )
+        s = sample_mix(m, 500, 500, np.random.default_rng(2))
+        assert len(s) > 0
+
+    def test_interleaving_alternates_blocks(self):
+        m = AccessMix.of(
+            (0.5, StreamingPattern(footprint_bytes=1 << 20, stride_bytes=8)),
+            (0.5, RandomPattern(footprint_bytes=1 << 20)),
+        )
+        s = sample_mix(m, 4000, 4000, np.random.default_rng(3),
+                       interleave_block=32)
+        # The stream must not be two big contiguous runs: check that both
+        # regions appear in the first quarter.
+        quarter = s.addresses[:1000]
+        assert quarter.min() < (1 << 20)
+        assert quarter.max() > (1 << 20)
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            sample_mix(mix(), 0, 100)
+
+    def test_total_less_than_sample_clamped(self):
+        s = sample_mix(mix(), 1000, 10, np.random.default_rng(4))
+        assert s.scale >= 1.0
+
+
+class TestSampledStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampledStream(addresses=np.zeros((2, 2), dtype=np.int64), scale=1.0)
+        with pytest.raises(ValueError):
+            SampledStream(addresses=np.zeros(2, dtype=np.int64), scale=0.0)

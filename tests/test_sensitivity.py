@@ -1,0 +1,88 @@
+"""Tests for the parameter-sensitivity framework."""
+
+import pytest
+
+from repro.core.study import Study
+from repro.machine.params import paxville_params
+from repro.sim.sensitivity import (
+    PERTURBABLE,
+    SensitivityRow,
+    perturb_params,
+    sweep,
+)
+
+
+class TestPerturbParams:
+    def test_top_level_field(self):
+        base = paxville_params()
+        p = perturb_params(base, ("memory_latency_ns",), 2.0)
+        assert p.memory_latency_ns == pytest.approx(
+            base.memory_latency_ns * 2
+        )
+        assert base.memory_latency_ns == pytest.approx(136.9)  # untouched
+
+    def test_nested_field(self):
+        base = paxville_params()
+        p = perturb_params(base, ("bus", "chip_read_bw"), 0.5)
+        assert p.bus.chip_read_bw == pytest.approx(base.bus.chip_read_bw / 2)
+        # Sibling fields intact.
+        assert p.bus.chip_write_bw == base.bus.chip_write_bw
+
+    def test_unsupported_path(self):
+        with pytest.raises(ValueError):
+            perturb_params(paxville_params(), ("a", "b", "c"), 1.0)
+
+    def test_all_registered_paths_resolve(self):
+        base = paxville_params()
+        for _, path in PERTURBABLE:
+            perturb_params(base, path, 1.1)
+
+
+class TestSensitivityRow:
+    def test_elasticity(self):
+        r = SensitivityRow(
+            parameter="x", scale=1.25, metric_value=11.0,
+            baseline_value=10.0, finding_holds=True,
+        )
+        assert r.metric_change == pytest.approx(0.1)
+        assert r.elasticity == pytest.approx(0.4)
+
+    def test_zero_baseline(self):
+        r = SensitivityRow("x", 1.25, 1.0, 0.0, True)
+        assert r.metric_change == 0.0
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # One cheap parameter, one benchmark metric.
+        return sweep(
+            metric=lambda s: s.speedup("EP", "ht_off_4_2"),
+            finding=lambda s: s.speedup("EP", "ht_off_4_2") > 3.0,
+            metric_name="EP speedup",
+            scales=(0.8, 1.25),
+            parameters=[("memory_latency_ns", ("memory_latency_ns",))],
+        )
+
+    def test_rows_per_scale(self, result):
+        assert len(result.rows) == 2
+
+    def test_ep_insensitive_to_memory_latency(self, result):
+        """EP never touches memory: its speedup barely moves."""
+        for r in result.rows:
+            assert abs(r.metric_change) < 0.02
+            assert r.finding_holds
+        assert result.fragile_parameters() == []
+
+    def test_memory_bound_metric_is_sensitive(self):
+        res = sweep(
+            metric=lambda s: s.run("CG", "serial").metrics(0).cpi,
+            finding=lambda s: True,
+            metric_name="CG serial CPI",
+            scales=(1.5,),
+            parameters=[("memory_latency_ns", ("memory_latency_ns",))],
+        )
+        # 50% more DRAM latency must raise CG's CPI noticeably.
+        assert res.rows[0].metric_change > 0.10
+        name, el = res.max_elasticity()
+        assert name == "memory_latency_ns"

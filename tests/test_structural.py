@@ -1,0 +1,86 @@
+"""Tests for the structural co-simulator and the validation experiment."""
+
+import pytest
+
+from repro.experiments import validation
+from repro.npb.suite import build_workload
+from repro.sim.structural import SharingScenario, StructuralCoSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return StructuralCoSimulator(samples=8000)
+
+
+@pytest.fixture(scope="module")
+def cg_phase():
+    return build_workload("CG", "B").phases[-1]
+
+
+@pytest.fixture(scope="module")
+def ft_phase():
+    return build_workload("FT", "B").phases[-1]
+
+
+class TestStructuralCoSimulator:
+    def test_solo_rates_bounded(self, sim, cg_phase):
+        r = sim.measure(SharingScenario(phase=cg_phase, n_threads=4))
+        assert 0.0 <= r.l1_miss_rate <= 1.0
+        assert 0.0 <= r.l2_miss_rate <= 1.0
+        assert 0.0 <= r.dtlb_miss_rate <= 1.0
+
+    def test_different_program_sibling_raises_misses(self, sim, cg_phase,
+                                                     ft_phase):
+        solo = sim.measure(SharingScenario(phase=cg_phase, n_threads=4))
+        mixed = sim.measure(
+            SharingScenario(phase=cg_phase, n_threads=4, co_phase=ft_phase,
+                            same_data=False)
+        )
+        assert mixed.l1_miss_rate > solo.l1_miss_rate
+
+    def test_same_program_sibling_cheaper_than_foreign(self, sim, cg_phase,
+                                                       ft_phase):
+        """CG's shared source vector makes a same-program sibling less
+        destructive than a foreign program in the same cache."""
+        same = sim.measure(
+            SharingScenario(phase=cg_phase, n_threads=4, co_phase=cg_phase,
+                            same_data=True)
+        )
+        foreign = sim.measure(
+            SharingScenario(phase=cg_phase, n_threads=4, co_phase=ft_phase,
+                            same_data=False)
+        )
+        assert same.l1_miss_rate <= foreign.l1_miss_rate + 0.02
+
+    def test_deterministic(self, sim, cg_phase):
+        s = SharingScenario(phase=cg_phase, n_threads=2)
+        assert sim.measure(s) == sim.measure(s)
+
+    def test_analytic_prediction_available(self, sim, cg_phase):
+        s = SharingScenario(phase=cg_phase, n_threads=4)
+        rates = sim.analytic_for(s)
+        assert rates.l1_miss_rate > 0
+
+    def test_global_l2_property(self, sim, cg_phase):
+        r = sim.measure(SharingScenario(phase=cg_phase, n_threads=4))
+        assert r.l2_global_miss_rate <= r.l1_miss_rate + 1e-12
+
+
+class TestValidationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return validation.run(benchmarks=["CG", "EP"], samples=8000)
+
+    def test_rows_cover_scenarios(self, result):
+        scenarios = {r.scenario for r in result.rows}
+        assert scenarios == {"solo", "sibling_same", "sibling_other"}
+        assert len(result.rows) == 6
+
+    def test_l1_agreement_band(self, result):
+        """The analytic model tracks the structural simulator on L1 miss
+        rates within ~10 percentage points on every scenario."""
+        assert result.max_l1_error < 0.12
+
+    def test_report_renders(self, result):
+        text = validation.report(result)
+        assert "mean |L1 error|" in text

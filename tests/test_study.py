@@ -1,0 +1,51 @@
+"""Tests for the Study facade."""
+
+import pytest
+
+from repro.core.study import Study
+from repro.npb.common import ProblemClass
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study("B")
+
+
+class TestStudy:
+    def test_class_resolution(self):
+        assert Study("a").problem_class is ProblemClass.A
+        assert Study(ProblemClass.W).problem_class is ProblemClass.W
+
+    def test_workload_memoized(self, study):
+        assert study.workload("CG") is study.workload("cg")
+
+    def test_run_memoized(self, study):
+        r1 = study.run("EP", "serial")
+        r2 = study.run("EP", "serial")
+        assert r1 is r2
+
+    def test_speedup_positive(self, study):
+        assert study.speedup("EP", "ht_off_4_2") > 1.0
+
+    def test_pair_speedups(self, study):
+        sa, sb = study.pair_speedups("CG", "FT", "ht_off_4_2")
+        assert sa > 0 and sb > 0
+
+    def test_speedup_table_shape(self, study):
+        t = study.speedup_table(benchmarks=["EP", "CG"],
+                                configs=["ht_off_2_1", "ht_off_4_2"])
+        assert t.benchmarks == ["CG", "EP"]
+        assert set(t.configs) == {"ht_off_2_1", "ht_off_4_2"}
+
+    def test_paper_lists(self):
+        assert len(Study.paper_configs()) == 7
+        assert Study.paper_benchmarks() == ["CG", "MG", "SP", "FT", "LU", "EP"]
+
+    def test_serial_runtime_matches_run(self, study):
+        assert study.serial_runtime("EP") == study.run(
+            "EP", "serial"
+        ).runtime_seconds
+
+    def test_scheduler_choice_respected(self):
+        s = Study("B", scheduler="gang")
+        assert s.engine("ht_on_8_2").scheduler.name == "gang"

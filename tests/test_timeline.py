@@ -1,0 +1,90 @@
+"""Tests for interval-sampled metric timelines."""
+
+import pytest
+
+from repro.counters.timeline import Timeline, TimelineSample
+from repro.machine.configurations import get_config
+from repro.npb.suite import build_workload
+from repro.sim.engine import Engine
+
+
+def sample(pid=0, t0=0.0, t1=1.0, phase="p", instr=100.0, cpi=2.0, util=0.5):
+    return TimelineSample(
+        program_id=pid, t_start=t0, t_end=t1, phase_name=phase,
+        instructions=instr, cpi=cpi, bus_utilization=util,
+    )
+
+
+class TestTimelineContainer:
+    def test_add_and_query(self):
+        t = Timeline()
+        t.add(sample(t0=0.0, t1=2.0, phase="alpha"))
+        t.add(sample(t0=2.0, t1=3.0, phase="beta"))
+        assert t.end_time == 3.0
+        assert t.phase_at(0, 1.0) == "alpha"
+        assert t.phase_at(0, 2.5) == "beta"
+        assert t.phase_at(0, 9.0) is None
+
+    def test_invalid_interval(self):
+        t = Timeline()
+        with pytest.raises(ValueError):
+            t.add(sample(t0=2.0, t1=1.0))
+
+    def test_sample_derived(self):
+        s = sample(t0=1.0, t1=3.0, cpi=4.0)
+        assert s.duration == 2.0
+        assert s.ipc == 0.25
+
+    def test_utilization_series_length(self):
+        t = Timeline()
+        t.add(sample(t0=0.0, t1=10.0, util=0.9))
+        series = t.utilization_series(n_buckets=20)
+        assert len(series) == 20
+        assert all(u == 0.9 for u in series)
+
+    def test_empty_render(self):
+        assert "empty" in Timeline().render()
+
+
+class TestEngineTimeline:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return Engine(get_config("ht_on_8_2")).run_pair(
+            build_workload("CG", "B"), build_workload("FT", "B")
+        )
+
+    def test_both_programs_sampled(self, run):
+        pids = {s.program_id for s in run.timeline.samples}
+        assert pids == {0, 1}
+
+    def test_end_time_matches_runtime(self, run):
+        assert run.timeline.end_time == pytest.approx(
+            run.runtime_seconds, rel=1e-6
+        )
+
+    def test_phases_appear_in_order(self, run):
+        cg_phases = [
+            s.phase_name for s in run.timeline.for_program(0)
+        ]
+        # First CG activity is the serial setup, last is the axpy phase.
+        assert cg_phases[0] == "makea"
+        assert cg_phases[-1] == "axpy_updates"
+
+    def test_instructions_sum_to_workload(self, run):
+        cg = build_workload("CG", "B")
+        total = sum(
+            s.instructions for s in run.timeline.for_program(0)
+        )
+        assert total == pytest.approx(cg.total_instructions, rel=1e-6)
+
+    def test_render_swimlane(self, run):
+        text = run.timeline.render(width=40)
+        assert "P0 |" in text and "P1 |" in text
+        assert "bus|" in text
+
+    def test_single_program_timeline(self):
+        r = Engine(get_config("serial")).run_single(
+            build_workload("EP", "B")
+        )
+        assert len(r.timeline.samples) == 1
+        assert r.timeline.samples[0].phase_name == "generate"

@@ -1,0 +1,66 @@
+"""Tests for the fully-associative TLB simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine.params import TLBParams
+from repro.mem.tlb import TLB
+
+
+def make_tlb(entries=4, page=4096):
+    return TLB(TLBParams(entries=entries, page_bytes=page))
+
+
+class TestTLB:
+    def test_first_translation_misses(self):
+        t = make_tlb()
+        assert t.access(0) is True
+        assert t.access(100) is False  # same page
+
+    def test_page_granularity(self):
+        t = make_tlb(page=4096)
+        t.access(0)
+        assert t.access(4095) is False
+        assert t.access(4096) is True
+
+    def test_capacity_and_lru(self):
+        t = make_tlb(entries=2)
+        t.access(0 * 4096)
+        t.access(1 * 4096)
+        t.access(2 * 4096)        # evicts page 0
+        assert t.access(1 * 4096) is False
+        assert t.access(0 * 4096) is True
+
+    def test_lru_refresh(self):
+        t = make_tlb(entries=2)
+        t.access(0)
+        t.access(4096)
+        t.access(0)               # refresh page 0
+        t.access(2 * 4096)        # evicts page 1
+        assert t.access(0) is False
+        assert t.access(4096) is True
+
+    def test_run_stream(self):
+        t = make_tlb(entries=8)
+        addrs = np.arange(16, dtype=np.int64) * 4096
+        stats = t.run(np.tile(addrs, 3))
+        assert stats.accesses == 48
+        # 16 pages cycling through 8 entries: LRU thrash, all miss.
+        assert stats.misses == 48
+
+    def test_working_set_fits(self):
+        t = make_tlb(entries=8)
+        addrs = np.tile(np.arange(4, dtype=np.int64) * 4096, 10)
+        stats = t.run(addrs)
+        assert stats.misses == 4  # compulsory only
+
+    def test_reset(self):
+        t = make_tlb()
+        t.access(0)
+        t.reset()
+        assert t.stats.accesses == 0
+        assert t.access(0) is True
+
+    def test_miss_rate_empty(self):
+        t = make_tlb()
+        assert t.stats.miss_rate == 0.0

@@ -1,0 +1,114 @@
+"""Tests for repro.machine.topology."""
+
+import pytest
+
+from repro.machine.topology import build_topology, SystemTopology
+
+
+class TestBuildTopology:
+    def test_ht_enabled_counts(self):
+        topo = build_topology(n_chips=2, cores_per_chip=2, ht_enabled=True)
+        assert topo.n_chips == 2
+        assert topo.n_cores == 4
+        assert topo.n_contexts == 8
+
+    def test_ht_disabled_counts(self):
+        topo = build_topology(n_chips=2, cores_per_chip=2, ht_enabled=False)
+        assert topo.n_contexts == 4
+        assert all(len(core.contexts) == 1 for core in topo.cores)
+
+    def test_paper_labels_ht_on(self):
+        topo = build_topology(ht_enabled=True)
+        labels = [c.label for c in topo.contexts]
+        assert labels == [f"A{i}" for i in range(8)]
+
+    def test_paper_labels_ht_off(self):
+        topo = build_topology(ht_enabled=False)
+        labels = [c.label for c in topo.contexts]
+        assert labels == [f"B{i}" for i in range(4)]
+
+    def test_figure1_layout(self):
+        """Chip 0 core 0 hosts A0/A1; chip 1 core 0 hosts A4/A5."""
+        topo = build_topology(ht_enabled=True)
+        a0, a1 = topo.context("A0"), topo.context("A1")
+        a4, a5 = topo.context("A4"), topo.context("A5")
+        assert a0.core_key == a1.core_key == (0, 0)
+        assert a4.core_key == a5.core_key == (1, 0)
+
+    def test_ht_off_layout(self):
+        topo = build_topology(ht_enabled=False)
+        assert topo.context("B0").chip == 0
+        assert topo.context("B1").chip == 0
+        assert topo.context("B2").chip == 1
+        assert topo.context("B3").chip == 1
+
+    def test_custom_prefix(self):
+        topo = build_topology(n_chips=1, ht_enabled=True, label_prefix="X")
+        assert topo.context("X0").label == "X0"
+
+
+class TestContextRelations:
+    @pytest.fixture
+    def topo(self):
+        return build_topology(ht_enabled=True)
+
+    def test_siblings(self, topo):
+        a0 = topo.context("A0")
+        sibs = topo.siblings(a0)
+        assert [s.label for s in sibs] == ["A1"]
+
+    def test_no_sibling_ht_off(self):
+        topo = build_topology(ht_enabled=False)
+        assert topo.siblings(topo.context("B0")) == []
+
+    def test_shares_core(self, topo):
+        a0, a1, a2 = (topo.context(l) for l in ("A0", "A1", "A2"))
+        assert a0.shares_core_with(a1)
+        assert not a0.shares_core_with(a2)
+
+    def test_shares_chip(self, topo):
+        a0, a3, a4 = (topo.context(l) for l in ("A0", "A3", "A4"))
+        assert a0.shares_chip_with(a3)
+        assert not a0.shares_chip_with(a4)
+
+    def test_core_of_and_chip_of(self, topo):
+        a5 = topo.context("A5")
+        assert topo.core_of(a5).key == (1, 0)
+        assert topo.chip_of(a5).index == 1
+
+    def test_unknown_label_raises(self, topo):
+        with pytest.raises(KeyError, match="A9"):
+            topo.context("A9")
+
+
+class TestRestrict:
+    def test_restrict_keeps_identity(self):
+        topo = build_topology(ht_enabled=True)
+        masked = topo.restrict(["A0", "A1", "A4", "A5"])
+        assert masked.n_contexts == 4
+        assert masked.n_chips == 2
+        # A4/A5 still live on chip 1 core 0 after masking.
+        assert masked.context("A4").core_key == (1, 0)
+
+    def test_restrict_drops_empty_cores(self):
+        topo = build_topology(ht_enabled=True)
+        masked = topo.restrict(["A0", "A1"])
+        assert masked.n_chips == 1
+        assert masked.n_cores == 1
+
+    def test_restrict_preserves_siblinghood(self):
+        topo = build_topology(ht_enabled=True)
+        masked = topo.restrict(["A0", "A1"])
+        sibs = masked.siblings(masked.context("A0"))
+        assert [s.label for s in sibs] == ["A1"]
+
+    def test_restrict_unknown_label(self):
+        topo = build_topology(ht_enabled=True)
+        with pytest.raises(KeyError):
+            topo.restrict(["A0", "Z9"])
+
+    def test_restrict_single_context(self):
+        topo = build_topology(ht_enabled=False)
+        masked = topo.restrict(["B0"])
+        assert masked.n_contexts == 1
+        assert masked.siblings(masked.context("B0")) == []

@@ -1,0 +1,68 @@
+"""Tests for the repeated-trial variance methodology."""
+
+import numpy as np
+import pytest
+
+from repro.machine.configurations import get_config
+from repro.sim.trials import (
+    TrialStats,
+    noisy_runtime,
+    run_trials,
+    variance_table,
+)
+
+
+class TestTrialStats:
+    def test_summary_statistics(self):
+        s = TrialStats("CG", "serial", runtimes=[100.0, 102.0, 98.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(100.0)
+        assert s.spread == pytest.approx(0.04)
+        assert s.cv > 0
+
+    def test_single_trial_no_std(self):
+        s = TrialStats("CG", "serial", runtimes=[100.0])
+        assert s.std == 0.0
+        assert s.cv == 0.0
+
+
+class TestNoiseModel:
+    def test_noise_centers_on_base(self):
+        rng = np.random.default_rng(0)
+        cfg = get_config("ht_off_4_2")
+        draws = [noisy_runtime(100.0, cfg, rng) for _ in range(400)]
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.01)
+
+    def test_busier_machines_noisier(self):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        small = get_config("serial")
+        big = get_config("ht_on_8_2")
+        d_small = [noisy_runtime(100.0, small, rng1) for _ in range(400)]
+        d_big = [noisy_runtime(100.0, big, rng2) for _ in range(400)]
+        assert np.std(d_big) > np.std(d_small)
+
+
+class TestRunTrials:
+    def test_paper_variance_band(self):
+        """'...ten independent trials, with minimal variance between
+        tests (<~1-5%)' — every cell of the study grid lands inside."""
+        for stats in variance_table(
+            ["CG", "EP"], ["ht_off_2_1", "ht_on_8_2"], n_trials=10
+        ):
+            assert stats.n == 10
+            assert stats.spread < 0.05
+
+    def test_deterministic_given_seed(self):
+        a = run_trials("EP", "serial", n_trials=5, seed=7)
+        b = run_trials("EP", "serial", n_trials=5, seed=7)
+        assert a.runtimes == b.runtimes
+
+    def test_different_seeds_differ(self):
+        a = run_trials("EP", "serial", n_trials=5, seed=7)
+        b = run_trials("EP", "serial", n_trials=5, seed=8)
+        assert a.runtimes != b.runtimes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_trials("EP", "serial", n_trials=0)

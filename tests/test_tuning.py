@@ -1,0 +1,88 @@
+"""Tests for the runtime-tuning package (the paper's future work)."""
+
+import pytest
+
+from repro.npb.suite import build_workload
+from repro.openmp.env import ScheduleKind
+from repro.openmp.constructs import (
+    critical_section_cycles,
+    measure_construct_overheads,
+    overhead_table,
+)
+from repro.tuning.loop_tuner import tune_loop_schedule
+from repro.tuning.placement_tuner import tune_placement
+
+
+class TestLoopTuner:
+    def test_imbalanced_workload_prefers_self_scheduling(self):
+        lu = build_workload("LU", "B")
+        result = tune_loop_schedule(lu, "ht_off_4_2")
+        assert result.chosen in (ScheduleKind.GUIDED, ScheduleKind.DYNAMIC)
+        assert result.gain_over_static > 0
+
+    def test_regular_workload_prefers_static(self):
+        sp = build_workload("SP", "B")
+        result = tune_loop_schedule(sp, "ht_off_4_2")
+        assert result.chosen is ScheduleKind.STATIC
+
+    def test_all_schedules_trialed(self):
+        result = tune_loop_schedule(build_workload("EP", "B"), "ht_off_2_1")
+        assert set(result.trial_seconds) == set(ScheduleKind)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            tune_loop_schedule(build_workload("EP", "B"), "serial",
+                               trial_fraction=0.0)
+
+
+class TestPlacementTuner:
+    @pytest.fixture(scope="class")
+    def cg_cg(self):
+        cg = build_workload("CG", "B")
+        return tune_placement(cg, cg, "ht_on_8_2")
+
+    def test_gang_wins_homogeneous_pair(self, cg_cg):
+        """Two CG copies want same-program siblings (shared code and
+        source vector) and no migration churn: gang placement."""
+        assert cg_cg.chosen == "gang"
+        assert cg_cg.gain_over_default > 0.1
+
+    def test_trial_identifies_true_optimum(self, cg_cg):
+        assert cg_cg.regret == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_policies_measured(self, cg_cg):
+        assert set(cg_cg.full_makespans) == {
+            "linux_default", "gang", "symbiosis"
+        }
+
+    def test_invalid_fraction(self):
+        cg = build_workload("CG", "B")
+        with pytest.raises(ValueError):
+            tune_placement(cg, cg, "ht_on_8_2", trial_fraction=2.0)
+
+
+class TestConstructOverheads:
+    def test_overheads_grow_with_team_span(self):
+        small = measure_construct_overheads("ht_on_2_1")
+        big = measure_construct_overheads("ht_on_8_2")
+        assert big.parallel > small.parallel
+        assert big.barrier > small.barrier
+        assert big.critical > small.critical
+
+    def test_sibling_critical_cheaper_than_cross_chip(self):
+        assert critical_section_cycles(2, 1, 1) < critical_section_cycles(
+            2, 2, 2
+        )
+
+    def test_uncontended_floor(self):
+        assert critical_section_cycles(1, 1, 1) == pytest.approx(120.0)
+
+    def test_table_covers_all_configs(self):
+        rows = overhead_table()
+        assert len(rows) == 7
+        assert {r.config for r in rows} >= {"ht_on_2_1", "ht_on_8_2"}
+
+    def test_microsecond_conversion(self):
+        r = measure_construct_overheads("ht_off_4_2")
+        us = r.in_microseconds(2.8e9)
+        assert us["parallel"] == pytest.approx(r.parallel / 2800.0)

@@ -1,0 +1,43 @@
+"""Tests for the NPB mini-kernel verification suite."""
+
+import pytest
+
+from repro.npb.verification import (
+    VerificationCheck,
+    format_report,
+    verify_all,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return verify_all()
+
+
+class TestVerification:
+    def test_all_checks_pass(self, report):
+        failing = [c for c in report.checks if not c.passed]
+        assert not failing, f"failed: {failing}"
+        assert report.successful
+
+    def test_covers_seven_kernels(self, report):
+        benches = {c.benchmark for c in report.checks}
+        assert benches == {"CG", "MG", "FT", "EP", "IS", "SP", "LU"}
+
+    def test_per_benchmark_lookup(self, report):
+        cg = report.for_benchmark("CG")
+        assert {c.quantity for c in cg} == {"residual_norm", "zeta"}
+
+    def test_format_has_stamp(self, report):
+        text = format_report(report)
+        assert "VERIFICATION SUCCESSFUL" in text
+        assert text.count("[OK ]") == len(report.checks)
+
+    def test_failure_stamp(self):
+        bad = verify_all()
+        bad.checks.append(
+            VerificationCheck("XX", "broken", 0.0, False, "synthetic")
+        )
+        text = format_report(bad)
+        assert "VERIFICATION UNSUCCESSFUL" in text
+        assert "[FAIL]" in text

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Calibration dashboard: metric grid for all benchmarks x configurations.
+
+Dev tool used while tuning workload models against the paper's qualitative
+findings (see DESIGN.md section 4).  Run: python tools/calibrate.py [classletter]
+"""
+
+import sys
+
+from repro.machine import CONFIGURATIONS, get_config
+from repro.npb import build_workload
+from repro.sim import Engine
+
+CONFIGS = [
+    "ht_on_2_1", "ht_off_2_1", "ht_on_4_1", "ht_off_2_2",
+    "ht_on_4_2", "ht_off_4_2", "ht_on_8_2",
+]
+BENCH = ["CG", "MG", "SP", "FT", "LU", "EP", "BT", "IS"]
+
+
+def main() -> None:
+    cls = sys.argv[1] if len(sys.argv) > 1 else "B"
+    rows = {}
+    serial = {}
+    for b in BENCH:
+        w = build_workload(b, cls)
+        serial[b] = Engine(get_config("serial")).run_single(w)
+        rows[b] = {}
+        for c in CONFIGS:
+            rows[b][c] = Engine(get_config(c)).run_single(w)
+
+    print("== speedup over serial ==")
+    print("%-4s" % "app", *["%10s" % c for c in CONFIGS])
+    for b in BENCH:
+        print("%-4s" % b, *[
+            "%10.2f" % (serial[b].runtime_seconds / rows[b][c].runtime_seconds)
+            for c in CONFIGS
+        ])
+    avg = {
+        c: sum(serial[b].runtime_seconds / rows[b][c].runtime_seconds
+               for b in BENCH) / len(BENCH)
+        for c in CONFIGS
+    }
+    print("%-4s" % "AVG", *["%10.2f" % avg[c] for c in CONFIGS])
+
+    for metric in ["cpi", "l1", "l2", "tc", "bp", "stall", "pf", "busutil"]:
+        print(f"== {metric} ==")
+        hdr = ["serial"] + CONFIGS
+        print("%-4s" % "app", *["%10s" % c for c in hdr])
+        for b in BENCH:
+            vals = []
+            for c in hdr:
+                r = serial[b] if c == "serial" else rows[b][c]
+                m = r.metrics(0)
+                v = {
+                    "cpi": m.cpi,
+                    "l1": m.l1_miss_rate,
+                    "l2": m.l2_miss_rate,
+                    "tc": m.tc_miss_rate,
+                    "bp": m.branch_prediction_rate,
+                    "stall": m.stall_fraction,
+                    "pf": m.prefetch_bus_fraction,
+                    "busutil": max(p.bus_utilization for p in r.phase_log),
+                }[metric]
+                vals.append("%10.3f" % v)
+            print("%-4s" % b, *vals)
+
+
+if __name__ == "__main__":
+    main()
