@@ -1,0 +1,74 @@
+"""Microbenchmarks for the simulation hot paths (pytest-benchmark).
+
+Not part of the default test suite (``testpaths`` excludes this
+directory).  Typical usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+        --benchmark-json=/tmp/bench_new.json
+    python tools/bench_compare.py BENCH_baseline.json /tmp/bench_new.json
+
+``BENCH_baseline.json`` at the repository root is the committed
+reference; ``tools/bench_compare.py`` exits non-zero when a benchmark
+regresses more than its threshold (25 % by default), for use as a CI
+gate.  Regenerate the baseline with the first command above (writing to
+``BENCH_baseline.json``) whenever a deliberate performance change lands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.runcache import RunCache
+from repro.core.study import Study
+from repro.machine.params import CacheParams
+from repro.mem.cache import SetAssocCache
+from repro.npb.suite import build_workload
+from repro.sim.structural import SharingScenario, StructuralCoSimulator
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return SharingScenario(
+        phase=build_workload("CG", "B").phases[-1], n_threads=4
+    )
+
+
+def test_structural_replay_vectorized(benchmark, scenario):
+    sim = StructuralCoSimulator(samples=30000, vectorized=True)
+    benchmark(sim.measure, scenario)
+
+
+def test_structural_replay_scalar(benchmark, scenario):
+    sim = StructuralCoSimulator(samples=30000, vectorized=False)
+    benchmark.pedantic(sim.measure, args=(scenario,), rounds=3)
+
+
+def test_cache_batch_run_200k(benchmark):
+    params = CacheParams(
+        size_bytes=16 * 1024, line_bytes=64, associativity=8,
+        latency_cycles=3,
+    )
+    rng = np.random.default_rng(7)
+    addrs = rng.integers(0, 1 << 22, size=200_000, dtype=np.int64)
+
+    def run():
+        cache = SetAssocCache(params)
+        return cache.run(addrs, vectorized=True)
+
+    benchmark(run)
+
+
+def test_analytic_run_uncached(benchmark):
+    study = Study("B")
+
+    # Calling the engine directly bypasses the run cache, so this
+    # measures the analytic model itself.
+    def run():
+        return study.engine("ht_off_4_2").run_single(study.workload("CG"))
+
+    benchmark(run)
+
+
+def test_run_cache_hit(benchmark):
+    cache = RunCache()
+    cache.put("fp", ("single", "CG", "ht_off_4_2"), {"payload": 1})
+    benchmark(cache.get, "fp", ("single", "CG", "ht_off_4_2"))

@@ -19,6 +19,16 @@ from typing import List, Optional
 from repro.experiments import registry
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -46,6 +56,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--csv", action="store_true",
         help="also export the speedup table and counter grids as CSV",
     )
+    run_all.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes for the sweep experiments "
+             "(default: REPRO_JOBS or serial)",
+    )
+    run_all.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the run cache (memory and disk tiers); every run "
+             "re-simulates from scratch",
+    )
 
     speed = sub.add_parser("speedup", help="query one speedup")
     speed.add_argument("benchmark")
@@ -57,15 +77,6 @@ def _build_parser() -> argparse.ArgumentParser:
 def _run_one(experiment_id: str) -> str:
     entry = registry.get(experiment_id)
     module = importlib.import_module(entry.module)
-    if not hasattr(module, "run") or not hasattr(module, "report"):
-        # ablations exposes several studies; use its main-style output.
-        import contextlib
-        import io
-
-        buf = io.StringIO()
-        with contextlib.redirect_stdout(buf):
-            module.main()
-        return buf.getvalue()
     return module.report(module.run())
 
 
@@ -107,7 +118,18 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run-all":
+        from repro.core.runcache import configure
+        from repro.sim.parallel import set_default_jobs
+
         args.out.mkdir(parents=True, exist_ok=True)
+        if args.no_cache:
+            configure(enabled=False)
+        else:
+            # Disk tier under the output directory: repeat runs (and the
+            # sweep workers) reuse earlier results across processes.
+            configure(disk_dir=args.out / ".cache")
+        if args.jobs is not None:
+            set_default_jobs(args.jobs)
         for entry in registry.EXPERIMENTS.values():
             text = _run_one(entry.id)
             path = args.out / f"{entry.id}.txt"

@@ -1,0 +1,242 @@
+"""Cross-study run cache: content-addressed memoization of simulation runs.
+
+A :class:`~repro.core.study.Study` used to memoize runs per instance, so
+two studies built with identical inputs — which happens constantly in the
+sensitivity sweeps, where only *one* parameter of a perturbed pair
+actually changes per direction — re-simulated everything from scratch.
+This module promotes the memo to a process-wide cache keyed by a
+*fingerprint* of everything that determines a run's result:
+
+* the machine parameters (full nested dataclass contents),
+* the NAS problem class,
+* the scheduler policy name,
+* the OpenMP environment,
+* and the per-run key (benchmark/config, or pair).
+
+Fingerprints are SHA-256 over stable ``repr`` forms, so equality is by
+content, not identity: any two studies configured the same share results.
+
+Tiers:
+
+* **memory** — a plain dict, always on (unless disabled);
+* **disk** — optional, under a directory (``results/.cache`` for the
+  CLI's ``run-all``); entries are atomically-written pickle files named
+  by fingerprint, so concurrent writers (the parallel sweep runner's
+  workers) cannot corrupt each other.
+
+Control knobs: ``REPRO_NO_CACHE=1`` disables both tiers globally;
+``REPRO_CACHE_DIR=<path>`` enables the disk tier by default.  Both are
+overridable programmatically via :func:`configure`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "CacheStats",
+    "RunCache",
+    "configure",
+    "get_cache",
+    "study_fingerprint",
+]
+
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Sentinel distinguishing "not cached" from a cached None.
+_MISS = object()
+
+
+def study_fingerprint(
+    problem_class: Any,
+    params: Any,
+    scheduler_name: str,
+    omp: Any,
+) -> str:
+    """Content fingerprint of a study configuration.
+
+    ``params`` may be None (platform default) or a (possibly nested)
+    frozen dataclass; ``omp`` likewise.  Dataclasses are serialized via
+    ``dataclasses.asdict`` so field *values* — not object identity —
+    drive the hash.
+    """
+    def canon(obj: Any) -> str:
+        if obj is None:
+            return "None"
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return f"{type(obj).__name__}:{dataclasses.asdict(obj)!r}"
+        return repr(obj)
+
+    payload = "\x1f".join(
+        [canon(problem_class), canon(params), scheduler_name, canon(omp)]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class RunCache:
+    """Two-tier (memory + optional disk) content-addressed result cache."""
+
+    def __init__(
+        self,
+        disk_dir: Optional[Path] = None,
+        enabled: bool = True,
+    ):
+        self._mem: Dict[Tuple[str, str], Any] = {}
+        self.disk_dir = Path(disk_dir) if disk_dir else None
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _entry_key(self, study_fp: str, run_key: Tuple[Any, ...]) -> str:
+        return hashlib.sha256(
+            f"{study_fp}\x1f{run_key!r}".encode()
+        ).hexdigest()
+
+    def _disk_path(self, entry_key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{entry_key}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, study_fp: str, run_key: Tuple[Any, ...]) -> Any:
+        """Return the cached value, or the module-level miss sentinel."""
+        if not self.enabled:
+            return _MISS
+        entry_key = self._entry_key(study_fp, run_key)
+        if entry_key in self._mem:
+            self.stats.memory_hits += 1
+            return self._mem[entry_key]
+        path = self._disk_path(entry_key)
+        if path is not None and path.exists():
+            try:
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                # Torn or stale file: treat as a miss; the fresh result
+                # will overwrite it atomically.
+                pass
+            else:
+                self._mem[entry_key] = value
+                self.stats.disk_hits += 1
+                return value
+        self.stats.misses += 1
+        return _MISS
+
+    def put(self, study_fp: str, run_key: Tuple[Any, ...], value: Any) -> None:
+        if not self.enabled:
+            return
+        entry_key = self._entry_key(study_fp, run_key)
+        self._mem[entry_key] = value
+        path = self._disk_path(entry_key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            # The disk tier is an accelerator, never a correctness
+            # dependency: fall back silently to memory-only.
+            pass
+
+    @staticmethod
+    def is_miss(value: Any) -> bool:
+        return value is _MISS
+
+    def clear(self, memory: bool = True, disk: bool = False) -> None:
+        """Drop cached entries (memory tier by default)."""
+        if memory:
+            self._mem.clear()
+        if disk and self.disk_dir is not None and self.disk_dir.exists():
+            for p in self.disk_dir.glob("*.pkl"):
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+
+# ----------------------------------------------------------------------
+_global_cache: Optional[RunCache] = None
+
+
+def _default_cache() -> RunCache:
+    disabled = os.environ.get(NO_CACHE_ENV, "").strip() not in ("", "0")
+    disk = os.environ.get(CACHE_DIR_ENV, "").strip() or None
+    return RunCache(
+        disk_dir=Path(disk) if disk else None, enabled=not disabled
+    )
+
+
+def get_cache() -> RunCache:
+    """The process-wide shared run cache (created on first use from the
+    ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` environment)."""
+    global _global_cache
+    if _global_cache is None:
+        _global_cache = _default_cache()
+    return _global_cache
+
+
+def configure(
+    disk_dir: Optional[os.PathLike] = None,
+    enabled: Optional[bool] = None,
+    reset: bool = False,
+) -> RunCache:
+    """Reconfigure the process-wide cache; returns it.
+
+    Args:
+        disk_dir: enable the on-disk tier under this directory (None
+            leaves the current setting; pass ``reset=True`` to rebuild
+            from the environment).
+        enabled: switch caching on/off.
+        reset: discard the current instance (and its memory tier) first.
+    """
+    global _global_cache
+    if reset or _global_cache is None:
+        _global_cache = _default_cache()
+    if disk_dir is not None:
+        _global_cache.disk_dir = Path(disk_dir)
+    if enabled is not None:
+        _global_cache.enabled = enabled
+    return _global_cache

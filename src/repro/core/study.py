@@ -1,8 +1,10 @@
 """The :class:`Study` facade: configure once, run and compare anywhere.
 
 A ``Study`` owns a problem class, optional machine-parameter overrides and
-a scheduler policy; it memoizes workload models, serial baselines and runs
-so experiment drivers can interrogate it freely without re-simulating.
+a scheduler policy; runs are memoized in the process-wide content-addressed
+cache of :mod:`repro.core.runcache`, so *any* two studies configured
+identically — even in different experiments, or across processes when the
+disk tier is enabled — share results instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -10,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.speedup import SpeedupTable, speedup_table
+from repro.core.runcache import RunCache, get_cache, study_fingerprint
 from repro.machine.configurations import (
     CONFIGURATIONS,
     MachineConfig,
@@ -52,7 +55,26 @@ class Study:
         self.scheduler_name = scheduler
         self.omp = omp
         self._workloads: Dict[str, Workload] = {}
-        self._runs: Dict[Tuple[str, ...], RunResult] = {}
+        self._fingerprint = study_fingerprint(
+            self.problem_class, params, scheduler, omp
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines this study's runs."""
+        return self._fingerprint
+
+    @property
+    def _cache(self) -> RunCache:
+        return get_cache()
+
+    def _cached_run(self, key: Tuple[str, ...], compute) -> RunResult:
+        cache = self._cache
+        value = cache.get(self._fingerprint, key)
+        if cache.is_miss(value):
+            value = compute()
+            cache.put(self._fingerprint, key, value)
+        return value
 
     # ------------------------------------------------------------------
     def workload(self, benchmark: str) -> Workload:
@@ -74,24 +96,24 @@ class Study:
 
     # ------------------------------------------------------------------
     def run(self, benchmark: str, config: str = "serial") -> RunResult:
-        """Run one benchmark under one configuration (memoized)."""
+        """Run one benchmark under one configuration (cached)."""
         key = ("single", benchmark.upper(), config)
-        if key not in self._runs:
-            self._runs[key] = self.engine(config).run_single(
-                self.workload(benchmark)
-            )
-        return self._runs[key]
+        return self._cached_run(
+            key,
+            lambda: self.engine(config).run_single(self.workload(benchmark)),
+        )
 
     def run_pair(
         self, bench_a: str, bench_b: str, config: str
     ) -> RunResult:
         """Run two benchmarks concurrently (threads split evenly)."""
         key = ("pair", bench_a.upper(), bench_b.upper(), config)
-        if key not in self._runs:
-            self._runs[key] = self.engine(config).run_pair(
+        return self._cached_run(
+            key,
+            lambda: self.engine(config).run_pair(
                 self.workload(bench_a), self.workload(bench_b)
-            )
-        return self._runs[key]
+            ),
+        )
 
     # ------------------------------------------------------------------
     def serial_runtime(self, benchmark: str) -> float:

@@ -47,6 +47,13 @@ class CounterSet:
     def as_dict(self) -> Dict[Event, float]:
         return dict(self._counts)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality, so cached results survive a pickle round trip
+        through the run cache's disk tier comparably."""
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        return self._counts == other._counts
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{e.value}={v:.3g}" for e, v in sorted(
             self._counts.items(), key=lambda kv: kv[0].value))

@@ -16,12 +16,105 @@ pollute) them.  The analytic model decomposes the mispredict rate into:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.machine.params import BranchPredictorParams
+from repro.perf import use_vectorized
 from repro.trace.phase import Phase
+
+
+def _batch_counter_predict(
+    table: np.ndarray, idx: np.ndarray, taken: np.ndarray
+) -> np.ndarray:
+    """Vectorized two-bit saturating-counter simulation.
+
+    Groups the branch stream by table index and replays each index's
+    outcome subsequence through the counter FSM with a segmented
+    parallel prefix scan.  The key fact: counter updates are clipped
+    additions ``s' = clip(s + d, 0, 3)``, and clipped-add functions
+    ``f(x) = min(hi, max(lo, x + a))`` compose into clipped-add
+    functions, so the whole per-index trajectory collapses into
+    ``log2(n)`` rounds of NumPy min/max/add (a Hillis-Steele scan over
+    the function monoid) instead of a per-branch Python loop.
+
+    Updates ``table`` in place; returns per-branch correctness flags in
+    stream order.  Bit-identical to the scalar ``predict_and_update``
+    loop (the equivalence tests enforce it).
+    """
+    n = len(idx)
+    if n == 0:
+        return np.empty(0, dtype=bool)
+    order = np.argsort(idx, kind="stable")
+    gidx = idx[order]
+    gtaken = taken[order]
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    np.not_equal(gidx[1:], gidx[:-1], out=seg_start[1:])
+
+    # Element i carries f_i(x) = clip(x + a, lo, hi); initially the
+    # single-update function clip(x +- 1, 0, 3).
+    add = np.where(gtaken, 1, -1).astype(np.int64)
+    lo = np.zeros(n, dtype=np.int64)
+    hi = np.full(n, 3, dtype=np.int64)
+    done = seg_start.copy()  # window already reaches its segment start
+    dist = 1
+    while dist < n:
+        active = np.flatnonzero(~done[dist:]) + dist
+        if len(active) == 0:
+            break
+        src = active - dist
+        # new f = f_active ∘ f_src (apply the earlier window first)
+        a2, l2, h2 = add[active], lo[active], hi[active]
+        hi_new = np.minimum(h2, np.maximum(l2, hi[src] + a2))
+        lo_new = np.minimum(hi_new, np.maximum(l2, lo[src] + a2))
+        add[active] = add[src] + a2
+        lo[active] = lo_new
+        hi[active] = hi_new
+        done[active] = done[src]
+        dist <<= 1
+
+    s0 = table[gidx].astype(np.int64)
+    s_incl = np.minimum(hi, np.maximum(lo, s0 + add))  # state after access
+    s_before = np.empty(n, dtype=np.int64)
+    s_before[seg_start] = s0[seg_start]
+    inner = np.flatnonzero(~seg_start)
+    s_before[inner] = s_incl[inner - 1]
+
+    correct_g = (s_before >= 2) == gtaken
+    seg_end = np.empty(n, dtype=bool)
+    seg_end[:-1] = seg_start[1:]
+    seg_end[-1] = True
+    table[gidx[seg_end]] = s_incl[seg_end].astype(table.dtype)
+
+    correct = np.empty(n, dtype=bool)
+    correct[order] = correct_g
+    return correct
+
+
+def _global_histories(
+    outcomes: np.ndarray, init_history: int, history_bits: int
+) -> Tuple[np.ndarray, int]:
+    """Per-branch global-history register values, vectorized.
+
+    The history register shifts in actual outcomes only (independent of
+    predictions), so the value seen by branch ``k`` is the last
+    ``history_bits`` outcomes before ``k`` — a sliding bit window over
+    the initial register's bits concatenated with the outcome stream.
+    Returns (per-branch history values, final register value).
+    """
+    n = len(outcomes)
+    if history_bits == 0:
+        return np.zeros(n, dtype=np.int64), 0
+    shifts = np.arange(history_bits - 1, -1, -1, dtype=np.int64)
+    init_bits = (init_history >> shifts) & 1
+    full = np.concatenate([init_bits, outcomes.astype(np.int64)])
+    windows = np.lib.stride_tricks.sliding_window_view(full, history_bits)
+    weights = np.int64(1) << shifts
+    hist = windows[:n] @ weights
+    final = int(full[-history_bits:] @ weights)
+    return hist, final
 
 
 @dataclass
@@ -72,14 +165,29 @@ class GsharePredictor:
             self.stats.mispredicts += 1
         return correct
 
-    def run(self, pcs: np.ndarray, outcomes: np.ndarray) -> BranchStats:
+    def run(
+        self,
+        pcs: np.ndarray,
+        outcomes: np.ndarray,
+        vectorized: Optional[bool] = None,
+    ) -> BranchStats:
         """Feed a stream of (pc, taken) pairs; returns cumulative stats."""
         pcs = np.asarray(pcs, dtype=np.int64)
         outcomes = np.asarray(outcomes, dtype=bool)
         if len(pcs) != len(outcomes):
             raise ValueError("pcs and outcomes must have equal length")
-        for pc, taken in zip(pcs, outcomes):
-            self.predict_and_update(int(pc), bool(taken))
+        if not use_vectorized(vectorized):
+            for pc, taken in zip(pcs, outcomes):
+                self.predict_and_update(int(pc), bool(taken))
+            return self.stats
+        hist, final_history = _global_histories(
+            outcomes, self._history, self.params.history_bits
+        )
+        idx = (pcs ^ hist) & self._mask
+        correct = _batch_counter_predict(self._table, idx, outcomes)
+        self._history = final_history & self._hist_mask
+        self.stats.branches += len(pcs)
+        self.stats.mispredicts += int(len(pcs) - correct.sum())
         return self.stats
 
 
@@ -120,13 +228,25 @@ class BimodalPredictor:
             self.stats.mispredicts += 1
         return correct
 
-    def run(self, pcs: np.ndarray, outcomes: np.ndarray) -> BranchStats:
+    def run(
+        self,
+        pcs: np.ndarray,
+        outcomes: np.ndarray,
+        vectorized: Optional[bool] = None,
+    ) -> BranchStats:
         pcs = np.asarray(pcs, dtype=np.int64)
         outcomes = np.asarray(outcomes, dtype=bool)
         if len(pcs) != len(outcomes):
             raise ValueError("pcs and outcomes must have equal length")
-        for pc, taken in zip(pcs, outcomes):
-            self.predict_and_update(int(pc), bool(taken))
+        if not use_vectorized(vectorized):
+            for pc, taken in zip(pcs, outcomes):
+                self.predict_and_update(int(pc), bool(taken))
+            return self.stats
+        correct = _batch_counter_predict(
+            self._table, pcs & self._mask, outcomes
+        )
+        self.stats.branches += len(pcs)
+        self.stats.mispredicts += int(len(pcs) - correct.sum())
         return self.stats
 
 

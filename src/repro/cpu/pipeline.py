@@ -158,6 +158,29 @@ class PipelineModel:
         cpi = cpi_exec + mem_stall + l2_stall
         return min(1.0, cpi_exec / cpi)
 
+    def effective_mlp(
+        self,
+        phase: Phase,
+        core_sharers: int = 1,
+        sibling_miss_ratio: float = 1.0,
+    ) -> float:
+        """Memory-level parallelism a thread sustains for ``phase``.
+
+        HT siblings share the core's load/store and miss buffers,
+        shrinking the overlap each thread can sustain — in proportion to
+        how hard the sibling actually drives those buffers.
+        """
+        p = self.params
+        dep_frac = phase.access_mix.dependent_fraction()
+        base_mlp = phase.mlp if phase.mlp > 0 else p.core.mlp
+        mlp = base_mlp * (1.0 - dep_frac) + 1.0 * dep_frac
+        return mlp / (
+            1.0
+            + p.core.mlp_smt_share
+            * sibling_miss_ratio
+            * max(core_sharers - 1, 0)
+        )
+
     def breakdown(
         self,
         phase: Phase,
@@ -209,18 +232,7 @@ class PipelineModel:
         )
 
         mem_lat = p.memory_latency_cycles * bus_latency_multiplier
-        dep_frac = phase.access_mix.dependent_fraction()
-        base_mlp = phase.mlp if phase.mlp > 0 else p.core.mlp
-        mlp = base_mlp * (1.0 - dep_frac) + 1.0 * dep_frac
-        # HT siblings share the core's load/store and miss buffers,
-        # shrinking the overlap each thread can sustain — in proportion
-        # to how hard the sibling actually drives those buffers.
-        mlp = mlp / (
-            1.0
-            + p.core.mlp_smt_share
-            * sibling_miss_ratio
-            * max(core_sharers - 1, 0)
-        )
+        mlp = self.effective_mlp(phase, core_sharers, sibling_miss_ratio)
         uncovered = rates.l2_misses_per_instr * (1.0 - prefetch_coverage)
         covered = rates.l2_misses_per_instr * prefetch_coverage
         stall_memory = (

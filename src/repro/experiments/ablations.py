@@ -173,14 +173,39 @@ def report_ablation(ab: AblationResult, title: str) -> str:
     )
 
 
+@dataclass
+class AblationsResult:
+    """All four ablation studies, bundled for the experiment registry."""
+
+    schedulers: SchedulerComparison
+    prefetcher: AblationResult
+    bus_bandwidth: AblationResult
+    trace_cache: AblationResult
+
+
+def run(problem_class: str = "B") -> AblationsResult:
+    """Run every ablation study (the registry driver entry point)."""
+    return AblationsResult(
+        schedulers=scheduler_comparison(problem_class=problem_class),
+        prefetcher=prefetcher_ablation(problem_class=problem_class),
+        bus_bandwidth=bus_bandwidth_sweep(problem_class=problem_class),
+        trace_cache=trace_cache_sweep(problem_class=problem_class),
+    )
+
+
+def report(result: AblationsResult) -> str:
+    return "\n\n".join(
+        [
+            report_scheduler(result.schedulers),
+            report_ablation(result.prefetcher, "Prefetcher ablation"),
+            report_ablation(result.bus_bandwidth, "Bus bandwidth sweep"),
+            report_ablation(result.trace_cache, "Trace cache sweep"),
+        ]
+    )
+
+
 def main() -> None:  # pragma: no cover - CLI convenience
-    print(report_scheduler(scheduler_comparison()))
-    print()
-    print(report_ablation(prefetcher_ablation(), "Prefetcher ablation"))
-    print()
-    print(report_ablation(bus_bandwidth_sweep(), "Bus bandwidth sweep"))
-    print()
-    print(report_ablation(trace_cache_sweep(), "Trace cache sweep"))
+    print(report(run()))
 
 
 if __name__ == "__main__":  # pragma: no cover

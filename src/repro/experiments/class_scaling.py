@@ -18,6 +18,7 @@ from repro.analysis.report import format_table
 from repro.core.study import Study
 from repro.machine.configurations import Architecture
 from repro.experiments import table2_avg_speedup
+from repro.sim.parallel import parallel_map
 
 
 @dataclass
@@ -35,23 +36,38 @@ class ClassScalingResult:
     ht8_winners: Dict[str, List[str]] = field(default_factory=dict)
 
 
+def _class_summary(task):
+    """Headline comparisons for one problem class (parallel worker)."""
+    cls, benchmarks = task
+    study = Study(cls)
+    t2 = table2_avg_speedup.run(study, benchmarks=benchmarks)
+    table = study.speedup_table(benchmarks=benchmarks)
+    winners = [
+        b
+        for b in table.benchmarks
+        if table.get(b, "ht_on_8_2") > table.get(b, "ht_off_4_2")
+    ]
+    return t2.averages, t2.ht_on_8_2_slowdown, winners
+
+
 def run(
     classes: Sequence[str] = ("W", "A", "B", "C"),
     benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ClassScalingResult:
-    """Sweep the problem class and recompute the headline comparisons."""
+    """Sweep the problem class and recompute the headline comparisons.
+
+    Classes are independent studies, so the sweep fans out over the
+    parallel runner (``jobs=None`` uses the global default).
+    """
     result = ClassScalingResult(classes=list(classes))
-    for cls in classes:
-        study = Study(cls)
-        t2 = table2_avg_speedup.run(study, benchmarks=benchmarks)
-        result.averages[cls] = t2.averages
-        result.ht8_slowdown[cls] = t2.ht_on_8_2_slowdown
-        table = study.speedup_table(benchmarks=benchmarks)
-        result.ht8_winners[cls] = [
-            b
-            for b in table.benchmarks
-            if table.get(b, "ht_on_8_2") > table.get(b, "ht_off_4_2")
-        ]
+    summaries = parallel_map(
+        _class_summary, [(cls, benchmarks) for cls in classes], jobs=jobs
+    )
+    for cls, (averages, slowdown, winners) in zip(classes, summaries):
+        result.averages[cls] = averages
+        result.ht8_slowdown[cls] = slowdown
+        result.ht8_winners[cls] = winners
     return result
 
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.report import format_box_plot
 from repro.analysis.stats import BoxStats, box_stats
 from repro.core.study import Study
+from repro.sim.parallel import parallel_map
 
 
 @dataclass
@@ -42,22 +43,35 @@ class Fig5Result:
         return wins
 
 
+def _config_samples(task) -> List[Tuple[str, str, float, float]]:
+    """All pair speedups for one configuration (parallel worker)."""
+    study, cfg, pairs = task
+    return [(a, b) + study.pair_speedups(a, b, cfg) for a, b in pairs]
+
+
 def run(
     study: Optional[Study] = None,
     benchmarks: Optional[Sequence[str]] = None,
     configs: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Fig5Result:
-    """Run all unordered benchmark pairs under every configuration."""
+    """Run all unordered benchmark pairs under every configuration.
+
+    The per-configuration sample sets are independent, so they fan out
+    over the sweep runner (``jobs=None`` uses the global default).
+    """
     study = study if study is not None else Study("B")
     benches = list(benchmarks or study.paper_benchmarks())
     cfgs = list(configs or study.paper_configs())
     pairs = list(itertools.combinations_with_replacement(benches, 2))
 
+    per_config = parallel_map(
+        _config_samples, [(study, cfg, pairs) for cfg in cfgs], jobs=jobs
+    )
     result = Fig5Result(config_order=cfgs)
-    for cfg in cfgs:
+    for cfg, rows in zip(cfgs, per_config):
         samples: List[float] = []
-        for a, b in pairs:
-            sa, sb = study.pair_speedups(a, b, cfg)
+        for a, b, sa, sb in rows:
             pair_label = f"{a}/{b}"
             result.detail[(cfg, pair_label, a)] = sa
             samples.append(sa)

@@ -52,6 +52,7 @@ def lat_mem_rd(
     mode: str = "exact",
     samples: int = 8000,
     seed: int = 12345,
+    vectorized: Optional[bool] = None,
 ) -> List[LatencyPoint]:
     """Measure average dependent-load latency across footprints.
 
@@ -66,6 +67,8 @@ def lat_mem_rd(
             simulators).
         samples: chain steps replayed in structural mode.
         seed: RNG seed for the chain permutation (structural mode).
+        vectorized: force the batch (True) or scalar (False) replay in
+            structural mode; None defers to the global flag.
 
     Returns:
         One :class:`LatencyPoint` per footprint, ascending.
@@ -94,14 +97,13 @@ def lat_mem_rd(
             addrs = pattern.gen_addresses(samples, rng)
             l1 = SetAssocCache(params.l1d)
             l2 = SetAssocCache(params.l2)
-            for a in addrs:  # warm-up pass primes both levels
-                if l1.access(int(a)):
-                    l2.access(int(a))
-            l1.stats = type(l1.stats)()
-            l2.stats = type(l2.stats)()
-            for a in addrs:
-                if l1.access(int(a)):
-                    l2.access(int(a))
+            # Warm-up pass primes both levels, then the measured pass;
+            # the L2 sees exactly the subsequence of L1 misses.
+            for addr_pass in (addrs, addrs):
+                l1.stats = type(l1.stats)()
+                l2.stats = type(l2.stats)()
+                miss1 = l1.run_misses(addr_pass, vectorized=vectorized)
+                l2.run_misses(addr_pass[miss1], vectorized=vectorized)
             l1_rate = l1.stats.miss_rate()
             l2_local = l2.stats.miss_rate()
 

@@ -15,7 +15,7 @@ binding bottleneck (chip port or memory controller).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.machine.params import BusParams
 
@@ -93,106 +93,164 @@ class BusModel:
         denom = read_fraction / read_bw + wf / write_bw
         return 1.0 / denom if denom > 0 else read_bw
 
-    def resolve(self, loads: Sequence[BusLoad]) -> Dict[str, BusOutcome]:
+    def resolve(
+        self,
+        loads: Sequence[BusLoad],
+        initial_coverage: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, BusOutcome]:
         """Compute per-context bus outcomes for simultaneous loads.
 
         The prefetcher and the queueing delay interact: prefetch traffic
         raises utilization, and coverage shrinks as headroom vanishes.  A
         short damped fixed-point iteration resolves both.
         """
-        if not loads:
-            return {}
-        chips = sorted({l.chip for l in loads})
-        coverage = {l.key: 0.0 for l in loads}
-        # Snoop traffic from every agent with misses in flight consumes
-        # address-bus capacity; cross-chip snoops are reflected through
-        # the memory controller and cost more.
-        agents_on = {}
-        for l in loads:
-            if l.demand_bytes_per_sec > 0:
-                agents_on[l.chip] = agents_on.get(l.chip, 0) + 1
-        n_agents = sum(agents_on.values())
-        snoop_by_chip = {}
-        for c in chips:
-            local = max(agents_on.get(c, 0) - 1, 0)
-            remote = sum(v for ch, v in agents_on.items() if ch != c)
-            snoop_by_chip[c] = (
-                1.0
-                + self.params.snoop_overhead_per_agent * local
-                + self.params.snoop_overhead_cross_chip * remote
-            )
-        snoop_sys = (
-            sum(snoop_by_chip.values()) / len(snoop_by_chip)
-            if snoop_by_chip
-            else 1.0
+        return self.build_outcomes(
+            loads, self.resolve_lite(loads, initial_coverage)
         )
 
-        for _ in range(24):
-            chip_offered = {c: 0.0 for c in chips}
-            chip_read_frac = {c: 0.0 for c in chips}
-            for l in loads:
-                # Covered misses move from demand to prefetch transactions
-                # (same line transfer) plus wasted speculative fetches.
-                cov = coverage[l.key]
-                offered = l.demand_bytes_per_sec * (
-                    (1.0 - cov) + cov * (1.0 + PREFETCH_WASTE)
-                )
-                chip_offered[l.chip] += offered
-                chip_read_frac[l.chip] += offered * l.read_fraction
-
-            total_offered = sum(chip_offered.values())
-            sys_read_frac = (
-                sum(chip_read_frac.values()) / total_offered if total_offered else 0.8
-            )
-            utils = {}
-            for c in chips:
-                rf = (
-                    chip_read_frac[c] / chip_offered[c]
-                    if chip_offered[c]
-                    else 0.8
-                )
-                chip_util = (
-                    chip_offered[c] * snoop_by_chip[c]
-                    / self._capacity(rf, "chip")
-                )
-                sys_util = (
-                    total_offered * snoop_sys
-                    / self._capacity(sys_read_frac, "system")
-                )
-                utils[c] = max(chip_util, sys_util)
-
-            new_cov = {}
-            for l in loads:
-                u = utils[l.chip]
-                headroom = max(0.0, (self.params.prefetch_headroom - u))
-                head_factor = min(1.0, headroom / self.params.prefetch_headroom * 2.2)
-                cov = self.params.prefetch_max_coverage * l.prefetchability * head_factor
-                # Damping keeps the loop from oscillating at the knee.
-                new_cov[l.key] = 0.5 * coverage[l.key] + 0.5 * cov
-            delta = max(abs(new_cov[k] - coverage[k]) for k in coverage)
-            coverage = new_cov
-            if delta < 1e-6:
-                break
-
+    def build_outcomes(
+        self,
+        loads: Sequence[BusLoad],
+        lite: Dict[str, Tuple[float, float, float]],
+    ) -> Dict[str, BusOutcome]:
+        """Materialize :class:`BusOutcome` objects from a
+        :meth:`resolve_lite` result for the same ``loads``."""
         outcomes: Dict[str, BusOutcome] = {}
         tx = self.params.transaction_bytes
+        waste_factor = 1.0 + PREFETCH_WASTE
         for l in loads:
-            u = min(utils[l.chip], 0.98)
-            mult = 1.0 + _QUEUE_COEFF * u * u / (1.0 - u)
-            mult = min(mult, _QUEUE_CAP)
-            cov = coverage[l.key]
+            mult, cov, util = lite[l.key]
             miss_tps = l.demand_bytes_per_sec / tx
-            demand_tps = miss_tps * (1.0 - cov)
-            prefetch_tps = cov * miss_tps * (1.0 + PREFETCH_WASTE)
             outcomes[l.key] = BusOutcome(
                 key=l.key,
                 latency_multiplier=mult,
                 prefetch_coverage=cov,
-                demand_tps=demand_tps,
-                prefetch_tps=prefetch_tps,
-                utilization=utils[l.chip],
+                demand_tps=miss_tps * (1.0 - cov),
+                prefetch_tps=cov * miss_tps * waste_factor,
+                utilization=util,
             )
         return outcomes
+
+    def resolve_lite(
+        self,
+        loads: Sequence[BusLoad],
+        initial_coverage: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, Tuple[float, float, float]]:
+        """Converged ``(latency_multiplier, prefetch_coverage,
+        utilization)`` per key, without building outcome objects.
+
+        This is the innermost loop of the engine's CPI/bus fixed point —
+        called every outer iteration, with full outcomes materialized
+        (:meth:`build_outcomes`) only after convergence — so the
+        iteration state lives in flat lists with every parameter hoisted
+        to a local.
+
+        Args:
+            loads: per-context offered traffic.
+            initial_coverage: warm-start coverage per key (the engine
+                passes the previous outer iteration's converged values,
+                which collapses the inner loop to a couple of steps).
+        """
+        if not loads:
+            return {}
+        p = self.params
+        chips = sorted({l.chip for l in loads})
+        chip_index = {c: i for i, c in enumerate(chips)}
+        n_chips = len(chips)
+        # Snoop traffic from every agent with misses in flight consumes
+        # address-bus capacity; cross-chip snoops are reflected through
+        # the memory controller and cost more.
+        agents_on: Dict[int, int] = {}
+        for l in loads:
+            if l.demand_bytes_per_sec > 0:
+                agents_on[l.chip] = agents_on.get(l.chip, 0) + 1
+        snoop_chip = []
+        for c in chips:
+            local = max(agents_on.get(c, 0) - 1, 0)
+            remote = sum(v for ch, v in agents_on.items() if ch != c)
+            snoop_chip.append(
+                1.0
+                + p.snoop_overhead_per_agent * local
+                + p.snoop_overhead_cross_chip * remote
+            )
+        snoop_sys = sum(snoop_chip) / len(snoop_chip) if snoop_chip else 1.0
+
+        chip_read_bw, chip_write_bw = p.chip_read_bw, p.chip_write_bw
+        sys_read_bw, sys_write_bw = p.system_read_bw, p.system_write_bw
+        headroom_cap = p.prefetch_headroom
+        waste_factor = 1.0 + PREFETCH_WASTE
+
+        n = len(loads)
+        demand = [l.demand_bytes_per_sec for l in loads]
+        rfrac = [l.read_fraction for l in loads]
+        lchip = [chip_index[l.chip] for l in loads]
+        max_cov = [p.prefetch_max_coverage * l.prefetchability for l in loads]
+        if initial_coverage is not None:
+            cov_arr = [initial_coverage.get(l.key, 0.0) for l in loads]
+        else:
+            cov_arr = [0.0] * n
+        utils_c = [0.0] * n_chips
+
+        for _ in range(24):
+            chip_offered = [0.0] * n_chips
+            chip_read = [0.0] * n_chips
+            for i in range(n):
+                # Covered misses move from demand to prefetch transactions
+                # (same line transfer) plus wasted speculative fetches.
+                cov = cov_arr[i]
+                offered = demand[i] * ((1.0 - cov) + cov * waste_factor)
+                ci = lchip[i]
+                chip_offered[ci] += offered
+                chip_read[ci] += offered * rfrac[i]
+
+            total_offered = sum(chip_offered)
+            sys_read_frac = (
+                sum(chip_read) / total_offered if total_offered else 0.8
+            )
+            wf = 1.0 - sys_read_frac
+            denom = sys_read_frac / sys_read_bw + wf / sys_write_bw
+            sys_cap = 1.0 / denom if denom > 0 else sys_read_bw
+            sys_util = total_offered * snoop_sys / sys_cap
+            for ci in range(n_chips):
+                co = chip_offered[ci]
+                rf = chip_read[ci] / co if co else 0.8
+                wf = 1.0 - rf
+                denom = rf / chip_read_bw + wf / chip_write_bw
+                cap = 1.0 / denom if denom > 0 else chip_read_bw
+                chip_util = co * snoop_chip[ci] / cap
+                utils_c[ci] = (
+                    chip_util if chip_util >= sys_util else sys_util
+                )
+
+            delta = 0.0
+            for i in range(n):
+                u = utils_c[lchip[i]]
+                headroom = headroom_cap - u
+                if headroom < 0.0:
+                    headroom = 0.0
+                head_factor = headroom / headroom_cap * 2.2
+                if head_factor > 1.0:
+                    head_factor = 1.0
+                cov = max_cov[i] * head_factor
+                # Damping keeps the loop from oscillating at the knee.
+                new_cov = 0.5 * cov_arr[i] + 0.5 * cov
+                d = new_cov - cov_arr[i]
+                if d < 0.0:
+                    d = -d
+                if d > delta:
+                    delta = d
+                cov_arr[i] = new_cov
+            if delta < 1e-6:
+                break
+
+        out: Dict[str, Tuple[float, float, float]] = {}
+        for i, l in enumerate(loads):
+            util = utils_c[lchip[i]]
+            u = util if util < 0.98 else 0.98
+            mult = 1.0 + _QUEUE_COEFF * u * u / (1.0 - u)
+            mult = min(mult, _QUEUE_CAP)
+            out[l.key] = (mult, cov_arr[i], util)
+        return out
 
     def streaming_bandwidth(
         self, n_chips_active: int, kind: str = "read"

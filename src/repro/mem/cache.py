@@ -1,9 +1,11 @@
 """Structural set-associative LRU cache simulator.
 
-Simulates concrete address streams line-by-line.  The inner loop is plain
-Python over accesses with NumPy per-set tag compare; streams are sampled
-(see :mod:`repro.trace.sampling`), so lengths stay in the 10^4-10^6 range
-where this is fast enough.
+Simulates concrete address streams line-by-line.  Whole-stream replay
+(:meth:`SetAssocCache.run`) is vectorized through the batched LRU engine
+of :mod:`repro.mem.lru_batch`; the per-access scalar loop is kept as the
+reference implementation, selected with ``vectorized=False`` (or globally
+via ``REPRO_SCALAR_SIM=1``, see :mod:`repro.perf`).  Both paths produce
+bit-identical hit/miss streams — the equivalence tests enforce it.
 
 Supports multi-context interleaving: pass a ``contexts`` array alongside
 addresses to attribute hits/misses per hardware context while they share
@@ -18,6 +20,8 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.machine.params import CacheParams
+from repro.mem.lru_batch import batch_lru
+from repro.perf import use_vectorized
 
 
 @dataclass
@@ -31,6 +35,17 @@ class CacheStats:
         self.accesses[context] = self.accesses.get(context, 0) + 1
         if miss:
             self.misses[context] = self.misses.get(context, 0) + 1
+
+    def record_many(self, context: int, accesses: int, misses: int) -> None:
+        """Bulk-accumulate one context's counters (the vectorized hot
+        path: one call per context per batch instead of one per access)."""
+        if accesses < 0 or misses < 0 or misses > accesses:
+            raise ValueError("need 0 <= misses <= accesses")
+        if accesses == 0:
+            return
+        self.accesses[context] = self.accesses.get(context, 0) + accesses
+        if misses:
+            self.misses[context] = self.misses.get(context, 0) + misses
 
     @property
     def total_accesses(self) -> int:
@@ -94,6 +109,7 @@ class SetAssocCache:
         self,
         addresses: np.ndarray,
         contexts: Optional[np.ndarray] = None,
+        vectorized: Optional[bool] = None,
     ) -> CacheStats:
         """Simulate a whole address stream; returns cumulative stats.
 
@@ -101,7 +117,21 @@ class SetAssocCache:
             addresses: int64 byte addresses.
             contexts: optional per-access hardware-context ids (same
                 length); defaults to context 0.
+            vectorized: force the batch (True) or scalar reference
+                (False) path; None defers to the global flag.
         """
+        self.run_misses(addresses, contexts, vectorized)
+        return self.stats
+
+    def run_misses(
+        self,
+        addresses: np.ndarray,
+        contexts: Optional[np.ndarray] = None,
+        vectorized: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Like :meth:`run`, but also returns per-access miss flags
+        (needed by replay drivers that feed one level's misses to the
+        next)."""
         addresses = np.asarray(addresses, dtype=np.int64)
         if contexts is None:
             ctx_arr = np.zeros(len(addresses), dtype=np.int64)
@@ -109,7 +139,14 @@ class SetAssocCache:
             ctx_arr = np.asarray(contexts, dtype=np.int64)
             if len(ctx_arr) != len(addresses):
                 raise ValueError("contexts must match addresses in length")
+        if use_vectorized(vectorized):
+            return self._run_batch(addresses, ctx_arr)
+        return self._run_scalar(addresses, ctx_arr)
 
+    def _run_scalar(
+        self, addresses: np.ndarray, ctx_arr: np.ndarray
+    ) -> np.ndarray:
+        """Reference implementation: the original per-access loop."""
         line_bytes = self.params.line_bytes
         n_sets = self.params.n_sets
         lines = addresses // line_bytes
@@ -118,6 +155,7 @@ class SetAssocCache:
         tags_arr, stamp_arr = self._tags, self._stamp
         clock = self._clock
         stats = self.stats
+        miss_flags = np.empty(len(addresses), dtype=bool)
         for i in range(len(addresses)):
             s = set_idx[i]
             t = tags[i]
@@ -127,18 +165,93 @@ class SetAssocCache:
             if hits.size:
                 stamp_arr[s, hits[0]] = clock
                 stats.record(int(ctx_arr[i]), miss=False)
+                miss_flags[i] = False
             else:
                 victim = int(np.argmin(stamp_arr[s]))
                 tags_arr[s, victim] = t
                 stamp_arr[s, victim] = clock
                 stats.record(int(ctx_arr[i]), miss=True)
+                miss_flags[i] = True
         self._clock = clock
-        return stats
+        return miss_flags
+
+    def _run_batch(
+        self, addresses: np.ndarray, ctx_arr: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized path: set-partitioned batch LRU simulation."""
+        if len(addresses) == 0:
+            return np.empty(0, dtype=bool)
+        n_sets = self.params.n_sets
+        lines = addresses // self.params.line_bytes
+        set_idx = lines % n_sets
+
+        state_keys, state_sets = self._state_lru_order()
+        miss, final_keys, final_sets = batch_lru(
+            lines, set_idx, self.params.associativity, state_keys, state_sets
+        )
+        self._clock += len(addresses)
+        self._write_back_state(final_keys, final_sets)
+
+        # Bulk stats: one record_many per context present in the batch.
+        acc_counts = np.bincount(ctx_arr)
+        miss_counts = np.bincount(ctx_arr[miss], minlength=len(acc_counts))
+        for ctx in np.flatnonzero(acc_counts):
+            self.stats.record_many(
+                int(ctx), int(acc_counts[ctx]), int(miss_counts[ctx])
+            )
+        return miss
+
+    def _state_lru_order(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current residents as (line keys, set ids), LRU->MRU per set."""
+        rows, cols = np.nonzero(self._tags >= 0)
+        if len(rows) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        tags_v = self._tags[rows, cols]
+        stamps_v = self._stamp[rows, cols]
+        order = np.lexsort((stamps_v, rows))
+        return tags_v[order] * self.params.n_sets + rows[order], rows[order]
+
+    def _write_back_state(
+        self, final_keys: np.ndarray, final_sets: np.ndarray
+    ) -> None:
+        """Materialize batch-final residents into the tag/stamp arrays.
+
+        Way slots are assigned in LRU->MRU order; stamps end at the
+        current clock so subsequent scalar accesses observe the same
+        recency order as if they had run access-by-access.
+        """
+        n_sets = self.params.n_sets
+        self._tags.fill(-1)
+        self._stamp.fill(0)
+        if len(final_keys) == 0:
+            return
+        counts = np.bincount(final_sets, minlength=n_sets)
+        lens = counts[final_sets]
+        seg_offsets = np.concatenate(
+            [[0], np.cumsum(counts)[:-1]]
+        )[final_sets]
+        slot = np.arange(len(final_keys), dtype=np.int64) - seg_offsets
+        self._tags[final_sets, slot] = final_keys // n_sets
+        self._stamp[final_sets, slot] = self._clock - (lens - 1 - slot)
 
     @property
     def occupancy(self) -> float:
         """Fraction of lines currently valid."""
         return float(np.count_nonzero(self._tags >= 0)) / self._tags.size
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sort-based unique: ``np.unique``'s hash path is several times
+    slower on the large nearly-sorted line arrays the LMbench sweep
+    feeds through here."""
+    if values.size == 0:
+        return values
+    s = np.sort(values)
+    keep = np.empty(len(s), dtype=bool)
+    keep[0] = True
+    np.not_equal(s[1:], s[:-1], out=keep[1:])
+    return s[keep]
 
 
 def cyclic_chain_miss_rate(
@@ -157,10 +270,10 @@ def cyclic_chain_miss_rate(
         params: cache geometry.
         line_addresses: byte addresses of the *distinct* chain elements.
     """
-    addrs = np.unique(np.asarray(line_addresses, dtype=np.int64))
+    addrs = np.asarray(line_addresses, dtype=np.int64)
     if addrs.size == 0:
         return 0.0
-    lines = np.unique(addrs // params.line_bytes)
+    lines = _sorted_unique(addrs // params.line_bytes)
     sets = lines % params.n_sets
     counts = np.bincount(sets, minlength=params.n_sets)
     missing = counts[counts > params.associativity].sum()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Optional, Union
 
 from repro.npb import bt, cg, ep, ft, is_, lu, mg, sp
@@ -35,18 +36,28 @@ def _resolve_class(
     return ProblemClass.from_str(problem_class)
 
 
+@functools.lru_cache(maxsize=None)
+def _build_cached(key: str, problem_class: ProblemClass) -> Workload:
+    return _MODULES[key].build(problem_class)
+
+
 def build_workload(
     name: str, problem_class: Union[ProblemClass, str] = ProblemClass.B
 ) -> Workload:
-    """Build a benchmark workload model by name (case-insensitive)."""
+    """Build a benchmark workload model by name (case-insensitive).
+
+    Workload models are immutable (frozen dataclasses) and depend only
+    on (benchmark, class), so builds are shared process-wide — every
+    study sees the *same* phase objects, which also lets the pure
+    per-mix memoization in :mod:`repro.trace.patterns` hit across
+    studies.
+    """
     key = name.upper()
-    try:
-        module = _MODULES[key]
-    except KeyError:
+    if key not in _MODULES:
         raise KeyError(
             f"unknown benchmark {name!r}; available: {ALL_BENCHMARKS}"
-        ) from None
-    return module.build(_resolve_class(problem_class))
+        )
+    return _build_cached(key, _resolve_class(problem_class))
 
 
 def benchmark_info(name: str) -> BenchmarkInfo:

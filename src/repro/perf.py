@@ -1,0 +1,32 @@
+"""Global toggles for the performance layer.
+
+The structural simulators (:mod:`repro.mem.cache`, :mod:`repro.mem.tlb`,
+:mod:`repro.cpu.branch`, :mod:`repro.sim.structural`) each keep two
+implementations of their stream-replay loops:
+
+* a **vectorized** batch path (NumPy, the default), and
+* a **scalar** per-access reference path, retained both as executable
+  documentation of the semantics and as the oracle for the equivalence
+  tests in ``tests/test_vectorized_equivalence.py``.
+
+Every ``run``-style entry point takes a ``vectorized`` keyword; passing
+``None`` (the default) defers to the process-wide setting controlled by
+the ``REPRO_SCALAR_SIM`` environment variable (set to ``1`` to force the
+scalar reference everywhere, e.g. when bisecting a suspected
+vectorization bug).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable forcing the scalar reference implementations.
+SCALAR_ENV = "REPRO_SCALAR_SIM"
+
+
+def use_vectorized(override: Optional[bool] = None) -> bool:
+    """Resolve a per-call ``vectorized`` argument against the global flag."""
+    if override is not None:
+        return bool(override)
+    return os.environ.get(SCALAR_ENV, "").lower() not in ("1", "true", "yes")

@@ -30,7 +30,11 @@ from repro.counters.collector import Collector
 from repro.counters.timeline import Timeline, TimelineSample
 from repro.counters.events import Event
 from repro.cpu.branch import analytic_mispredict_rate
-from repro.cpu.pipeline import CPIBreakdown, PipelineModel
+from repro.cpu.pipeline import (
+    _COVERED_EXPOSURE,
+    CPIBreakdown,
+    PipelineModel,
+)
 from repro.machine.configurations import MachineConfig
 from repro.machine.params import MachineParams
 from repro.mem.bus import BusLoad, BusModel, BusOutcome, PREFETCH_WASTE
@@ -489,7 +493,19 @@ class Engine:
         line = self.params.l2.line_bytes
         cpi_est: Dict[str, float] = {}
         breakdowns: Dict[str, CPIBreakdown] = {}
-        outcomes: Dict[str, BusOutcome] = {}
+        lite: Dict[str, Tuple[float, float, float]] = {}
+        loads: List[BusLoad] = []
+
+        # Per-label terms of the CPI that do not depend on the bus
+        # outcome.  Only ``stall_memory`` varies across fixed-point
+        # iterations (through the latency multiplier and the prefetch
+        # coverage), so the loop below recomputes just that term — with
+        # the exact arithmetic sequence of
+        # :meth:`~repro.cpu.pipeline.PipelineModel.breakdown` — and
+        # builds the full :class:`CPIBreakdown` once after convergence.
+        fast: Dict[str, Tuple[float, float, float]] = {}
+        mem_lat_cycles = self.params.memory_latency_cycles
+        l2_lat = self.params.l2.latency_cycles
 
         for a in active:
             label = a.placement.context.label
@@ -509,6 +525,13 @@ class Engine:
             )
             breakdowns[label] = bd
             cpi_est[label] = bd.cpi
+            fast[label] = (
+                bd.cpi_exec * bd.smt_slowdown,
+                rates[label].l2_misses_per_instr,
+                self.pipeline.effective_mlp(
+                    a.phase, sharers_of[label], sibling_missiness[label]
+                ),
+            )
 
         for _ in range(_FIXED_POINT_ITERS):
             loads = []
@@ -530,33 +553,48 @@ class Engine:
                         prefetchability=a.phase.prefetchability,
                     )
                 )
-            outcomes = self.bus.resolve(loads)
+            # Warm-start the bus's inner coverage iteration with the
+            # previous outer iteration's converged values.
+            lite = self.bus.resolve_lite(
+                loads,
+                initial_coverage={k: t[1] for k, t in lite.items()}
+                if lite
+                else None,
+            )
             max_delta = 0.0
             for a in active:
                 label = a.placement.context.label
-                out = outcomes[label]
-                bd = self.pipeline.breakdown(
-                    a.phase,
-                    rates[label],
-                    misp[label],
-                    bus_latency_multiplier=out.latency_multiplier,
-                    prefetch_coverage=out.prefetch_coverage,
-                    ht_enabled=ht,
-                    sibling_utilization=sibling_util[label],
-                    self_utilization=utils[label],
-                    core_sharers=sharers_of[label],
-                    smt_capacity=pair_capacity[label],
-                    coherence_stall_per_instr=coh_stall[label],
-                    sibling_miss_ratio=sibling_missiness[label],
+                mult, cov, util = lite[label]
+                exec_term, l2mpi, mlp = fast[label]
+                base = breakdowns[label]
+                # stall_memory recomputed with the same operation
+                # sequence as PipelineModel.breakdown, then chained into
+                # the stall sum in CPIBreakdown.stall_per_instr's order,
+                # so the fast CPI is bit-identical to base.cpi would be.
+                mem_lat = mem_lat_cycles * mult
+                uncovered = l2mpi * (1.0 - cov)
+                covered = l2mpi * cov
+                stall_memory = (
+                    uncovered * mem_lat / mlp
+                    + covered * l2_lat * _COVERED_EXPOSURE
                 )
-                breakdowns[label] = bd
+                cpi = exec_term + (
+                    base.stall_l2_hit
+                    + stall_memory
+                    + base.stall_trace_cache
+                    + base.stall_itlb
+                    + base.stall_dtlb
+                    + base.stall_branch
+                    + base.stall_moclear
+                    + base.stall_coherence
+                )
                 # Bandwidth sharing: when the offered traffic exceeds the
                 # bus capacity (utilization > 1 at the current execution
                 # rate), each thread's time dilates until the bus is
                 # exactly full.  CPI_bw = CPI_est * utilization is the
                 # processor-sharing equilibrium.
-                cpi_bw = cpi_est[label] * out.utilization
-                target = max(bd.cpi, cpi_bw) if out.utilization > 1.0 else bd.cpi
+                cpi_bw = cpi_est[label] * util
+                target = max(cpi, cpi_bw) if util > 1.0 else cpi
                 new_cpi = _DAMPING * cpi_est[label] + (1 - _DAMPING) * target
                 max_delta = max(
                     max_delta, abs(new_cpi - cpi_est[label]) / cpi_est[label]
@@ -564,6 +602,25 @@ class Engine:
                 cpi_est[label] = new_cpi
             if max_delta < 1e-4:
                 break
+
+        outcomes = self.bus.build_outcomes(loads, lite)
+        for a in active:
+            label = a.placement.context.label
+            out = outcomes[label]
+            breakdowns[label] = self.pipeline.breakdown(
+                a.phase,
+                rates[label],
+                misp[label],
+                bus_latency_multiplier=out.latency_multiplier,
+                prefetch_coverage=out.prefetch_coverage,
+                ht_enabled=ht,
+                sibling_utilization=sibling_util[label],
+                self_utilization=utils[label],
+                core_sharers=sharers_of[label],
+                smt_capacity=pair_capacity[label],
+                coherence_stall_per_instr=coh_stall[label],
+                sibling_miss_ratio=sibling_missiness[label],
+            )
 
         return {
             a.placement.context.label: _Resolved(

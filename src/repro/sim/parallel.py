@@ -1,0 +1,110 @@
+"""Process-pool sweep runner with deterministic ordering.
+
+The sweep experiments (sensitivity perturbations, the Figure-5 pair
+cross-product, problem-class scaling) are embarrassingly parallel: every
+task builds its own :class:`~repro.core.study.Study` and returns plain
+result values.  :func:`parallel_map` fans such tasks out over a process
+pool while keeping the *exact* semantics of the serial loop:
+
+* results come back in input order, regardless of completion order;
+* any pool-infrastructure failure (unpicklable callables, a broken
+  worker, fork limits in constrained sandboxes) falls back to the plain
+  serial loop — task-level exceptions still propagate, as they would
+  serially;
+* ``jobs=1`` (or a single task) short-circuits to the serial loop with
+  zero pool overhead.
+
+The default job count is process-wide state (:func:`set_default_jobs`,
+initialized from ``REPRO_JOBS``) so a CLI flag can switch every sweep in
+a run without threading a parameter through the experiment registry.
+
+Workers cooperate with the run cache of :mod:`repro.core.runcache`: each
+worker process has its own memory tier (seeded by fork from the parent),
+and when the disk tier is enabled the workers' results persist where the
+parent — and later experiments — can read them back.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "get_default_jobs",
+    "parallel_map",
+    "resolve_jobs",
+    "set_default_jobs",
+]
+
+JOBS_ENV = "REPRO_JOBS"
+
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default parallelism (None = from env/serial)."""
+    global _default_jobs
+    if jobs is not None and jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    _default_jobs = jobs
+
+
+def get_default_jobs() -> int:
+    """Current default job count: explicit setting, else ``REPRO_JOBS``,
+    else 1 (serial — parallelism is opt-in)."""
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Clamp a requested job count to something sane for this host."""
+    n = get_default_jobs() if jobs is None else jobs
+    if n < 1:
+        raise ValueError("jobs must be >= 1")
+    return min(n, os.cpu_count() or 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, possibly across worker processes.
+
+    Args:
+        fn: a picklable callable (module-level function); if it is not,
+            the pool raises at submission time and the map transparently
+            re-runs serially.
+        items: tasks, each picklable for the parallel path.
+        jobs: worker count; None uses :func:`get_default_jobs`; 1 means
+            the plain serial loop.
+
+    Returns:
+        ``[fn(x) for x in items]`` — identical results and ordering on
+        both paths.  Exceptions raised *by fn* propagate either way.
+    """
+    items = list(items)
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(items))) as ex:
+            return list(ex.map(fn, items))
+    except (pickle.PicklingError, AttributeError, BrokenProcessPool, OSError):
+        # Pool infrastructure failed (unpicklable payload, dead worker,
+        # fork refusal); the task semantics don't change, so rerun the
+        # plain loop.
+        return [fn(x) for x in items]

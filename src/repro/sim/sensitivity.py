@@ -92,6 +92,85 @@ class SensitivityResult:
         return r.parameter, r.elasticity
 
 
+#: One metric/finding pair to evaluate during a sweep.
+@dataclass(frozen=True)
+class SweepSpec:
+    metric: Callable[[Study], float]
+    finding: Callable[[Study], bool]
+    metric_name: str
+
+
+def _eval_perturbation(task) -> List[Tuple[float, bool]]:
+    """Evaluate every spec on one perturbed study (parallel worker).
+
+    Module-level so the process pool can pickle it; each worker builds
+    the perturbed study itself and all specs share the same study —
+    hence the same run-cache entries — within the task.
+    """
+    specs, problem_class, path, scale = task
+    study = Study(
+        problem_class,
+        params=perturb_params(paxville_params(), path, scale),
+    )
+    return [(spec.metric(study), spec.finding(study)) for spec in specs]
+
+
+def sweep_many(
+    specs: Sequence[SweepSpec],
+    scales: Sequence[float] = (0.8, 1.25),
+    parameters: Optional[Sequence[Tuple[str, Tuple[str, ...]]]] = None,
+    problem_class: str = "B",
+    jobs: Optional[int] = None,
+) -> List[SensitivityResult]:
+    """Perturb each parameter once and evaluate *all* specs on it.
+
+    Evaluating the findings together means each perturbed study is built
+    (and simulated) once rather than once per finding; the perturbation
+    grid optionally fans out over a process pool.
+
+    Args:
+        specs: metric/finding pairs; for the parallel path their
+            callables must be module-level functions (picklable) —
+            otherwise the sweep silently runs serially.
+        scales: multiplicative perturbations applied to each parameter.
+        parameters: knobs to perturb (default: :data:`PERTURBABLE`).
+        problem_class: NAS class for the underlying runs.
+        jobs: process-pool width (None = the global default, 1 = serial).
+    """
+    from repro.sim.parallel import parallel_map
+
+    params = list(parameters or PERTURBABLE)
+    base_study = Study(problem_class)
+    results = [
+        SensitivityResult(
+            metric_name=spec.metric_name, baseline=spec.metric(base_study)
+        )
+        for spec in specs
+    ]
+
+    grid = [
+        (name, path, scale) for name, path in params for scale in scales
+    ]
+    specs = tuple(specs)
+    evaluated = parallel_map(
+        _eval_perturbation,
+        [(specs, problem_class, path, scale) for _, path, scale in grid],
+        jobs=jobs,
+    )
+    for (name, _, scale), per_spec in zip(grid, evaluated):
+        for result, (value, holds) in zip(results, per_spec):
+            result.rows.append(
+                SensitivityRow(
+                    parameter=name,
+                    scale=scale,
+                    metric_value=value,
+                    baseline_value=result.baseline,
+                    finding_holds=holds,
+                )
+            )
+    return results
+
+
 def sweep(
     metric: Callable[[Study], float],
     finding: Callable[[Study], bool],
@@ -99,6 +178,7 @@ def sweep(
     scales: Sequence[float] = (0.8, 1.25),
     parameters: Optional[Sequence[Tuple[str, Tuple[str, ...]]]] = None,
     problem_class: str = "B",
+    jobs: Optional[int] = None,
 ) -> SensitivityResult:
     """Perturb each parameter and re-evaluate metric + finding.
 
@@ -109,25 +189,12 @@ def sweep(
         scales: multiplicative perturbations applied to each parameter.
         parameters: knobs to perturb (default: :data:`PERTURBABLE`).
         problem_class: NAS class for the underlying runs.
+        jobs: process-pool width (None = the global default, 1 = serial).
     """
-    params = list(parameters or PERTURBABLE)
-    base_study = Study(problem_class)
-    baseline = metric(base_study)
-    result = SensitivityResult(metric_name=metric_name, baseline=baseline)
-
-    for name, path in params:
-        for scale in scales:
-            study = Study(
-                problem_class,
-                params=perturb_params(paxville_params(), path, scale),
-            )
-            result.rows.append(
-                SensitivityRow(
-                    parameter=name,
-                    scale=scale,
-                    metric_value=metric(study),
-                    baseline_value=baseline,
-                    finding_holds=finding(study),
-                )
-            )
-    return result
+    return sweep_many(
+        [SweepSpec(metric, finding, metric_name)],
+        scales=scales,
+        parameters=parameters,
+        problem_class=problem_class,
+        jobs=jobs,
+    )[0]

@@ -24,6 +24,7 @@ page size).
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
@@ -259,6 +260,21 @@ class AccessMix:
             raise ValueError(f"component weights must sum to 1, got {total}")
         if any(w < 0 for w, _ in self.components):
             raise ValueError("component weights must be non-negative")
+        # Mixes are hashed on every memoized miss-rate lookup; the deep
+        # dataclass hash (every pattern field) is precomputed once here.
+        object.__setattr__(self, "_hash", hash(self.components))
+        object.__setattr__(
+            self,
+            "_dependent_fraction",
+            sum(
+                w
+                for w, p in self.components
+                if getattr(p, "dependent", False)
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @staticmethod
     def of(*pairs: Tuple[float, AccessPattern]) -> "AccessMix":
@@ -274,6 +290,10 @@ class AccessMix:
     ) -> float:
         """Per-access miss probability of the mixture for one thread.
 
+        Pure in its arguments, so results are memoized (the analytic
+        engine re-evaluates the same mixes thousands of times across
+        studies and fixed-point iterations).
+
         Args:
             capacity: physical cache capacity in bytes.
             line_bytes: cache line size.
@@ -283,15 +303,9 @@ class AccessMix:
             same_program: whether co-located sharers execute the same
                 program (enables constructive sharing).
         """
-        total = 0.0
-        for weight, pattern in self.components:
-            fp = pattern.thread_footprint(n_threads)
-            s = pattern.shared_fraction if (same_program and sharers > 1) else 0.0
-            c_eff = effective_capacity(capacity, sharers, s)
-            scaled = _with_footprint(pattern, fp)
-            m = scaled.miss_rate(c_eff, line_bytes)
-            total += weight * m * sharing_discount(sharers, s)
-        return min(total, 1.0)
+        return _mix_miss_rate(
+            self, capacity, line_bytes, n_threads, sharers, same_program
+        )
 
     def footprint_bytes(self, n_threads: int = 1) -> float:
         """Total distinct bytes one thread touches across the mixture."""
@@ -299,11 +313,27 @@ class AccessMix:
 
     def dependent_fraction(self) -> float:
         """Fraction of references that are serialized dependent loads."""
-        return sum(
-            w
-            for w, p in self.components
-            if getattr(p, "dependent", False)
-        )
+        return self._dependent_fraction
+
+
+@functools.lru_cache(maxsize=None)
+def _mix_miss_rate(
+    mix: AccessMix,
+    capacity: float,
+    line_bytes: float,
+    n_threads: int,
+    sharers: int,
+    same_program: bool,
+) -> float:
+    total = 0.0
+    for weight, pattern in mix.components:
+        fp = pattern.thread_footprint(n_threads)
+        s = pattern.shared_fraction if (same_program and sharers > 1) else 0.0
+        c_eff = effective_capacity(capacity, sharers, s)
+        scaled = _with_footprint(pattern, fp)
+        m = scaled.miss_rate(c_eff, line_bytes)
+        total += weight * m * sharing_discount(sharers, s)
+    return min(total, 1.0)
 
 
 def _with_footprint(pattern: AccessPattern, footprint: float) -> AccessPattern:

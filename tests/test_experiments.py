@@ -34,7 +34,20 @@ class TestRegistry:
 
         for entry in registry.EXPERIMENTS.values():
             module = importlib.import_module(entry.module)
-            assert hasattr(module, "run") or entry.id == "ablations"
+            assert hasattr(module, "run"), entry.id
+            assert hasattr(module, "report"), entry.id
+
+    def test_every_entry_runs_and_reports(self):
+        """Smoke: ``run_experiment`` succeeds for every registered id and
+        the driver's ``report`` renders its result."""
+        import importlib
+
+        for entry in registry.EXPERIMENTS.values():
+            result = registry.run_experiment(entry.id)
+            assert result is not None, entry.id
+            module = importlib.import_module(entry.module)
+            text = module.report(result)
+            assert isinstance(text, str) and text.strip(), entry.id
 
 
 class TestSec3Driver:

@@ -1,0 +1,80 @@
+"""Tests for the process-pool sweep runner."""
+
+import os
+
+import pytest
+
+from repro.sim import parallel
+from repro.sim.parallel import (
+    get_default_jobs,
+    parallel_map,
+    resolve_jobs,
+    set_default_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"task {x}")
+
+
+@pytest.fixture(autouse=True)
+def reset_default_jobs():
+    set_default_jobs(None)
+    yield
+    set_default_jobs(None)
+
+
+class TestJobResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(parallel.JOBS_ENV, raising=False)
+        assert get_default_jobs() == 1
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV, "4")
+        assert get_default_jobs() == 4
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV, "4")
+        set_default_jobs(2)
+        assert get_default_jobs() == 2
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV, "many")
+        assert get_default_jobs() == 1
+
+    def test_resolve_clamps_to_host(self):
+        assert resolve_jobs(10_000) <= (os.cpu_count() or 1)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_pool_path_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == [x * x for x in items]
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_square, [5], jobs=4) == [25]
+
+    def test_unpicklable_callable_falls_back_to_serial(self):
+        # Lambdas cannot cross a process boundary; the map must still
+        # return correct results via the serial fallback.
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], jobs=2) == [2, 3, 4]
+
+    def test_task_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="task"):
+            parallel_map(_boom, [1, 2], jobs=1)
+        with pytest.raises(ValueError, match="task"):
+            parallel_map(_boom, [1, 2], jobs=2)

@@ -1,0 +1,120 @@
+"""Tests for the cross-study content-addressed run cache."""
+
+import pickle
+
+import pytest
+
+from repro.core.runcache import (
+    RunCache,
+    configure,
+    get_cache,
+    study_fingerprint,
+)
+from repro.core.study import Study
+from repro.machine.params import paxville_params
+from repro.openmp.env import OMPEnvironment
+
+
+@pytest.fixture(autouse=True)
+def fresh_global_cache(monkeypatch):
+    """Each test gets a pristine global cache driven by a clean env."""
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    configure(reset=True)
+    yield
+    configure(reset=True)
+
+
+class TestFingerprint:
+    def test_stable_across_equal_configurations(self):
+        p1, p2 = paxville_params(), paxville_params()
+        assert p1 is not p2
+        assert study_fingerprint("B", p1, "linux_cfs", None) == \
+            study_fingerprint("B", p2, "linux_cfs", None)
+
+    def test_sensitive_to_each_component(self):
+        base = study_fingerprint("B", None, "linux_cfs", None)
+        assert study_fingerprint("A", None, "linux_cfs", None) != base
+        assert study_fingerprint("B", None, "other", None) != base
+        assert study_fingerprint(
+            "B", None, "linux_cfs", OMPEnvironment(num_threads=4)
+        ) != base
+        assert study_fingerprint(
+            "B", paxville_params(), "linux_cfs", None
+        ) != base
+
+
+class TestRunCache:
+    def test_memory_tier_round_trip(self):
+        cache = RunCache()
+        assert cache.is_miss(cache.get("fp", ("single", "CG")))
+        cache.put("fp", ("single", "CG"), {"v": 1})
+        assert cache.get("fp", ("single", "CG")) == {"v": 1}
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_cached_none_is_not_a_miss(self):
+        cache = RunCache()
+        cache.put("fp", ("k",), None)
+        assert not cache.is_miss(cache.get("fp", ("k",)))
+
+    def test_disabled_cache_never_stores(self):
+        cache = RunCache(enabled=False)
+        cache.put("fp", ("k",), 42)
+        assert cache.is_miss(cache.get("fp", ("k",)))
+        assert len(cache) == 0
+
+    def test_disk_tier_round_trip(self, tmp_path):
+        writer = RunCache(disk_dir=tmp_path / "c")
+        writer.put("fp", ("k",), [1, 2, 3])
+        assert len(list((tmp_path / "c").glob("*.pkl"))) == 1
+        reader = RunCache(disk_dir=tmp_path / "c")
+        assert reader.get("fp", ("k",)) == [1, 2, 3]
+        assert reader.stats.disk_hits == 1
+
+    def test_torn_disk_entry_is_a_miss(self, tmp_path):
+        writer = RunCache(disk_dir=tmp_path)
+        writer.put("fp", ("k",), "value")
+        (path,) = tmp_path.glob("*.pkl")
+        path.write_bytes(b"\x80")  # truncated pickle
+        reader = RunCache(disk_dir=tmp_path)
+        assert reader.is_miss(reader.get("fp", ("k",)))
+
+    def test_clear(self, tmp_path):
+        cache = RunCache(disk_dir=tmp_path)
+        cache.put("fp", ("k",), 1)
+        cache.clear(memory=True, disk=True)
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("*.pkl"))
+
+
+class TestEnvironmentKnobs:
+    def test_no_cache_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = configure(reset=True)
+        assert not cache.enabled
+
+    def test_cache_dir_env_enables_disk(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "d"))
+        cache = configure(reset=True)
+        assert cache.disk_dir == tmp_path / "d"
+
+
+class TestStudyIntegration:
+    def test_equal_studies_share_results(self):
+        a, b = Study("A"), Study("A")
+        assert a is not b
+        assert a.fingerprint == b.fingerprint
+        r1 = a.run("EP", "ht_off_2_1")
+        hits_before = get_cache().stats.hits
+        r2 = b.run("EP", "ht_off_2_1")
+        assert get_cache().stats.hits == hits_before + 1
+        assert r2 == r1
+
+    def test_different_problem_class_does_not_share(self):
+        assert Study("A").fingerprint != Study("B").fingerprint
+
+    def test_results_survive_pickling(self):
+        """Disk-tier viability: results must round-trip through pickle."""
+        r = Study("A").run("EP", "ht_off_2_1")
+        assert pickle.loads(pickle.dumps(r)) == r
