@@ -1,5 +1,13 @@
-"""Analysis layer: speedups, comparison groups, statistics, reports."""
+"""Analysis layer: speedups, comparison groups, statistics, reports.
 
+Also home of the experiment layer's central renderers: every driver's
+result derives from :class:`~repro.analysis.result.ExperimentResult`
+(``to_dict``/``to_json``) and the text/CSV/JSON flatteners live in
+:mod:`repro.analysis.export`.
+"""
+
+from repro.analysis.export import result_to_dict, to_json
+from repro.analysis.result import ExperimentResult
 from repro.analysis.speedup import (
     SpeedupTable,
     speedup_table,
@@ -15,6 +23,9 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "ExperimentResult",
+    "result_to_dict",
+    "to_json",
     "SpeedupTable",
     "speedup_table",
     "average_speedup_by_architecture",

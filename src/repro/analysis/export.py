@@ -39,6 +39,16 @@ def _key(k: Any) -> str:
     return str(k)
 
 
+def result_to_dict(result: Any) -> Any:
+    """Flatten any experiment result into JSON-compatible values.
+
+    This is the single serialization path behind
+    :meth:`repro.analysis.result.ExperimentResult.to_dict`, the
+    pipeline's ``<id>.json`` artifacts, and ``--format json``.
+    """
+    return _jsonable(result)
+
+
 def to_json(result: Any, indent: int = 2) -> str:
     """Serialize any experiment result object to JSON text."""
     return json.dumps(_jsonable(result), indent=indent, sort_keys=True)

@@ -1,0 +1,37 @@
+"""The common base class for experiment results.
+
+Every experiment driver returns a dataclass deriving from
+:class:`ExperimentResult`, which contributes the uniform serialization
+surface the pipeline and the CLI's ``--format json`` rely on:
+
+* :meth:`~ExperimentResult.to_dict` — a plain, JSON-ready dict built by
+  :func:`repro.analysis.export.result_to_dict` (nested dataclasses,
+  enums, and tuple keys are all flattened);
+* :meth:`~ExperimentResult.to_json` — the dict rendered with sorted
+  keys, so artifact files diff stably between runs and model versions.
+
+Results stay ordinary dataclasses — the base class adds behaviour only,
+no fields — so existing attribute access, pickling (for the parallel
+pipeline), and dataclass introspection are unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+__all__ = ["ExperimentResult"]
+
+
+class ExperimentResult:
+    """Mixin giving every experiment result a stable JSON form."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The result as a plain dict of JSON-compatible values."""
+        from repro.analysis.export import result_to_dict
+
+        return result_to_dict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The result as deterministic (sorted-keys) JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -4,19 +4,29 @@ Usage::
 
     python -m repro list                      # available experiments
     python -m repro run fig3                  # print one artifact
+    python -m repro run fig3 --format json    # machine-readable form
     python -m repro run-all --out results/    # regenerate everything
+    python -m repro run-all --only paper      # filter by tag or id
     python -m repro speedup CG ht_on_4_1      # one speedup query
+
+Unknown experiment ids, benchmarks, configurations, and ``--only``/
+``--skip`` tokens produce a one-line error listing the valid choices
+and exit status 2.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments import registry
+
+
+class CLIError(Exception):
+    """A user-input error: printed as one line to stderr, exit 2."""
 
 
 def _positive_int(text: str) -> int:
@@ -44,6 +54,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment and print it")
     run.add_argument("experiment", help="experiment id (see 'list')")
+    run.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="render the paper-style text (default) or the structured "
+             "JSON payload",
+    )
 
     run_all = sub.add_parser(
         "run-all", help="regenerate every artifact into a directory"
@@ -58,13 +73,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_all.add_argument(
         "--jobs", type=_positive_int, default=None, metavar="N",
-        help="worker processes for the sweep experiments "
+        help="worker processes for the pipeline and sweep experiments "
              "(default: REPRO_JOBS or serial)",
     )
     run_all.add_argument(
         "--no-cache", action="store_true",
         help="disable the run cache (memory and disk tiers); every run "
              "re-simulates from scratch",
+    )
+    run_all.add_argument(
+        "--only", action="append", default=None, metavar="ID_OR_TAG",
+        help="run only matching experiments (repeatable; comma-separated "
+             "ids or tags, e.g. --only paper,sweep)",
+    )
+    run_all.add_argument(
+        "--skip", action="append", default=None, metavar="ID_OR_TAG",
+        help="skip matching experiments (same syntax as --only)",
     )
 
     speed = sub.add_parser("speedup", help="query one speedup")
@@ -74,23 +98,50 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(experiment_id: str) -> str:
-    entry = registry.get(experiment_id)
-    module = importlib.import_module(entry.module)
-    return module.report(module.run())
+def _get_entry(experiment_id: str) -> registry.ExperimentEntry:
+    try:
+        return registry.get(experiment_id)
+    except KeyError:
+        raise CLIError(
+            f"unknown experiment {experiment_id!r}; "
+            f"valid choices: {', '.join(sorted(registry.EXPERIMENTS))}"
+        ) from None
 
 
-def _export_csv(out: Path) -> None:
-    """Export the machine-readable artifacts alongside the text ones."""
+def _run_one(experiment_id: str, fmt: str = "text") -> str:
+    from repro.core.context import RunContext
+
+    entry = _get_entry(experiment_id)
+    result = entry.run(RunContext())
+    if fmt == "json":
+        return json.dumps(
+            entry.json_payload(result), indent=2, sort_keys=True
+        )
+    return entry.render_text(result)
+
+
+def _split_tokens(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    return [t for v in values for t in v.split(",") if t]
+
+
+def _export_csv(out: Path, pipeline) -> None:
+    """Export machine-readable CSVs from already-computed results.
+
+    The exporter is a pipeline *consumer*: it reads the fig2/fig3
+    records instead of re-running the experiments (when a filtered
+    selection left one out, it is computed once through the shared
+    context and cache).
+    """
     from repro.analysis.export import grid_to_csv, speedup_table_to_csv
-    from repro.core.study import Study
-    from repro.experiments import fig2_single_program
 
-    study = Study("B")
-    table = study.speedup_table()
-    (out / "fig3_speedup.csv").write_text(speedup_table_to_csv(table))
+    results = {rid: rec.result for rid, rec in pipeline.records.items()}
+
+    fig3 = results["fig3"]
+    (out / "fig3_speedup.csv").write_text(speedup_table_to_csv(fig3.table))
     print(f"wrote {out / 'fig3_speedup.csv'}")
-    fig2 = fig2_single_program.run(study)
+    fig2 = results["fig2"]
     for panel, grid in fig2.panels.items():
         path = out / f"fig2_{panel}.csv"
         path.write_text(grid_to_csv(grid, fig2.config_order))
@@ -102,6 +153,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _dispatch(argv)
     except BrokenPipeError:  # piping into head etc.
         return 0
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _dispatch(argv: Optional[List[str]] = None) -> int:
@@ -109,42 +163,68 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "list":
         for entry in registry.EXPERIMENTS.values():
+            tags = ",".join(entry.tags)
             print(f"{entry.id:14s} {entry.paper_artifact:22s} "
-                  f"{entry.description}")
+                  f"{entry.description}  [{tags}]")
         return 0
 
     if args.command == "run":
-        print(_run_one(args.experiment))
+        print(_run_one(args.experiment, args.format))
         return 0
 
     if args.command == "run-all":
-        from repro.core.runcache import configure
-        from repro.sim.parallel import set_default_jobs
+        from repro.core.context import RunContext
+        from repro.experiments.pipeline import run_pipeline, write_artifacts
 
-        args.out.mkdir(parents=True, exist_ok=True)
-        if args.no_cache:
-            configure(enabled=False)
-        else:
+        only = _split_tokens(args.only)
+        skip = _split_tokens(args.skip)
+        ctx = RunContext(
+            jobs=args.jobs,
+            cache_enabled=not args.no_cache,
             # Disk tier under the output directory: repeat runs (and the
-            # sweep workers) reuse earlier results across processes.
-            configure(disk_dir=args.out / ".cache")
-        if args.jobs is not None:
-            set_default_jobs(args.jobs)
-        for entry in registry.EXPERIMENTS.values():
-            text = _run_one(entry.id)
-            path = args.out / f"{entry.id}.txt"
-            path.write_text(text)
-            print(f"wrote {path}")
+            # pipeline workers) reuse earlier results across processes.
+            cache_dir=None if args.no_cache else args.out / ".cache",
+        )
         if args.csv:
-            _export_csv(args.out)
+            # The CSV exporter consumes fig2/fig3; make sure a filtered
+            # selection still computes them (cache-cheap when warm).
+            only = (only + ["fig2", "fig3"]
+                    if only and not {"fig2", "fig3"} <= set(only)
+                    else only)
+        try:
+            pipeline = run_pipeline(ctx, only=only, skip=skip)
+        except KeyError as exc:
+            raise CLIError(exc.args[0]) from None
+        write_artifacts(pipeline, args.out, progress=print)
+        if args.csv:
+            _export_csv(args.out, pipeline)
         return 0
 
     if args.command == "speedup":
         from repro.core.study import Study
+        from repro.machine.configurations import CONFIGURATIONS
+        from repro.npb.suite import ALL_BENCHMARKS
 
-        study = Study(args.problem_class)
-        s = study.speedup(args.benchmark.upper(), args.config)
-        print(f"{args.benchmark.upper()} on {args.config} "
+        bench = args.benchmark.upper()
+        if bench not in ALL_BENCHMARKS:
+            raise CLIError(
+                f"unknown benchmark {args.benchmark!r}; "
+                f"valid choices: {', '.join(ALL_BENCHMARKS)}"
+            )
+        if args.config not in CONFIGURATIONS:
+            raise CLIError(
+                f"unknown configuration {args.config!r}; "
+                f"valid choices: {', '.join(sorted(CONFIGURATIONS))}"
+            )
+        try:
+            study = Study(args.problem_class)
+        except (KeyError, ValueError):
+            raise CLIError(
+                f"unknown problem class {args.problem_class!r}; "
+                f"valid choices: S, W, A, B, C"
+            ) from None
+        s = study.speedup(bench, args.config)
+        print(f"{bench} on {args.config} "
               f"(class {args.problem_class.upper()}): {s:.2f}x over serial")
         return 0
 

@@ -2,15 +2,20 @@
 
 Typical use::
 
-    from repro.core import Study
+    from repro.core import RunContext, Study
 
     study = Study(problem_class="B")
     result = study.run("CG", "ht_on_4_1")      # one benchmark, one config
     speedup = study.speedup("CG", "ht_on_4_1") # vs the serial baseline
     pair = study.run_pair("CG", "FT", "ht_on_8_2")
     table = study.speedup_table(["CG", "FT"])  # across all configurations
+
+    ctx = RunContext(problem_class="B", jobs=4)  # one campaign context
+    from repro.experiments import registry
+    result = registry.get("fig3").run(ctx)       # any experiment driver
 """
 
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 
-__all__ = ["Study"]
+__all__ = ["RunContext", "Study", "as_context"]

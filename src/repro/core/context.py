@@ -1,0 +1,193 @@
+"""The :class:`RunContext`: one configuration object for a whole campaign.
+
+Before this module existed every experiment driver hand-rolled its own
+``Study("B")`` and read parallelism/cache settings from process-wide
+globals.  A :class:`RunContext` replaces those ad-hoc conventions with a
+single value threaded through every driver:
+
+* the study configuration (problem class, machine-parameter overrides,
+  scheduler policy, OpenMP environment) with a **memoized study pool** —
+  any two ``ctx.study(...)`` calls with the same effective configuration
+  return the *same* :class:`~repro.core.study.Study` instance, so
+  workload models and run-cache fingerprints are shared across drivers;
+* the sweep parallelism (``jobs``) consumed by the fan-out experiments;
+* the run-cache configuration (enabled flag + disk tier directory);
+* an optional ``seed`` for the sampling-based structural validation;
+* ``results`` — experiment results already computed upstream, keyed by
+  registry id, so dependent experiments (and the CSV exporter) consume
+  data instead of re-running it.
+
+Experiment drivers accept a context as their first argument; the
+:func:`as_context` coercion keeps older call sites working by wrapping a
+bare :class:`~repro.core.study.Study` (or ``None``) on the fly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.core.runcache import configure, study_fingerprint
+from repro.core.study import Study
+from repro.machine.params import MachineParams, paxville_params
+from repro.npb.common import ProblemClass
+from repro.openmp.env import OMPEnvironment
+
+__all__ = ["RunContext", "as_context"]
+
+#: Sentinel distinguishing "inherit from the context" from an explicit
+#: ``None`` (= platform default) override.
+_INHERIT = object()
+
+
+@dataclass
+class RunContext:
+    """Shared state for one experiment campaign.
+
+    All fields are optional; the zero-argument form reproduces the
+    defaults every driver previously hard-coded (class B, stock
+    Paxville, Linux-default scheduler, serial sweeps, cache on).
+    """
+
+    problem_class: Union[str, ProblemClass] = "B"
+    params: Optional[MachineParams] = None
+    scheduler: str = "linux_default"
+    omp: Optional[OMPEnvironment] = None
+    #: Worker processes for the sweep experiments (None = global default).
+    jobs: Optional[int] = None
+    #: RNG seed for sampling-based drivers (None = module defaults).
+    seed: Optional[int] = None
+    #: Run-cache switches, applied via :meth:`apply_cache_config`.
+    cache_enabled: bool = True
+    cache_dir: Optional[Path] = None
+    #: Upstream experiment results, keyed by registry id.
+    results: Dict[str, Any] = field(default_factory=dict)
+
+    #: Memoized studies keyed by content fingerprint.
+    _studies: Dict[str, Study] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    #: Fingerprints of studies accessed since the last reset (the
+    #: pipeline uses this to attribute studies to experiments).
+    _touched: Set[str] = field(default_factory=set, init=False, repr=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_study(cls, study: Study) -> "RunContext":
+        """A context whose default study *is* the given instance."""
+        ctx = cls(
+            problem_class=study.problem_class,
+            params=study.params,
+            scheduler=study.scheduler_name,
+            omp=study.omp,
+        )
+        ctx._studies[study.fingerprint] = study
+        return ctx
+
+    # ------------------------------------------------------------------
+    def study(
+        self,
+        problem_class: Union[str, ProblemClass, None] = None,
+        params: Any = _INHERIT,
+        scheduler: Optional[str] = None,
+        omp: Any = _INHERIT,
+    ) -> Study:
+        """The memoized study for this configuration (+ overrides).
+
+        With no arguments this is *the* shared study of the campaign;
+        overrides produce (and memoize) variants — e.g. the ablation
+        drivers' perturbed machines or per-class studies.
+        """
+        pc = self.problem_class if problem_class is None else problem_class
+        if not isinstance(pc, ProblemClass):
+            pc = ProblemClass.from_str(pc)
+        p = self.params if params is _INHERIT else params
+        sched = self.scheduler if scheduler is None else scheduler
+        o = self.omp if omp is _INHERIT else omp
+
+        fp = study_fingerprint(pc, p, sched, o)
+        st = self._studies.get(fp)
+        if st is None:
+            st = Study(pc, params=p, scheduler=sched, omp=o)
+            self._studies[fp] = st
+        self._touched.add(fp)
+        return st
+
+    def machine_params(self) -> MachineParams:
+        """The context's machine parameters (stock Paxville when unset)."""
+        return self.params if self.params is not None else paxville_params()
+
+    # ------------------------------------------------------------------
+    def dependency(self, experiment_id: str) -> Any:
+        """An upstream experiment's result, or a clean error."""
+        try:
+            return self.results[experiment_id]
+        except KeyError:
+            raise KeyError(
+                f"experiment result {experiment_id!r} not in context; "
+                f"available: {sorted(self.results)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def apply_cache_config(self) -> None:
+        """Push the context's cache switches to the process-wide cache."""
+        if not self.cache_enabled:
+            configure(enabled=False)
+        elif self.cache_dir is not None:
+            configure(disk_dir=self.cache_dir, enabled=True)
+        else:
+            configure(enabled=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprints(self) -> List[str]:
+        """Fingerprints of every study this context has built."""
+        return sorted(self._studies)
+
+    def touched_fingerprints(self, reset: bool = False) -> List[str]:
+        """Fingerprints of studies accessed since the last reset."""
+        out = sorted(self._touched)
+        if reset:
+            self._touched.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        jobs: Any = _INHERIT,
+        results: Optional[Dict[str, Any]] = None,
+    ) -> "RunContext":
+        """A copy for a worker process: same configuration, optionally
+        different parallelism and a trimmed ``results`` payload.
+
+        The study pool is carried over (shallow copy) so workers inherit
+        the parent's workload models instead of rebuilding them.
+        """
+        ctx = dataclasses.replace(
+            self,
+            jobs=self.jobs if jobs is _INHERIT else jobs,
+            results=dict(self.results if results is None else results),
+        )
+        ctx._studies = dict(self._studies)
+        return ctx
+
+
+def as_context(obj: Union[None, RunContext, Study] = None) -> RunContext:
+    """Coerce an experiment driver's first argument to a context.
+
+    ``None`` becomes a fresh default context; a bare
+    :class:`~repro.core.study.Study` (the pre-context calling
+    convention, still used by tests and benchmarks) is wrapped via
+    :meth:`RunContext.for_study`.
+    """
+    if obj is None:
+        return RunContext()
+    if isinstance(obj, RunContext):
+        return obj
+    if isinstance(obj, Study):
+        return RunContext.for_study(obj)
+    raise TypeError(
+        f"expected RunContext, Study or None, got {type(obj).__name__}"
+    )

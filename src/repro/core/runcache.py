@@ -100,6 +100,30 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def snapshot(self) -> "CacheStats":
+        """An immutable copy of the current counters."""
+        return CacheStats(self.memory_hits, self.disk_hits, self.misses)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier snapshot (the pipeline
+        attributes hits/misses to individual experiments this way)."""
+        return CacheStats(
+            memory_hits=self.memory_hits - earlier.memory_hits,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+            misses=self.misses - earlier.misses,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Counters plus derived rates, for manifests and reports."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "hits": self.hits,
+            "lookups": self.lookups,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
 
 class RunCache:
     """Two-tier (memory + optional disk) content-addressed result cache."""

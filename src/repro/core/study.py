@@ -152,6 +152,18 @@ class Study:
         return speedup_table(serial, runtimes)
 
     # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, str]:
+        """Manifest-friendly summary of what determines this study's
+        results (the fingerprint hashes the full parameter contents)."""
+        return {
+            "problem_class": self.problem_class.value,
+            "scheduler": self.scheduler_name,
+            "params": "default" if self.params is None else "custom",
+            "omp": "default" if self.omp is None else "custom",
+            "fingerprint": self._fingerprint,
+        }
+
+    # ------------------------------------------------------------------
     @staticmethod
     def paper_configs() -> List[str]:
         """The seven multithreaded configurations of Table 1, in order."""

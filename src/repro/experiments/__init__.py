@@ -1,8 +1,18 @@
 """Experiment drivers: one per table/figure of the paper's evaluation.
 
-Each module exposes ``run(study=None, ...)`` returning a structured
-result object and ``report(result)`` rendering the paper's rows/series as
-text; ``python -m repro.experiments.<driver>`` prints the report.
+Each module exposes ``run(ctx=None, ...)`` returning a structured
+result dataclass (an :class:`repro.analysis.result.ExperimentResult`,
+so it JSON-serializes via ``to_dict()``/``to_json()``) and
+``report(result)`` rendering the paper's rows/series as text;
+``python -m repro.experiments.<driver>`` prints the report.  ``ctx`` is
+a :class:`repro.core.context.RunContext` — a bare ``Study`` or ``None``
+is coerced via :func:`repro.core.context.as_context`.
+
+:mod:`repro.experiments.registry` declares the typed
+:class:`~repro.experiments.registry.Experiment` entries (tags, cost
+estimates, inter-experiment dependencies);
+:mod:`repro.experiments.pipeline` runs a selection in dependency waves
+and writes ``<id>.txt`` + ``<id>.json`` + ``manifest.json``.
 
 Index (see DESIGN.md §4 and EXPERIMENTS.md):
 

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
-from repro.machine.params import paxville_params
 
 
 @dataclass
@@ -29,16 +30,18 @@ class SchedulerComparison:
 
 
 def scheduler_comparison(
+    ctx: Union[RunContext, Study, None] = None,
     pairs: Optional[Sequence[Tuple[str, str]]] = None,
     schedulers: Sequence[str] = ("linux_default", "gang", "symbiosis"),
     config: str = "ht_on_8_2",
-    problem_class: str = "B",
+    problem_class: Optional[str] = None,
 ) -> SchedulerComparison:
     """Compare placement policies on multiprogram pairs.
 
     The combined metric is the sum of both programs' speedups over their
     serial baselines (system throughput).
     """
+    ctx = as_context(ctx)
     pairs = list(pairs or [("CG", "FT"), ("CG", "CG"), ("FT", "FT"),
                            ("MG", "SP")])
     out = SchedulerComparison(config=config)
@@ -46,7 +49,7 @@ def scheduler_comparison(
         label = f"{a}/{b}"
         out.results[label] = {}
         for sched in schedulers:
-            study = Study(problem_class, scheduler=sched)
+            study = ctx.study(problem_class=problem_class, scheduler=sched)
             sa, sb = study.pair_speedups(a, b, config)
             out.results[label][sched] = sa + sb
     return out
@@ -66,18 +69,20 @@ class AblationResult:
 
 
 def prefetcher_ablation(
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Sequence[str] = ("MG", "SP", "FT"),
     config: str = "ht_off_2_1",
-    problem_class: str = "B",
+    problem_class: Optional[str] = None,
 ) -> AblationResult:
     """Disable the hardware prefetcher and measure the slowdown."""
-    base = paxville_params()
+    ctx = as_context(ctx)
+    base = ctx.machine_params()
     no_pf = base.with_overrides(
         bus=dataclasses.replace(base.bus, prefetch_max_coverage=0.0)
     )
     out = AblationResult(config=config, variants=["prefetch_on", "prefetch_off"])
-    on = Study(problem_class)
-    off = Study(problem_class, params=no_pf)
+    on = ctx.study(problem_class=problem_class)
+    off = ctx.study(problem_class=problem_class, params=no_pf)
     for b in benchmarks:
         base = on.serial_runtime(b)
         out.results[b] = {
@@ -88,18 +93,20 @@ def prefetcher_ablation(
 
 
 def bus_bandwidth_sweep(
+    ctx: Union[RunContext, Study, None] = None,
     benchmark: str = "CG",
     config: str = "ht_off_4_2",
     scales: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
-    problem_class: str = "B",
+    problem_class: Optional[str] = None,
 ) -> AblationResult:
     """Scale FSB/memory bandwidth and measure the speedup response."""
+    ctx = as_context(ctx)
     out = AblationResult(
         config=config, variants=[f"bw_x{s:g}" for s in scales]
     )
     out.results[benchmark] = {}
-    base = paxville_params()
-    stock = Study(problem_class)
+    base = ctx.machine_params()
+    stock = ctx.study(problem_class=problem_class)
     baseline = stock.serial_runtime(benchmark)
     for s in scales:
         params = base.with_overrides(
@@ -111,7 +118,7 @@ def bus_bandwidth_sweep(
                 system_write_bw=base.bus.system_write_bw * s,
             )
         )
-        study = Study(problem_class, params=params)
+        study = ctx.study(problem_class=problem_class, params=params)
         out.results[benchmark][f"bw_x{s:g}"] = (
             baseline / study.run(benchmark, config).runtime_seconds
         )
@@ -119,18 +126,20 @@ def bus_bandwidth_sweep(
 
 
 def trace_cache_sweep(
+    ctx: Union[RunContext, Study, None] = None,
     benchmark: str = "MG",
     config: str = "ht_off_4_2",
     sizes_kuops: Sequence[int] = (6, 12, 24, 48),
-    problem_class: str = "B",
+    problem_class: Optional[str] = None,
 ) -> AblationResult:
     """Scale the trace-cache capacity and measure MG's response."""
+    ctx = as_context(ctx)
     out = AblationResult(
         config=config, variants=[f"tc_{k}k" for k in sizes_kuops]
     )
     out.results[benchmark] = {}
-    base = paxville_params()
-    stock = Study(problem_class)
+    base = ctx.machine_params()
+    stock = ctx.study(problem_class=problem_class)
     baseline = stock.serial_runtime(benchmark)
     for k in sizes_kuops:
         params = base.with_overrides(
@@ -138,7 +147,7 @@ def trace_cache_sweep(
                 base.trace_cache, size_bytes=k * 1024
             )
         )
-        study = Study(problem_class, params=params)
+        study = ctx.study(problem_class=problem_class, params=params)
         out.results[benchmark][f"tc_{k}k"] = (
             baseline / study.run(benchmark, config).runtime_seconds
         )
@@ -174,7 +183,7 @@ def report_ablation(ab: AblationResult, title: str) -> str:
 
 
 @dataclass
-class AblationsResult:
+class AblationsResult(ExperimentResult):
     """All four ablation studies, bundled for the experiment registry."""
 
     schedulers: SchedulerComparison
@@ -183,13 +192,17 @@ class AblationsResult:
     trace_cache: AblationResult
 
 
-def run(problem_class: str = "B") -> AblationsResult:
+def run(
+    ctx: Union[RunContext, Study, None] = None,
+    problem_class: Optional[str] = None,
+) -> AblationsResult:
     """Run every ablation study (the registry driver entry point)."""
+    ctx = as_context(ctx)
     return AblationsResult(
-        schedulers=scheduler_comparison(problem_class=problem_class),
-        prefetcher=prefetcher_ablation(problem_class=problem_class),
-        bus_bandwidth=bus_bandwidth_sweep(problem_class=problem_class),
-        trace_cache=trace_cache_sweep(problem_class=problem_class),
+        schedulers=scheduler_comparison(ctx, problem_class=problem_class),
+        prefetcher=prefetcher_ablation(ctx, problem_class=problem_class),
+        bus_bandwidth=bus_bandwidth_sweep(ctx, problem_class=problem_class),
+        trace_cache=trace_cache_sweep(ctx, problem_class=problem_class),
     )
 
 

@@ -12,9 +12,11 @@ deeper into bandwidth saturation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 from repro.machine.configurations import Architecture
 from repro.experiments import table2_avg_speedup
@@ -22,7 +24,7 @@ from repro.sim.parallel import parallel_map
 
 
 @dataclass
-class ClassScalingResult:
+class ClassScalingResult(ExperimentResult):
     """Per-class Table-2 averages and verdicts."""
 
     classes: List[str] = field(default_factory=list)
@@ -38,8 +40,8 @@ class ClassScalingResult:
 
 def _class_summary(task):
     """Headline comparisons for one problem class (parallel worker)."""
-    cls, benchmarks = task
-    study = Study(cls)
+    ctx, cls, benchmarks = task
+    study = ctx.study(problem_class=cls)
     t2 = table2_avg_speedup.run(study, benchmarks=benchmarks)
     table = study.speedup_table(benchmarks=benchmarks)
     winners = [
@@ -51,6 +53,7 @@ def _class_summary(task):
 
 
 def run(
+    ctx: Union[RunContext, Study, None] = None,
     classes: Sequence[str] = ("W", "A", "B", "C"),
     benchmarks: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
@@ -58,11 +61,16 @@ def run(
     """Sweep the problem class and recompute the headline comparisons.
 
     Classes are independent studies, so the sweep fans out over the
-    parallel runner (``jobs=None`` uses the global default).
+    parallel runner (``jobs=None`` uses the context's setting, falling
+    back to the global default).
     """
+    ctx = as_context(ctx)
+    jobs = jobs if jobs is not None else ctx.jobs
     result = ClassScalingResult(classes=list(classes))
     summaries = parallel_map(
-        _class_summary, [(cls, benchmarks) for cls in classes], jobs=jobs
+        _class_summary,
+        [(ctx, cls, benchmarks) for cls in classes],
+        jobs=jobs,
     )
     for cls, (averages, slowdown, winners) in zip(classes, summaries):
         result.averages[cls] = averages

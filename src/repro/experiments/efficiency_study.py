@@ -10,7 +10,7 @@ matrix whose structure underlies Figure 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.efficiency import (
     DegradationMatrix,
@@ -20,11 +20,13 @@ from repro.analysis.efficiency import (
     most_efficient_architecture,
 )
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 
 
 @dataclass
-class EfficiencyStudyResult:
+class EfficiencyStudyResult(ExperimentResult):
     rows: List[EfficiencyRow] = field(default_factory=list)
     matrix: Optional[DegradationMatrix] = None
 
@@ -32,8 +34,8 @@ class EfficiencyStudyResult:
         return most_efficient_architecture(self.rows, by)
 
 
-def run(study: Optional[Study] = None) -> EfficiencyStudyResult:
-    study = study if study is not None else Study("B")
+def run(ctx: Union[RunContext, Study, None] = None) -> EfficiencyStudyResult:
+    study = as_context(ctx).study()
     return EfficiencyStudyResult(
         rows=efficiency_table(study),
         matrix=corun_degradation_matrix(study),

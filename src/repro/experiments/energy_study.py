@@ -9,16 +9,18 @@ ranks architectures the way the introduction's motivation implies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 from repro.counters.events import Event
 from repro.machine.power import EnergyReport, PowerModel, energy_per_instruction_nj
 
 
 @dataclass
-class EnergyStudyResult:
+class EnergyStudyResult(ExperimentResult):
     #: benchmark -> config -> report.
     reports: Dict[str, Dict[str, EnergyReport]] = field(default_factory=dict)
     #: benchmark -> config -> energy-delay product.
@@ -38,11 +40,11 @@ class EnergyStudyResult:
 
 
 def run(
-    study: Optional[Study] = None,
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Optional[Sequence[str]] = None,
     configs: Optional[Sequence[str]] = None,
 ) -> EnergyStudyResult:
-    study = study if study is not None else Study("B")
+    study = as_context(ctx).study()
     benches = list(benchmarks or study.paper_benchmarks())
     cfgs = ["serial"] + list(configs or study.paper_configs())
     model = PowerModel()

@@ -10,9 +10,11 @@ serial where the paper includes it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import format_metric_grid
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 
 PANELS = [
@@ -29,7 +31,7 @@ PANELS = [
 
 
 @dataclass
-class Fig2Result:
+class Fig2Result(ExperimentResult):
     """panel -> benchmark -> config -> value."""
 
     panels: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
@@ -40,12 +42,12 @@ class Fig2Result:
 
 
 def run(
-    study: Optional[Study] = None,
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Optional[Sequence[str]] = None,
     configs: Optional[Sequence[str]] = None,
 ) -> Fig2Result:
     """Collect the nine Figure-2 panels."""
-    study = study if study is not None else Study("B")
+    study = as_context(ctx).study()
     benches = list(benchmarks or study.paper_benchmarks())
     cfgs = ["serial"] + list(configs or study.paper_configs())
 

@@ -4,27 +4,29 @@ configuration."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis.figures import speedup_figure
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
 from repro.analysis.speedup import SpeedupTable
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 
 
 @dataclass
-class Fig3Result:
+class Fig3Result(ExperimentResult):
     table: SpeedupTable
     config_order: List[str]
 
 
 def run(
-    study: Optional[Study] = None,
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Optional[Sequence[str]] = None,
     configs: Optional[Sequence[str]] = None,
 ) -> Fig3Result:
     """Compute per-benchmark speedups for every configuration."""
-    study = study if study is not None else Study("B")
+    study = as_context(ctx).study()
     cfgs = list(configs or study.paper_configs())
     table = study.speedup_table(
         benchmarks=benchmarks or study.paper_benchmarks(), configs=cfgs

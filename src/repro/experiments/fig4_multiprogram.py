@@ -10,9 +10,11 @@ speedup over its serial baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_metric_grid, format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 
 #: The paper's three workloads: (program A, program B).
@@ -39,7 +41,7 @@ def _series_label(bench: str, pair: Tuple[str, str]) -> str:
 
 
 @dataclass
-class Fig4Result:
+class Fig4Result(ExperimentResult):
     """panel -> series label -> config -> value, plus speedups."""
 
     panels: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
@@ -51,11 +53,11 @@ class Fig4Result:
 
 
 def run(
-    study: Optional[Study] = None,
+    ctx: Union[RunContext, Study, None] = None,
     configs: Optional[Sequence[str]] = None,
 ) -> Fig4Result:
     """Run the three multiprogram workloads across configurations."""
-    study = study if study is not None else Study("B")
+    study = as_context(ctx).study()
     cfgs = list(configs or study.paper_configs())
     result = Fig4Result(config_order=cfgs)
     for panel in PANELS:

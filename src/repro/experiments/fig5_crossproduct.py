@@ -12,16 +12,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_box_plot
+from repro.analysis.result import ExperimentResult
 from repro.analysis.stats import BoxStats, box_stats
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 from repro.sim.parallel import parallel_map
 
 
 @dataclass
-class Fig5Result:
+class Fig5Result(ExperimentResult):
     """Per-configuration sample sets and their five-number summaries."""
 
     samples: Dict[str, List[float]] = field(default_factory=dict)
@@ -50,7 +52,7 @@ def _config_samples(task) -> List[Tuple[str, str, float, float]]:
 
 
 def run(
-    study: Optional[Study] = None,
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Optional[Sequence[str]] = None,
     configs: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
@@ -58,9 +60,12 @@ def run(
     """Run all unordered benchmark pairs under every configuration.
 
     The per-configuration sample sets are independent, so they fan out
-    over the sweep runner (``jobs=None`` uses the global default).
+    over the sweep runner (``jobs=None`` uses the context's setting,
+    falling back to the global default).
     """
-    study = study if study is not None else Study("B")
+    ctx = as_context(ctx)
+    study = ctx.study()
+    jobs = jobs if jobs is not None else ctx.jobs
     benches = list(benchmarks or study.paper_benchmarks())
     cfgs = list(configs or study.paper_configs())
     pairs = list(itertools.combinations_with_replacement(benches, 2))

@@ -11,7 +11,7 @@ ending with each group's verdict.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.groups import (
     GroupDelta,
@@ -19,11 +19,13 @@ from repro.analysis.groups import (
     ht_benefit_summary,
     report_groups,
 )
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 
 
 @dataclass
-class GroupAnalysisResult:
+class GroupAnalysisResult(ExperimentResult):
     """Per-metric group deltas."""
 
     by_metric: Dict[str, List[GroupDelta]] = field(default_factory=dict)
@@ -37,10 +39,10 @@ METRICS = ["speedup", "l2_miss_rate", "stall_fraction",
 
 
 def run(
-    study: Optional[Study] = None,
+    ctx: Union[RunContext, Study, None] = None,
     metrics: Optional[Sequence[str]] = None,
 ) -> GroupAnalysisResult:
-    study = study if study is not None else Study("B")
+    study = as_context(ctx).study()
     result = GroupAnalysisResult()
     for metric in metrics or METRICS:
         result.by_metric[metric] = group_deltas(study, metric=metric)

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 from repro.machine.params import MachineParams, paxville_params
 
@@ -37,7 +39,7 @@ def shared_l2_params(l2_mb_per_chip: int = 2) -> MachineParams:
 
 
 @dataclass
-class NextGenResult:
+class NextGenResult(ExperimentResult):
     """Headline findings per machine variant."""
 
     variants: List[str] = field(default_factory=list)
@@ -60,13 +62,15 @@ VARIANTS = {
 
 
 def run(
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Optional[Sequence[str]] = None,
-    problem_class: str = "B",
+    problem_class: Optional[str] = None,
 ) -> NextGenResult:
+    ctx = as_context(ctx)
     result = NextGenResult(variants=list(VARIANTS))
     for name, mb in VARIANTS.items():
         params = None if mb is None else shared_l2_params(mb)
-        study = Study(problem_class, params=params)
+        study = ctx.study(problem_class=problem_class, params=params)
         benches = list(benchmarks or study.paper_benchmarks())
         table = study.speedup_table(benchmarks=benches)
         result.speedups[name] = {

@@ -10,15 +10,17 @@ per-plane flag waits make it the most sensitive to these numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis.report import format_table
-from repro.machine.params import paxville_params
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
+from repro.core.study import Study
 from repro.openmp.constructs import ConstructOverheads, overhead_table
 
 
 @dataclass
-class OmpOverheadResult:
+class OmpOverheadResult(ExperimentResult):
     rows: List[ConstructOverheads] = field(default_factory=list)
     clock_hz: float = 2.8e9
 
@@ -29,8 +31,11 @@ class OmpOverheadResult:
         raise KeyError(config)
 
 
-def run(config_names: Optional[Sequence[str]] = None) -> OmpOverheadResult:
-    params = paxville_params()
+def run(
+    ctx: Union[RunContext, Study, None] = None,
+    config_names: Optional[Sequence[str]] = None,
+) -> OmpOverheadResult:
+    params = as_context(ctx).machine_params()
     return OmpOverheadResult(
         rows=overhead_table(config_names, params),
         clock_hz=params.core.clock_hz,

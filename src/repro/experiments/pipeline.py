@@ -1,0 +1,233 @@
+"""Dependency-aware experiment pipeline behind ``repro run-all``.
+
+The pipeline plans the selected registry entries into topological
+*waves* over their declared data dependencies, executes each wave —
+serially, or fanned out over :func:`repro.sim.parallel.parallel_map`
+when the context allows more than one job — and collects, per
+experiment, everything the run manifest needs:
+
+* the structured result (fed to downstream experiments via
+  ``ctx.results`` and to the CSV exporter),
+* the rendered text artifact (byte-identical to the pre-pipeline
+  per-module output),
+* wall time, run-cache hit/miss deltas, and the fingerprints of the
+  studies the driver touched.
+
+Artifacts: :func:`write_artifacts` emits ``<id>.txt`` + ``<id>.json``
+per experiment plus a top-level ``manifest.json`` (timings, cache
+counters, study fingerprints, package version) — the machine-readable
+surface an autotuner or a service can drive.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.context import RunContext, as_context
+from repro.core.runcache import get_cache
+from repro.experiments import registry
+from repro.sim.parallel import parallel_map, resolve_jobs, set_default_jobs
+
+__all__ = [
+    "ExperimentRecord",
+    "PipelineResult",
+    "run_pipeline",
+    "write_artifacts",
+]
+
+#: manifest.json schema version, bumped on incompatible layout changes.
+MANIFEST_SCHEMA = 1
+
+
+@dataclass
+class ExperimentRecord:
+    """Everything the pipeline learned from one experiment run."""
+
+    id: str
+    result: Any
+    text: str
+    wall_time_s: float
+    cache: Dict[str, Any] = field(default_factory=dict)
+    study_fingerprints: List[str] = field(default_factory=list)
+    wave: int = 0
+
+
+@dataclass
+class PipelineResult:
+    """Ordered records plus the manifest the run-all writes."""
+
+    records: Dict[str, ExperimentRecord] = field(default_factory=dict)
+    manifest: Dict[str, Any] = field(default_factory=dict)
+
+    def result(self, experiment_id: str) -> Any:
+        return self.records[experiment_id].result
+
+
+def _execute(entry: registry.ExperimentEntry, ctx: RunContext,
+             wave: int) -> ExperimentRecord:
+    """Run one experiment, measuring wall time and cache activity."""
+    before = get_cache().stats.snapshot()
+    ctx.touched_fingerprints(reset=True)
+    start = time.perf_counter()
+    result = entry.run(ctx)
+    wall = time.perf_counter() - start
+    return ExperimentRecord(
+        id=entry.id,
+        result=result,
+        text=entry.render_text(result),
+        wall_time_s=wall,
+        cache=get_cache().stats.since(before).as_dict(),
+        study_fingerprints=ctx.touched_fingerprints(),
+        wave=wave,
+    )
+
+
+def _worker_init() -> None:
+    """Pool-worker setup: the pipeline is already the fan-out level, so
+    sweeps inside a worker must not spawn nested pools."""
+    set_default_jobs(1)
+
+
+def _pipeline_task(task: Tuple[str, RunContext, int]) -> ExperimentRecord:
+    """Parallel worker: configure the cache, run, measure (picklable)."""
+    entry_id, ctx, wave = task
+    ctx.apply_cache_config()
+    return _execute(registry.get(entry_id), ctx, wave)
+
+
+def run_pipeline(
+    ctx: Optional[RunContext] = None,
+    only: Optional[Sequence[str]] = None,
+    skip: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PipelineResult:
+    """Run the selected experiments in dependency order.
+
+    Within a wave, experiments are independent; when the context's
+    ``jobs`` allows, they fan out over the process pool (each worker
+    running its internal sweeps serially), otherwise they run in-process
+    and share the context's memoized studies directly.  Results land in
+    ``ctx.results`` as they complete, so later waves consume them.
+    """
+    ctx = as_context(ctx)
+    ctx.apply_cache_config()
+    entries = registry.select(only=only, skip=skip)
+    waves = registry.execution_waves(entries)
+    n_jobs = resolve_jobs(ctx.jobs)
+
+    out = PipelineResult()
+    for wave_index, wave in enumerate(waves):
+        if n_jobs > 1 and len(wave) > 1:
+            tasks = [
+                (e.id, ctx.spawn(jobs=1), wave_index) for e in wave
+            ]
+            records = parallel_map(
+                _pipeline_task, tasks, jobs=n_jobs,
+                initializer=_worker_init,
+            )
+        else:
+            records = [_execute(e, ctx, wave_index) for e in wave]
+        for record in records:
+            ctx.results[record.id] = record.result
+            out.records[record.id] = record
+            if progress is not None:
+                progress(
+                    f"ran {record.id} "
+                    f"({record.wall_time_s:.2f}s, "
+                    f"cache {record.cache.get('hits', 0)} hits / "
+                    f"{record.cache.get('misses', 0)} misses)"
+                )
+
+    # Records in registry order, regardless of wave packing.
+    ordered = {
+        e.id: out.records[e.id] for e in entries if e.id in out.records
+    }
+    out.records = ordered
+    out.manifest = _build_manifest(ctx, out.records, n_jobs)
+    return out
+
+
+def _build_manifest(
+    ctx: RunContext,
+    records: Dict[str, ExperimentRecord],
+    n_jobs: int,
+) -> Dict[str, Any]:
+    """The top-level manifest.json payload."""
+    import repro
+
+    cache = get_cache()
+    experiments: Dict[str, Any] = {}
+    for rec in records.values():
+        entry = registry.get(rec.id)
+        experiments[rec.id] = {
+            "paper_artifact": entry.paper_artifact,
+            "description": entry.description,
+            "tags": sorted(entry.tags),
+            "requires": list(entry.requires),
+            "wave": rec.wave,
+            "wall_time_s": round(rec.wall_time_s, 4),
+            "cache": rec.cache,
+            "study_fingerprints": rec.study_fingerprints,
+            "artifacts": {
+                "text": f"{rec.id}.txt",
+                "json": f"{rec.id}.json",
+            },
+        }
+    pc = ctx.problem_class
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "package_version": repro.__version__,
+        "problem_class": pc if isinstance(pc, str) else pc.value,
+        "scheduler": ctx.scheduler,
+        "jobs": n_jobs,
+        "cache": {
+            "enabled": cache.enabled,
+            "disk_dir": str(cache.disk_dir) if cache.disk_dir else None,
+            "totals": cache.stats.as_dict(),
+        },
+        "total_wall_time_s": round(
+            sum(r.wall_time_s for r in records.values()), 4
+        ),
+        "experiments": experiments,
+    }
+
+
+def write_artifacts(
+    pipeline: PipelineResult,
+    out_dir: Path,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Path]:
+    """Write ``<id>.txt`` + ``<id>.json`` per record and manifest.json.
+
+    The text files are byte-identical to what the per-module ``report``
+    functions produced before the pipeline existed; the JSON files add
+    the machine-readable mirror of each result.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    def emit(path: Path, content: str) -> None:
+        path.write_text(content)
+        written.append(path)
+        if progress is not None:
+            progress(f"wrote {path}")
+
+    for rec in pipeline.records.values():
+        entry = registry.get(rec.id)
+        emit(out_dir / f"{rec.id}.txt", rec.text)
+        emit(
+            out_dir / f"{rec.id}.json",
+            json.dumps(
+                entry.json_payload(rec.result), indent=2, sort_keys=True
+            ) + "\n",
+        )
+    emit(
+        out_dir / "manifest.json",
+        json.dumps(pipeline.manifest, indent=2, sort_keys=True) + "\n",
+    )
+    return written

@@ -11,17 +11,19 @@ EP keeps climbing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.figures import grouped_bars
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 from repro.machine.configurations import get_config
 from repro.sim.engine import Engine
 
 
 @dataclass
-class ScalingCurvesResult:
+class ScalingCurvesResult(ExperimentResult):
     """benchmark -> config -> [speedup at 1..N threads]."""
 
     curves: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
@@ -40,12 +42,13 @@ class ScalingCurvesResult:
 
 
 def run(
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Optional[Sequence[str]] = None,
     configs: Sequence[str] = ("ht_off_4_2", "ht_on_8_2"),
-    problem_class: str = "B",
+    problem_class: Optional[str] = None,
 ) -> ScalingCurvesResult:
     """Sweep thread counts on the full-machine configurations."""
-    study = Study(problem_class)
+    study = as_context(ctx).study(problem_class=problem_class)
     benches = list(benchmarks or study.paper_benchmarks())
     result = ScalingCurvesResult()
     for cfg_name in configs:

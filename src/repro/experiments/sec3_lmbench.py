@@ -8,9 +8,12 @@ one chip and 4.43 / 2.06 GB/s across both chips.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
+from repro.core.study import Study
 from repro.lmbench import (
     BandwidthResult,
     LatencyPoint,
@@ -18,11 +21,11 @@ from repro.lmbench import (
     lat_mem_rd,
     latency_plateaus,
 )
-from repro.machine.params import MachineParams, paxville_params
+from repro.machine.params import MachineParams
 
 
 @dataclass
-class Sec3Result:
+class Sec3Result(ExperimentResult):
     """Measured platform characteristics."""
 
     latency_points: List[LatencyPoint]
@@ -42,9 +45,12 @@ PAPER_VALUES = {
 }
 
 
-def run(params: Optional[MachineParams] = None) -> Sec3Result:
+def run(
+    ctx: Union[RunContext, Study, None] = None,
+    params: Optional[MachineParams] = None,
+) -> Sec3Result:
     """Run the latency sweep and the four bandwidth measurements."""
-    params = params if params is not None else paxville_params()
+    params = params if params is not None else as_context(ctx).machine_params()
     points = lat_mem_rd(params=params)
     return Sec3Result(
         latency_points=points,

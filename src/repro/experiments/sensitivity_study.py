@@ -15,9 +15,11 @@ whether each finding holds under the perturbation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 from repro.machine.configurations import Architecture
 from repro.sim.sensitivity import SensitivityResult, SweepSpec, sweep_many
@@ -55,14 +57,21 @@ def _top_two_architectures(study: Study) -> bool:
 
 
 @dataclass
-class SensitivityStudyResult:
+class SensitivityStudyResult(ExperimentResult):
     f1: SensitivityResult = None  # SP-only-winner
     f2: SensitivityResult = None  # top-two ranking
 
 
 def run(
-    problem_class: str = "B", jobs: Optional[int] = None
+    ctx: Union[RunContext, Study, None] = None,
+    problem_class: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> SensitivityStudyResult:
+    ctx = as_context(ctx)
+    cls = ctx.problem_class if problem_class is None else problem_class
+    if not isinstance(cls, str):
+        cls = cls.value
+    jobs = jobs if jobs is not None else ctx.jobs
     # Both findings are evaluated on the same perturbation grid in one
     # pass, so each perturbed study is simulated once, not twice.
     f1, f2 = sweep_many(
@@ -78,7 +87,7 @@ def run(
                 metric_name="CMP-based SMP average speedup",
             ),
         ],
-        problem_class=problem_class,
+        problem_class=cls,
         jobs=jobs,
     )
     return SensitivityStudyResult(f1=f1, f2=f2)

@@ -13,16 +13,18 @@ Headline checks from the readable text:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
 from repro.analysis.speedup import average_speedup_by_architecture
+from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 from repro.machine.configurations import Architecture
 
 
 @dataclass
-class Table2Result:
+class Table2Result(ExperimentResult):
     averages: Dict[Architecture, float]
     config_order: List[str]
 
@@ -45,15 +47,24 @@ class Table2Result:
 
 
 def run(
-    study: Optional[Study] = None,
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Optional[Sequence[str]] = None,
 ) -> Table2Result:
-    """Compute the Table-2 architecture averages."""
-    study = study if study is not None else Study("B")
-    cfgs = study.paper_configs()
-    table = study.speedup_table(
-        benchmarks=benchmarks or study.paper_benchmarks(), configs=cfgs
-    )
+    """Compute the Table-2 architecture averages.
+
+    When the pipeline already ran ``fig3`` (a declared dependency), its
+    speedup table is reused from the context instead of recomputed.
+    """
+    ctx = as_context(ctx)
+    fig3 = ctx.results.get("fig3")
+    if fig3 is not None and benchmarks is None:
+        table, cfgs = fig3.table, list(fig3.config_order)
+    else:
+        study = ctx.study()
+        cfgs = study.paper_configs()
+        table = study.speedup_table(
+            benchmarks=benchmarks or study.paper_benchmarks(), configs=cfgs
+        )
     return Table2Result(
         averages=average_speedup_by_architecture(table, cfgs),
         config_order=cfgs,

@@ -12,39 +12,45 @@ Two studies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
+from repro.core.study import Study
 from repro.npb.suite import build_workload
 from repro.tuning.loop_tuner import LoopTuneResult, tune_loop_schedule
 from repro.tuning.placement_tuner import PlacementTuneResult, tune_placement
 
 
 @dataclass
-class TuningStudyResult:
+class TuningStudyResult(ExperimentResult):
     loop_rows: List[LoopTuneResult] = field(default_factory=list)
     placement_rows: List[PlacementTuneResult] = field(default_factory=list)
 
 
 def run(
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Sequence[str] = ("LU", "CG", "SP"),
     loop_configs: Sequence[str] = ("ht_off_4_2", "ht_on_8_2"),
     pairs: Sequence[Tuple[str, str]] = (("CG", "FT"), ("CG", "CG"),
                                         ("MG", "SP")),
     placement_config: str = "ht_on_8_2",
-    problem_class: str = "B",
+    problem_class: Optional[str] = None,
 ) -> TuningStudyResult:
     """Run both tuning studies."""
+    ctx = as_context(ctx)
+    cls = ctx.problem_class if problem_class is None else problem_class
     result = TuningStudyResult()
     for bench in benchmarks:
-        workload = build_workload(bench, problem_class)
+        workload = build_workload(bench, cls)
         for cfg in loop_configs:
             result.loop_rows.append(tune_loop_schedule(workload, cfg))
     for a, b in pairs:
         result.placement_rows.append(
             tune_placement(
-                build_workload(a, problem_class),
-                build_workload(b, problem_class),
+                build_workload(a, cls),
+                build_workload(b, cls),
                 placement_config,
             )
         )

@@ -10,9 +10,12 @@ the fast path the experiments run on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_table
+from repro.analysis.result import ExperimentResult
+from repro.core.context import RunContext, as_context
+from repro.core.study import Study
 from repro.npb.suite import PAPER_BENCHMARKS, build_workload
 from repro.sim.structural import (
     SharingScenario,
@@ -43,7 +46,7 @@ class ValidationRow:
 
 
 @dataclass
-class ValidationResult:
+class ValidationResult(ExperimentResult):
     rows: List[ValidationRow] = field(default_factory=list)
 
     @property
@@ -56,20 +59,26 @@ class ValidationResult:
 
 
 def run(
+    ctx: Union[RunContext, Study, None] = None,
     benchmarks: Optional[Sequence[str]] = None,
-    problem_class: str = "B",
+    problem_class: Optional[str] = None,
     samples: int = 20000,
 ) -> ValidationResult:
     """Compare analytic and structural rates across sharing scenarios."""
+    ctx = as_context(ctx)
+    cls = ctx.problem_class if problem_class is None else problem_class
     benches = list(benchmarks or PAPER_BENCHMARKS)
-    sim = StructuralCoSimulator(samples=samples)
+    if ctx.seed is not None:
+        sim = StructuralCoSimulator(samples=samples, seed=ctx.seed)
+    else:
+        sim = StructuralCoSimulator(samples=samples)
     result = ValidationResult()
 
     for bench in benches:
-        workload = build_workload(bench, problem_class)
+        workload = build_workload(bench, cls)
         phase = workload.phases[-1]  # the main parallel phase
         other = build_workload(
-            "FT" if bench != "FT" else "CG", problem_class
+            "FT" if bench != "FT" else "CG", cls
         ).phases[-1]
         scenarios = [
             ("solo", SharingScenario(phase=phase, n_threads=4)),

@@ -81,6 +81,8 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     jobs: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
 ) -> List[R]:
     """Map ``fn`` over ``items``, possibly across worker processes.
 
@@ -91,6 +93,12 @@ def parallel_map(
         items: tasks, each picklable for the parallel path.
         jobs: worker count; None uses :func:`get_default_jobs`; 1 means
             the plain serial loop.
+        initializer: optional per-worker setup hook (e.g. reconfiguring
+            the run cache, or pinning nested sweeps to ``jobs=1`` when
+            the *caller* is already the fan-out level).  Only invoked on
+            the pool path — the serial loop and the fallback run in the
+            caller's process, whose global state must stay untouched.
+        initargs: arguments for ``initializer``.
 
     Returns:
         ``[fn(x) for x in items]`` — identical results and ordering on
@@ -101,7 +109,11 @@ def parallel_map(
     if n_jobs <= 1 or len(items) <= 1:
         return [fn(x) for x in items]
     try:
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(items))) as ex:
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(items)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as ex:
             return list(ex.map(fn, items))
     except (pickle.PicklingError, AttributeError, BrokenProcessPool, OSError):
         # Pool infrastructure failed (unpicklable payload, dead worker,

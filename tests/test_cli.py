@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -12,6 +14,8 @@ class TestCli:
         for needle in ("fig2", "fig3", "table2", "fig4", "fig5",
                        "sec3-lmbench", "tuning", "efficiency"):
             assert needle in out
+        # Tags are part of the listing now.
+        assert "[paper" in out
 
     def test_speedup_query(self, capsys):
         assert main(["speedup", "ep", "ht_off_4_2"]) == 0
@@ -24,22 +28,84 @@ class TestCli:
         out = capsys.readouterr().out
         assert "CMP-based SMP" in out
 
-    def test_run_unknown_experiment(self):
-        with pytest.raises(KeyError):
-            main(["run", "fig99"])
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "fig99" in err and "valid choices" in err
+        assert "fig3" in err  # lists what *is* available
 
-    def test_run_all_writes_files(self, tmp_path, capsys):
-        # Restrict to a cheap subset by monkeypatching would touch
-        # internals; instead verify the directory handling with the
-        # registry's cheapest entry via 'run' + manual write.
+    def test_speedup_unknown_benchmark_exits_2(self, capsys):
+        assert main(["speedup", "zz", "ht_off_4_2"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark" in err and "CG" in err
+
+    def test_speedup_unknown_config_exits_2(self, capsys):
+        assert main(["speedup", "CG", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown configuration" in err and "ht_off_4_2" in err
+
+    def test_speedup_unknown_class_exits_2(self, capsys):
+        assert main(["speedup", "CG", "ht_off_4_2",
+                     "--problem-class", "Z"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown problem class" in err
+
+    def test_run_all_unknown_only_token_exits_2(self, capsys, tmp_path):
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "nonsense" in err
+
+    def test_run_format_json(self, capsys):
+        assert main(["run", "omp-overheads", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "omp-overheads"
+        assert payload["paper_artifact"] == "(extensions)"
+        assert payload["result"]["rows"]
+
+    def test_run_all_only_writes_artifacts_and_manifest(
+        self, tmp_path, capsys
+    ):
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", "omp-overheads,sec3-lmbench"]) == 0
+        capsys.readouterr()
+        for name in ("omp-overheads", "sec3-lmbench"):
+            assert (tmp_path / f"{name}.txt").read_text().strip()
+            payload = json.loads((tmp_path / f"{name}.json").read_text())
+            assert payload["experiment"] == name
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert set(manifest["experiments"]) == {
+            "omp-overheads", "sec3-lmbench"
+        }
+        # Nothing outside the selection ran.
+        assert not (tmp_path / "fig3.txt").exists()
+
+    def test_run_all_skip(self, tmp_path, capsys):
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", "platform",
+                     "--skip", "sec3-lmbench"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "omp-overheads.txt").exists()
+        assert not (tmp_path / "sec3-lmbench.txt").exists()
+
+    def test_run_all_text_matches_run(self, tmp_path, capsys):
+        """The pipeline's text artifact is the driver's report verbatim."""
         assert main(["run", "omp-overheads"]) == 0
-        out = capsys.readouterr().out
-        assert "OpenMP construct overheads" in out
+        direct = capsys.readouterr().out
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", "omp-overheads"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "omp-overheads.txt").read_text() == \
+            direct.rstrip("\n")
 
-    def test_csv_export(self, tmp_path, capsys):
+    def test_csv_export_consumes_pipeline_results(self, tmp_path):
         from repro.cli import _export_csv
+        from repro.core.context import RunContext
+        from repro.experiments.pipeline import run_pipeline
 
-        _export_csv(tmp_path)
+        pipeline = run_pipeline(RunContext(), only=["fig2", "fig3"])
+        _export_csv(tmp_path, pipeline)
         fig3 = (tmp_path / "fig3_speedup.csv").read_text()
         assert fig3.startswith("benchmark,")
         assert (tmp_path / "fig2_cpi.csv").exists()

@@ -37,17 +37,56 @@ class TestRegistry:
             assert hasattr(module, "run"), entry.id
             assert hasattr(module, "report"), entry.id
 
-    def test_every_entry_runs_and_reports(self):
-        """Smoke: ``run_experiment`` succeeds for every registered id and
-        the driver's ``report`` renders its result."""
-        import importlib
+    def test_every_entry_runs_reports_and_round_trips_json(self):
+        """Smoke: ``run_experiment`` succeeds for every registered id, the
+        driver's ``report`` renders its result, and the structured result
+        survives a JSON round-trip with stable keys."""
+        import json
 
         for entry in registry.EXPERIMENTS.values():
             result = registry.run_experiment(entry.id)
             assert result is not None, entry.id
-            module = importlib.import_module(entry.module)
-            text = module.report(result)
+            text = entry.render_text(result)
             assert isinstance(text, str) and text.strip(), entry.id
+
+            payload = entry.json_payload(result)
+            assert payload["experiment"] == entry.id
+            assert payload["result"] == result.to_dict(), entry.id
+            encoded = json.dumps(payload, indent=2, sort_keys=True)
+            decoded = json.loads(encoded)
+            assert decoded == json.loads(
+                json.dumps(payload, indent=2, sort_keys=True)
+            ), entry.id
+            assert set(decoded) == {
+                "experiment", "paper_artifact", "description",
+                "tags", "requires", "result",
+            }, entry.id
+
+    def test_entries_carry_metadata(self):
+        for entry in registry.EXPERIMENTS.values():
+            assert entry.tags, entry.id
+            assert entry.cost_estimate > 0, entry.id
+            for dep in entry.requires:
+                assert dep in registry.EXPERIMENTS, (entry.id, dep)
+
+    def test_execution_waves_order_dependencies(self):
+        entries = registry.select(only=["fig3", "table2"])
+        waves = registry.execution_waves(entries)
+        assert [e.id for e in waves[0]] == ["fig3"]
+        assert [e.id for e in waves[1]] == ["table2"]
+
+    def test_execution_waves_ignore_deps_outside_selection(self):
+        entries = registry.select(only=["table2"])
+        waves = registry.execution_waves(entries)
+        assert [[e.id for e in w] for w in waves] == [["table2"]]
+
+    def test_select_by_tag(self):
+        ids = {e.id for e in registry.select(only=["platform"])}
+        assert ids == {"sec3-lmbench", "omp-overheads"}
+
+    def test_select_unknown_token(self):
+        with pytest.raises(KeyError, match="valid"):
+            registry.select(only=["not-a-thing"])
 
 
 class TestSec3Driver:
