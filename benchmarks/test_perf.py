@@ -20,6 +20,7 @@ import pytest
 from repro.core.runcache import RunCache
 from repro.core.study import Study
 from repro.machine.params import CacheParams
+from repro.machine.registry import resolve_machine
 from repro.mem.cache import SetAssocCache
 from repro.npb.suite import build_workload
 from repro.sim.structural import SharingScenario, StructuralCoSimulator
@@ -64,6 +65,28 @@ def test_analytic_run_uncached(benchmark):
     # measures the analytic model itself.
     def run():
         return study.engine("ht_off_4_2").run_single(study.workload("CG"))
+
+    benchmark(run)
+
+
+def test_analytic_run_spec_machine(benchmark):
+    # Same engine path, but with parameters that travelled through the
+    # declarative spec layer (registry lookup -> validate -> to_params).
+    # Gates the MachineSpec refactor: it must add no steady-state cost
+    # over the hand-constructed params of test_analytic_run_uncached.
+    study = Study("B", params=resolve_machine("paxville").to_params())
+
+    def run():
+        return study.engine("ht_off_4_2").run_single(study.workload("CG"))
+
+    benchmark(run)
+
+
+def test_spec_resolve_and_materialize(benchmark):
+    # Registry lookup + schema validation + params materialization —
+    # the per-invocation overhead `--machine <name>` adds to the CLI.
+    def run():
+        return resolve_machine("paxville").to_params()
 
     benchmark(run)
 

@@ -12,7 +12,7 @@ import dataclasses
 import io
 import json
 from enum import Enum
-from typing import Any, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, Mapping, Sequence
 
 
 def _jsonable(value: Any) -> Any:

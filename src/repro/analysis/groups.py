@@ -10,8 +10,8 @@ per-group deltas for any metric, plus the cross-group
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from typing import TYPE_CHECKING
 

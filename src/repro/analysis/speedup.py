@@ -5,11 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.machine.configurations import (
-    CONFIGURATIONS,
-    Architecture,
-    MachineConfig,
-)
+from repro.machine.configurations import CONFIGURATIONS, Architecture
 
 
 @dataclass

@@ -8,10 +8,12 @@ Usage::
     python -m repro run-all --out results/    # regenerate everything
     python -m repro run-all --only paper      # filter by tag or id
     python -m repro speedup CG ht_on_4_1      # one speedup query
+    python -m repro machines                  # registered machine specs
+    python -m repro run fig3 --machine nextgen-shared-l2
 
-Unknown experiment ids, benchmarks, configurations, and ``--only``/
-``--skip`` tokens produce a one-line error listing the valid choices
-and exit status 2.
+Unknown experiment ids, benchmarks, configurations, machines, and
+``--only``/``--skip`` tokens produce a one-line error listing the valid
+choices and exit status 2.
 """
 
 from __future__ import annotations
@@ -39,6 +41,27 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_machine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine", default=None, metavar="NAME_OR_PATH",
+        help="machine to simulate: a registered name (see 'machines') "
+             "or a .json/.toml spec file (default: paxville)",
+    )
+
+
+def _resolve_machine_arg(token: Optional[str]):
+    """Map a ``--machine`` token to a spec, or a clean CLI error."""
+    if token is None:
+        return None
+    from repro.machine.registry import UnknownMachineError, resolve_machine
+    from repro.machine.spec import SpecError
+
+    try:
+        return resolve_machine(token)
+    except (UnknownMachineError, SpecError) as exc:
+        raise CLIError(str(exc)) from None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -52,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    sub.add_parser(
+        "machines",
+        help="list registered machine specs (name, fingerprint, "
+             "key parameters, provenance)",
+    )
+
     run = sub.add_parser("run", help="run one experiment and print it")
     run.add_argument("experiment", help="experiment id (see 'list')")
     run.add_argument(
@@ -59,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render the paper-style text (default) or the structured "
              "JSON payload",
     )
+    _add_machine_option(run)
 
     run_all = sub.add_parser(
         "run-all", help="regenerate every artifact into a directory"
@@ -90,11 +120,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--skip", action="append", default=None, metavar="ID_OR_TAG",
         help="skip matching experiments (same syntax as --only)",
     )
+    _add_machine_option(run_all)
 
     speed = sub.add_parser("speedup", help="query one speedup")
     speed.add_argument("benchmark")
     speed.add_argument("config")
     speed.add_argument("--problem-class", default="B")
+    _add_machine_option(speed)
     return parser
 
 
@@ -108,11 +140,13 @@ def _get_entry(experiment_id: str) -> registry.ExperimentEntry:
         ) from None
 
 
-def _run_one(experiment_id: str, fmt: str = "text") -> str:
+def _run_one(
+    experiment_id: str, fmt: str = "text", machine=None
+) -> str:
     from repro.core.context import RunContext
 
     entry = _get_entry(experiment_id)
-    result = entry.run(RunContext())
+    result = entry.run(RunContext(machine=machine))
     if fmt == "json":
         return json.dumps(
             entry.json_payload(result), indent=2, sort_keys=True
@@ -168,8 +202,30 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                   f"{entry.description}  [{tags}]")
         return 0
 
+    if args.command == "machines":
+        from repro.machine.registry import list_machines
+        from repro.machine.spec import SpecError
+
+        try:
+            machines = list_machines()
+        except SpecError as exc:
+            raise CLIError(str(exc)) from None
+        for name in sorted(machines):
+            spec = machines[name]
+            s = spec.summary()
+            provenance = (
+                str(spec.source) if spec.source is not None else "built-in"
+            )
+            print(
+                f"{name:24s} {spec.short_fingerprint}  "
+                f"clock={s['clock']} l2={s['l2']} bus={s['bus']} "
+                f"mem={s['mem']}  [{provenance}]"
+            )
+        return 0
+
     if args.command == "run":
-        print(_run_one(args.experiment, args.format))
+        machine = _resolve_machine_arg(args.machine)
+        print(_run_one(args.experiment, args.format, machine=machine))
         return 0
 
     if args.command == "run-all":
@@ -179,6 +235,7 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         only = _split_tokens(args.only)
         skip = _split_tokens(args.skip)
         ctx = RunContext(
+            machine=_resolve_machine_arg(args.machine),
             jobs=args.jobs,
             cache_enabled=not args.no_cache,
             # Disk tier under the output directory: repeat runs (and the
@@ -216,8 +273,12 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 f"unknown configuration {args.config!r}; "
                 f"valid choices: {', '.join(sorted(CONFIGURATIONS))}"
             )
+        machine = _resolve_machine_arg(args.machine)
         try:
-            study = Study(args.problem_class)
+            study = Study(
+                args.problem_class,
+                params=None if machine is None else machine.to_params(),
+            )
         except (KeyError, ValueError):
             raise CLIError(
                 f"unknown problem class {args.problem_class!r}; "

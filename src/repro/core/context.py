@@ -31,7 +31,9 @@ from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.core.runcache import configure, study_fingerprint
 from repro.core.study import Study
-from repro.machine.params import MachineParams, paxville_params
+from repro.machine.params import MachineParams
+from repro.machine.registry import DEFAULT_MACHINE, resolve_machine
+from repro.machine.spec import MachineSpec
 from repro.npb.common import ProblemClass
 from repro.openmp.env import OMPEnvironment
 
@@ -53,6 +55,11 @@ class RunContext:
 
     problem_class: Union[str, ProblemClass] = "B"
     params: Optional[MachineParams] = None
+    #: Machine to simulate: a registry name (``"paxville"``), a spec
+    #: file path, or a :class:`~repro.machine.spec.MachineSpec`.
+    #: Mutually exclusive with ``params`` (which predates the spec
+    #: layer and wins only by never being set together).
+    machine: Union[None, str, Path, MachineSpec] = None
     scheduler: str = "linux_default"
     omp: Optional[OMPEnvironment] = None
     #: Worker processes for the sweep experiments (None = global default).
@@ -72,6 +79,18 @@ class RunContext:
     #: Fingerprints of studies accessed since the last reset (the
     #: pipeline uses this to attribute studies to experiments).
     _touched: Set[str] = field(default_factory=set, init=False, repr=False)
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.machine is not None:
+            spec = resolve_machine(self.machine)
+            if self.params is not None and self.params != spec.to_params():
+                raise ValueError(
+                    "give either machine= or params=, not both "
+                    f"(machine {spec.name!r} disagrees with params)"
+                )
+            self.machine = spec
+            self.params = spec.to_params()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -117,7 +136,21 @@ class RunContext:
 
     def machine_params(self) -> MachineParams:
         """The context's machine parameters (stock Paxville when unset)."""
-        return self.params if self.params is not None else paxville_params()
+        return self.machine_spec().to_params()
+
+    def machine_spec(self) -> MachineSpec:
+        """The machine being simulated, as a spec.
+
+        Experiments derive their variants from this (via
+        :meth:`~repro.machine.spec.MachineSpec.override`) instead of
+        hand-editing parameter dataclasses, so a campaign pointed at a
+        different ``--machine`` perturbs *that* machine.
+        """
+        if isinstance(self.machine, MachineSpec):
+            return self.machine
+        if self.params is not None:
+            return MachineSpec.from_params("custom", self.params)
+        return resolve_machine(DEFAULT_MACHINE)
 
     # ------------------------------------------------------------------
     def dependency(self, experiment_id: str) -> Any:

@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.analysis.speedup import SpeedupTable, speedup_table
 from repro.core.runcache import RunCache, get_cache, study_fingerprint
 from repro.machine.configurations import (
-    CONFIGURATIONS,
     MachineConfig,
     get_config,
     multithreaded_configs,
@@ -23,7 +22,7 @@ from repro.machine.params import MachineParams
 from repro.npb.common import ProblemClass
 from repro.npb.suite import PAPER_BENCHMARKS, build_workload
 from repro.openmp.env import OMPEnvironment
-from repro.osmodel.scheduler import Scheduler, make_scheduler
+from repro.osmodel.scheduler import make_scheduler
 from repro.sim.engine import Engine
 from repro.sim.results import RunResult
 from repro.trace.phase import Workload

@@ -9,9 +9,8 @@ programs can be inspected over time rather than only in aggregate.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,6 @@ prefetcher, the front-side-bus bandwidth, and the trace-cache capacity.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -18,6 +17,7 @@ from repro.analysis.report import format_table
 from repro.analysis.result import ExperimentResult
 from repro.core.context import RunContext, as_context
 from repro.core.study import Study
+from repro.machine.spec import SpecOverride
 
 
 @dataclass
@@ -76,10 +76,13 @@ def prefetcher_ablation(
 ) -> AblationResult:
     """Disable the hardware prefetcher and measure the slowdown."""
     ctx = as_context(ctx)
-    base = ctx.machine_params()
-    no_pf = base.with_overrides(
-        bus=dataclasses.replace(base.bus, prefetch_max_coverage=0.0)
-    )
+    # Equals the registered ``paxville-no-prefetch`` machine on a stock
+    # context; deriving from the context's own spec keeps the ablation
+    # meaningful under ``--machine``.
+    no_pf = ctx.machine_spec().override(
+        SpecOverride.set("bus.prefetch_max_coverage", 0.0),
+        name="no-prefetch",
+    ).to_params()
     out = AblationResult(config=config, variants=["prefetch_on", "prefetch_off"])
     on = ctx.study(problem_class=problem_class)
     off = ctx.study(problem_class=problem_class, params=no_pf)
@@ -105,19 +108,17 @@ def bus_bandwidth_sweep(
         config=config, variants=[f"bw_x{s:g}" for s in scales]
     )
     out.results[benchmark] = {}
-    base = ctx.machine_params()
+    base = ctx.machine_spec()
     stock = ctx.study(problem_class=problem_class)
     baseline = stock.serial_runtime(benchmark)
     for s in scales:
-        params = base.with_overrides(
-            bus=dataclasses.replace(
-                base.bus,
-                chip_read_bw=base.bus.chip_read_bw * s,
-                chip_write_bw=base.bus.chip_write_bw * s,
-                system_read_bw=base.bus.system_read_bw * s,
-                system_write_bw=base.bus.system_write_bw * s,
-            )
-        )
+        params = base.override(
+            SpecOverride.scaled("bus.chip_read_bw", s),
+            SpecOverride.scaled("bus.chip_write_bw", s),
+            SpecOverride.scaled("bus.system_read_bw", s),
+            SpecOverride.scaled("bus.system_write_bw", s),
+            name=f"bw_x{s:g}",
+        ).to_params()
         study = ctx.study(problem_class=problem_class, params=params)
         out.results[benchmark][f"bw_x{s:g}"] = (
             baseline / study.run(benchmark, config).runtime_seconds
@@ -138,15 +139,14 @@ def trace_cache_sweep(
         config=config, variants=[f"tc_{k}k" for k in sizes_kuops]
     )
     out.results[benchmark] = {}
-    base = ctx.machine_params()
+    base = ctx.machine_spec()
     stock = ctx.study(problem_class=problem_class)
     baseline = stock.serial_runtime(benchmark)
     for k in sizes_kuops:
-        params = base.with_overrides(
-            trace_cache=dataclasses.replace(
-                base.trace_cache, size_bytes=k * 1024
-            )
-        )
+        params = base.override(
+            SpecOverride.set("trace_cache.size_bytes", k * 1024),
+            name=f"tc_{k}k",
+        ).to_params()
         study = ctx.study(problem_class=problem_class, params=params)
         out.results[benchmark][f"tc_{k}k"] = (
             baseline / study.run(benchmark, config).runtime_seconds

@@ -15,8 +15,7 @@ from repro.analysis.report import format_table
 from repro.analysis.result import ExperimentResult
 from repro.core.context import RunContext, as_context
 from repro.core.study import Study
-from repro.counters.events import Event
-from repro.machine.power import EnergyReport, PowerModel, energy_per_instruction_nj
+from repro.machine.power import EnergyReport, PowerModel
 
 
 @dataclass
@@ -64,7 +63,6 @@ def run(
 def report(result: EnergyStudyResult) -> str:
     rows = []
     for cfg in result.config_order:
-        any_bench = next(iter(result.reports))
         rows.append([
             cfg,
             result.average_energy(cfg) / 1e3,

@@ -15,7 +15,6 @@ L2 — and reports which findings flip:
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -23,19 +22,29 @@ from repro.analysis.report import format_table
 from repro.analysis.result import ExperimentResult
 from repro.core.context import RunContext, as_context
 from repro.core.study import Study
-from repro.machine.params import MachineParams, paxville_params
+from repro.machine.params import MachineParams
+from repro.machine.registry import resolve_machine
+from repro.machine.spec import SpecOverride
 
 
 def shared_l2_params(l2_mb_per_chip: int = 2) -> MachineParams:
     """A Paxville variant whose chips pool their L2 into one shared
-    cache (Woodcrest-style), all else equal."""
-    base = paxville_params()
-    return base.with_overrides(
-        l2=dataclasses.replace(
-            base.l2, size_bytes=l2_mb_per_chip * 1024 * 1024
-        ),
-        l2_scope="chip",
-    )
+    cache (Woodcrest-style), all else equal.
+
+    The 2 MB and 4 MB points are the registered ``nextgen-shared-l2``
+    machines; other sizes derive from the 2 MB spec via an override.
+    """
+    spec = resolve_machine("nextgen-shared-l2")
+    if l2_mb_per_chip == 4:
+        spec = resolve_machine("nextgen-shared-l2-4mb")
+    elif l2_mb_per_chip != 2:
+        spec = spec.override(
+            SpecOverride.set(
+                "l2.size_bytes", l2_mb_per_chip * 1024 * 1024
+            ),
+            name=f"nextgen-shared-l2-{l2_mb_per_chip}mb",
+        )
+    return spec.to_params()
 
 
 @dataclass
@@ -54,10 +63,11 @@ class NextGenResult(ExperimentResult):
     avg_8_2: Dict[str, float] = field(default_factory=dict)
 
 
+#: Display label -> registered machine name (None = the context's own).
 VARIANTS = {
     "private_1MB_per_core": None,          # stock Paxville
-    "shared_2MB_per_chip": 2,
-    "shared_4MB_per_chip": 4,
+    "shared_2MB_per_chip": "nextgen-shared-l2",
+    "shared_4MB_per_chip": "nextgen-shared-l2-4mb",
 }
 
 
@@ -68,8 +78,11 @@ def run(
 ) -> NextGenResult:
     ctx = as_context(ctx)
     result = NextGenResult(variants=list(VARIANTS))
-    for name, mb in VARIANTS.items():
-        params = None if mb is None else shared_l2_params(mb)
+    for name, machine in VARIANTS.items():
+        params = (
+            None if machine is None
+            else resolve_machine(machine).to_params()
+        )
         study = ctx.study(problem_class=problem_class, params=params)
         benches = list(benchmarks or study.paper_benchmarks())
         table = study.speedup_table(benchmarks=benches)

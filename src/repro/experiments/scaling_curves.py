@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.analysis.figures import grouped_bars
 from repro.analysis.report import format_table
 from repro.analysis.result import ExperimentResult
 from repro.core.context import RunContext, as_context

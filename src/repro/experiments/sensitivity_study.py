@@ -14,8 +14,8 @@ whether each finding holds under the perturbation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.analysis.report import format_table
 from repro.analysis.result import ExperimentResult

@@ -10,18 +10,14 @@ the fast path the experiments run on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis.report import format_table
 from repro.analysis.result import ExperimentResult
 from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 from repro.npb.suite import PAPER_BENCHMARKS, build_workload
-from repro.sim.structural import (
-    SharingScenario,
-    StructuralCoSimulator,
-    StructuralRates,
-)
+from repro.sim.structural import SharingScenario, StructuralCoSimulator
 
 
 @dataclass(frozen=True)

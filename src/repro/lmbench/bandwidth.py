@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.machine.params import MachineParams, paxville_params
+from repro.machine.params import MachineParams
+from repro.machine.registry import default_params
 from repro.mem.bus import BusModel
 
 
@@ -40,7 +41,7 @@ def bw_mem(
         kind: ``"read"`` or ``"write"``.
         params: machine parameters (default Paxville).
     """
-    params = params if params is not None else paxville_params()
+    params = params if params is not None else default_params()
     if n_chips < 1:
         raise ValueError("n_chips must be >= 1")
     bus = BusModel(params.bus, n_chips_total=2)

@@ -24,7 +24,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.machine.params import MachineParams, paxville_params
+from repro.machine.params import MachineParams
+from repro.machine.registry import default_params
 from repro.mem.cache import SetAssocCache, cyclic_chain_miss_rate
 from repro.trace.patterns import PointerChasePattern
 
@@ -73,7 +74,7 @@ def lat_mem_rd(
     Returns:
         One :class:`LatencyPoint` per footprint, ascending.
     """
-    params = params if params is not None else paxville_params()
+    params = params if params is not None else default_params()
     if footprints is None:
         footprints = [1 << k for k in range(10, 27)]
     if mode not in ("exact", "structural"):

@@ -20,9 +20,23 @@ from repro.machine.params import (
     TLBParams,
     BranchPredictorParams,
     BusParams,
+    ContentionParams,
     CoreParams,
     MachineParams,
     paxville_params,
+)
+from repro.machine.spec import (
+    MachineSpec,
+    SpecError,
+    SpecOverride,
+    load_spec,
+)
+from repro.machine.registry import (
+    DEFAULT_MACHINE,
+    UnknownMachineError,
+    default_params,
+    list_machines,
+    resolve_machine,
 )
 from repro.machine.configurations import (
     Architecture,
@@ -43,9 +57,19 @@ __all__ = [
     "TLBParams",
     "BranchPredictorParams",
     "BusParams",
+    "ContentionParams",
     "CoreParams",
     "MachineParams",
     "paxville_params",
+    "MachineSpec",
+    "SpecError",
+    "SpecOverride",
+    "load_spec",
+    "DEFAULT_MACHINE",
+    "UnknownMachineError",
+    "default_params",
+    "list_machines",
+    "resolve_machine",
     "Architecture",
     "MachineConfig",
     "CONFIGURATIONS",

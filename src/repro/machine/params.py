@@ -27,12 +27,17 @@ class CacheParams:
     latency_cycles: float
     #: Number of hardware contexts that share this cache (2 for L1/trace
     #: cache with HT on; the L2 of Paxville is private per core, so both
-    #: contexts of a core also share it).
+    #: contexts of a core also share it).  Descriptive geometry — the
+    #: engine derives *dynamic* sharing from the active placement; the
+    #: spec layer validates this field against the L2 scope.
+    shared_contexts: int = 2
     write_allocate: bool = True
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.line_bytes <= 0:
             raise ValueError("cache size and line size must be positive")
+        if self.shared_contexts < 1:
+            raise ValueError("shared_contexts must be >= 1")
         if self.size_bytes % self.line_bytes:
             raise ValueError("cache size must be a multiple of the line size")
         n_lines = self.size_bytes // self.line_bytes
@@ -116,6 +121,32 @@ class BusParams:
 
 
 @dataclass(frozen=True)
+class ContentionParams:
+    """OS/runtime contention constants of the machine model.
+
+    These were module-level globals of :mod:`repro.sim.engine` before the
+    declarative spec layer existed; moving them here makes them part of
+    the machine description (overridable per spec file) instead of code.
+    """
+
+    #: Extra data-cache misses for self-scheduled loops: chunks migrate
+    #: between threads, so iterations lose the affinity a static
+    #: partition preserves across repeated sweeps.
+    schedule_locality_dynamic: float = 1.18
+    schedule_locality_guided: float = 1.07
+    #: Fraction of the L2 a migrated thread must refill on a cold core.
+    migration_refill_fraction: float = 0.6
+    #: Cycles for a voluntary context switch at an oversubscribed
+    #: barrier (yield + schedule + warm-up of the incoming thread).
+    oversub_switch_cycles: float = 28_000.0
+    #: Throughput tax per extra time-shared thread on a context
+    #: (timeslice rotation cold misses).
+    oversub_throughput_tax: float = 0.08
+    #: Migrations landing on the old core's HT sibling find a warm cache.
+    sibling_migration_fraction: float = 0.3
+
+
+@dataclass(frozen=True)
 class CoreParams:
     """Pipeline/issue model of one NetBurst core."""
 
@@ -183,12 +214,19 @@ class MachineParams:
     )
     branch: BranchPredictorParams = field(default_factory=BranchPredictorParams)
     bus: BusParams = field(default_factory=BusParams)
+    contention: ContentionParams = field(default_factory=ContentionParams)
     #: Main-memory load-to-use latency (ns) as seen by LMbench.
     memory_latency_ns: float = 136.9
     #: L2 sharing scope: Paxville keeps one private L2 per core
     #: ("core"); next-generation parts (Woodcrest/Conroe) share one L2
     #: among a chip's cores ("chip").
     l2_scope: str = "core"
+
+    def __post_init__(self) -> None:
+        if self.l2_scope not in ("core", "chip"):
+            raise ValueError(
+                f"l2_scope must be 'core' or 'chip', got {self.l2_scope!r}"
+            )
 
     @property
     def memory_latency_cycles(self) -> float:

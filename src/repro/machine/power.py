@@ -19,10 +19,9 @@ plus uncore):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.counters.events import Event
-from repro.machine.configurations import MachineConfig
 from repro.sim.results import RunResult
 
 

@@ -1,0 +1,501 @@
+"""Declarative machine descriptions: the :class:`MachineSpec` layer.
+
+The paper's methodology is "same workloads, different machine
+resources".  A :class:`MachineSpec` makes the *machine* side of that
+equation data instead of code: a schema-validated, JSON/TOML-loadable,
+content-fingerprinted description of everything that parameterizes the
+simulation — pipeline, caches, TLBs, branch predictor, bus, and the
+OS-contention constants — which converts to the
+:class:`~repro.machine.params.MachineParams` dataclasses the engine
+consumes.
+
+Derived machines are expressed with the typed :class:`SpecOverride`
+mechanism (set or scale one dotted field) rather than ad-hoc
+``dataclasses.replace`` edits, so every experiment variant is a
+reviewable, serializable delta from a named base spec.
+
+Spec files live under ``machines/`` at the repository root (see
+:mod:`repro.machine.registry`); ``docs/MACHINES.md`` documents the
+schema and the ~20-line recipe for adding a machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.machine.params import (
+    BranchPredictorParams,
+    BusParams,
+    CacheParams,
+    ContentionParams,
+    CoreParams,
+    MachineParams,
+    TLBParams,
+)
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "MachineSpec",
+    "SpecError",
+    "SpecOverride",
+    "load_spec",
+]
+
+#: Bumped on incompatible changes to the on-disk spec layout.
+SPEC_SCHEMA_VERSION = 1
+
+#: Section name -> parameter dataclass for the ``machine`` tree.
+_SECTIONS: Dict[str, type] = {
+    "core": CoreParams,
+    "trace_cache": CacheParams,
+    "l1d": CacheParams,
+    "l2": CacheParams,
+    "itlb": TLBParams,
+    "dtlb": TLBParams,
+    "branch": BranchPredictorParams,
+    "bus": BusParams,
+    "contention": ContentionParams,
+}
+#: Scalar (non-section) fields of the ``machine`` tree.
+_SCALARS: Dict[str, type] = {
+    "memory_latency_ns": float,
+    "l2_scope": str,
+}
+
+
+class SpecError(ValueError):
+    """A machine spec failed to load or validate.
+
+    Carries the dotted path of the offending field so CLI error lines
+    point at the exact key (``machine.l2.associativity: ...``).
+    """
+
+    def __init__(self, message: str, path: Sequence[str] = ()):
+        self.path = tuple(path)
+        prefix = ".".join(self.path)
+        super().__init__(f"{prefix}: {message}" if prefix else message)
+
+
+#: Sentinel distinguishing "no value given" from an explicit ``None``.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SpecOverride:
+    """One typed edit to a machine tree: set or scale a dotted field.
+
+    Exactly one of ``value`` (replace the field) and ``scale`` (multiply
+    the numeric field) must be given.  Overrides are applied to the
+    serialized tree and the result is re-validated, so an override can
+    never produce a machine the schema would have rejected.
+    """
+
+    path: Tuple[str, ...]
+    value: Any = _UNSET
+    scale: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.path or not all(
+            isinstance(p, str) and p for p in self.path
+        ):
+            raise SpecError("override path must be non-empty field names")
+        if (self.value is _UNSET) == (self.scale is None):
+            raise SpecError(
+                "override needs exactly one of value= or scale=",
+                self.path,
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def set(cls, dotted: str, value: Any) -> "SpecOverride":
+        """``SpecOverride.set("bus.chip_read_bw", 3.2e9)``."""
+        return cls(path=tuple(dotted.split(".")), value=value)
+
+    @classmethod
+    def scaled(cls, dotted: str, factor: float) -> "SpecOverride":
+        """``SpecOverride.scaled("core.mlp", 1.25)``."""
+        return cls(path=tuple(dotted.split(".")), scale=factor)
+
+    @property
+    def dotted(self) -> str:
+        return ".".join(self.path)
+
+    # ------------------------------------------------------------------
+    def apply(self, tree: Dict[str, Any]) -> Dict[str, Any]:
+        """Return a copy of a ``machine`` tree with this edit applied."""
+        out = dict(tree)
+        node = out
+        for i, key in enumerate(self.path[:-1]):
+            child = node.get(key)
+            if not isinstance(child, dict):
+                raise SpecError(
+                    f"not a section (valid: {sorted(node)})",
+                    self.path[: i + 1],
+                )
+            child = dict(child)
+            node[key] = child
+            node = child
+        leaf = self.path[-1]
+        if leaf not in node:
+            raise SpecError(
+                f"unknown field (valid: {sorted(node)})", self.path
+            )
+        if self.scale is not None:
+            current = node[leaf]
+            if isinstance(current, bool) or not isinstance(
+                current, (int, float)
+            ):
+                raise SpecError(
+                    f"cannot scale non-numeric value {current!r}", self.path
+                )
+            node[leaf] = current * self.scale
+        else:
+            node[leaf] = self.value
+        return out
+
+    def apply_params(self, params: MachineParams) -> MachineParams:
+        """Apply this edit directly to a parameter bundle.
+
+        Unlike the :meth:`apply`/``from_dict`` round trip this skips the
+        schema's leaf typing, so a scale can denormalize integer fields
+        (``issue_width * 0.8 == 2.4``) — exactly what the sensitivity
+        sweeps need when probing the model's analytic response.  Path
+        errors still raise :class:`SpecError`.
+        """
+        node: Any = params
+        stack = []
+        for i, key in enumerate(self.path[:-1]):
+            if not dataclasses.is_dataclass(node) or not hasattr(node, key):
+                raise SpecError("not a section", self.path[: i + 1])
+            stack.append((node, key))
+            node = getattr(node, key)
+        leaf = self.path[-1]
+        if not dataclasses.is_dataclass(node) or not any(
+            f.name == leaf for f in dataclasses.fields(node)
+        ):
+            raise SpecError("unknown field", self.path)
+        if self.scale is not None:
+            current = getattr(node, leaf)
+            if isinstance(current, bool) or not isinstance(
+                current, (int, float)
+            ):
+                raise SpecError(
+                    f"cannot scale non-numeric value {current!r}", self.path
+                )
+            new_leaf = current * self.scale
+        else:
+            new_leaf = self.value
+        node = dataclasses.replace(node, **{leaf: new_leaf})
+        for parent, key in reversed(stack):
+            node = dataclasses.replace(parent, **{key: node})
+        return node
+
+
+def _check_type(value: Any, annotation: type, path: Sequence[str]) -> Any:
+    """Validate a leaf value against its dataclass field type."""
+    if annotation is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SpecError(f"expected a number, got {value!r}", path)
+        return float(value)
+    if annotation is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SpecError(f"expected an integer, got {value!r}", path)
+        return value
+    if annotation is bool:
+        if not isinstance(value, bool):
+            raise SpecError(f"expected a boolean, got {value!r}", path)
+        return value
+    if annotation is str:
+        if not isinstance(value, str):
+            raise SpecError(f"expected a string, got {value!r}", path)
+        return value
+    return value  # pragma: no cover - no other leaf types in the schema
+
+
+def _build_section(
+    cls: type, data: Mapping[str, Any], base: Any, path: Sequence[str]
+) -> Any:
+    """Construct one parameter dataclass from a (possibly sparse) dict.
+
+    Omitted fields inherit the *base* instance's values (the Paxville
+    defaults for a fresh spec, the parent spec's values for overrides).
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError(f"expected a table, got {data!r}", path)
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(data) - set(fields)
+    if unknown:
+        raise SpecError(
+            f"unknown field(s) {sorted(unknown)} (valid: {sorted(fields)})",
+            path,
+        )
+    kwargs = {}
+    for name, f in fields.items():
+        if name in data:
+            annotation = f.type if isinstance(f.type, type) else {
+                "int": int, "float": float, "bool": bool, "str": str
+            }.get(str(f.type), object)
+            kwargs[name] = _check_type(
+                data[name], annotation, (*path, name)
+            )
+        else:
+            kwargs[name] = getattr(base, name)
+    try:
+        return cls(**kwargs)
+    except ValueError as exc:
+        raise SpecError(str(exc), path) from None
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A named, validated, serializable machine description.
+
+    The ``params`` field holds the fully-built
+    :class:`~repro.machine.params.MachineParams`; ``source`` records
+    provenance (the spec file path, or ``None`` for built-ins and
+    derived specs) and is excluded from equality and the fingerprint.
+    """
+
+    name: str
+    params: MachineParams
+    description: str = ""
+    source: Optional[Path] = field(default=None, compare=False)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_params(
+        cls,
+        name: str,
+        params: MachineParams,
+        description: str = "",
+    ) -> "MachineSpec":
+        """Wrap an existing parameter bundle as a (derived) spec."""
+        return cls(name=name, params=params, description=description)
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], source: Optional[Path] = None
+    ) -> "MachineSpec":
+        """Build and validate a spec from its serialized form.
+
+        The ``machine`` tree may be sparse: omitted sections and fields
+        inherit the Paxville baseline, so a new machine is described by
+        its deltas only (see ``docs/MACHINES.md``).
+        """
+        if not isinstance(data, Mapping):
+            raise SpecError(f"spec must be a mapping, got {type(data).__name__}")
+        schema = data.get("schema", SPEC_SCHEMA_VERSION)
+        if schema != SPEC_SCHEMA_VERSION:
+            raise SpecError(
+                f"unsupported schema version {schema!r} "
+                f"(this build reads version {SPEC_SCHEMA_VERSION})",
+                ("schema",),
+            )
+        allowed = {"schema", "name", "description", "machine"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise SpecError(
+                f"unknown top-level key(s) {sorted(unknown)} "
+                f"(valid: {sorted(allowed)})"
+            )
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            raise SpecError("a non-empty string is required", ("name",))
+        description = data.get("description", "")
+        if not isinstance(description, str):
+            raise SpecError("expected a string", ("description",))
+        machine = data.get("machine", {})
+        params = cls._build_params(machine)
+        spec = cls(
+            name=name, params=params, description=description, source=source
+        )
+        spec.validate()
+        return spec
+
+    @staticmethod
+    def _build_params(machine: Mapping[str, Any]) -> MachineParams:
+        if not isinstance(machine, Mapping):
+            raise SpecError("expected a table", ("machine",))
+        valid = set(_SECTIONS) | set(_SCALARS)
+        unknown = set(machine) - valid
+        if unknown:
+            raise SpecError(
+                f"unknown key(s) {sorted(unknown)} (valid: {sorted(valid)})",
+                ("machine",),
+            )
+        base = MachineParams()
+        kwargs: Dict[str, Any] = {}
+        for section, cls_ in _SECTIONS.items():
+            if section in machine:
+                kwargs[section] = _build_section(
+                    cls_,
+                    machine[section],
+                    getattr(base, section),
+                    ("machine", section),
+                )
+        for scalar, annotation in _SCALARS.items():
+            if scalar in machine:
+                kwargs[scalar] = _check_type(
+                    machine[scalar], annotation, ("machine", scalar)
+                )
+        try:
+            return dataclasses.replace(base, **kwargs)
+        except ValueError as exc:
+            raise SpecError(str(exc), ("machine",)) from None
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Cross-field checks beyond per-dataclass invariants."""
+        p = self.params
+        if p.memory_latency_ns <= 0:
+            raise SpecError(
+                "must be positive", ("machine", "memory_latency_ns")
+            )
+        if p.l2_scope == "core":
+            if p.l2.shared_contexts != p.l1d.shared_contexts:
+                raise SpecError(
+                    "a core-private L2 is shared by exactly the core's "
+                    f"contexts ({p.l1d.shared_contexts}), got "
+                    f"{p.l2.shared_contexts}",
+                    ("machine", "l2", "shared_contexts"),
+                )
+        elif p.l2.shared_contexts < p.l1d.shared_contexts:
+            raise SpecError(
+                "a chip-shared L2 is shared by at least as many contexts "
+                f"as the L1 ({p.l1d.shared_contexts}), got "
+                f"{p.l2.shared_contexts}",
+                ("machine", "l2", "shared_contexts"),
+            )
+        if p.l2.line_bytes < p.l1d.line_bytes:
+            raise SpecError(
+                "L2 lines must be at least as large as L1 lines",
+                ("machine", "l2", "line_bytes"),
+            )
+
+    # ------------------------------------------------------------------
+    # serialization + identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The full serialized form (always complete, never sparse)."""
+        machine: Dict[str, Any] = {
+            section: dataclasses.asdict(getattr(self.params, section))
+            for section in _SECTIONS
+        }
+        for scalar in _SCALARS:
+            machine[scalar] = getattr(self.params, scalar)
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "machine": machine,
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form: identical machine
+        contents — however loaded or derived — hash identically."""
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @property
+    def short_fingerprint(self) -> str:
+        return self.fingerprint[:12]
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the spec as pretty-printed JSON."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def override(
+        self,
+        *overrides: SpecOverride,
+        name: Optional[str] = None,
+        description: Optional[str] = None,
+    ) -> "MachineSpec":
+        """A new validated spec with the given edits applied.
+
+        The default derived name records the edit chain
+        (``paxville+bus.chip_read_bw``) so derived machines stay
+        identifiable in manifests and cache listings.
+        """
+        data = self.to_dict()
+        machine = data["machine"]
+        for ov in overrides:
+            machine = ov.apply(machine)
+        derived_name = name if name is not None else "+".join(
+            [self.name, *(ov.dotted for ov in overrides)]
+        )
+        return MachineSpec.from_dict({
+            "schema": SPEC_SCHEMA_VERSION,
+            "name": derived_name,
+            "description": (
+                self.description if description is None else description
+            ),
+            "machine": machine,
+        })
+
+    def to_params(self) -> MachineParams:
+        """The engine-facing parameter bundle."""
+        return self.params
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, str]:
+        """Key parameters for one line of ``repro machines`` output."""
+        p = self.params
+        scope = "shared/chip" if p.l2_scope == "chip" else "private/core"
+        return {
+            "clock": f"{p.core.clock_hz / 1e9:.1f}GHz",
+            "l2": f"{p.l2.size_bytes // 1024 // 1024}MB {scope}",
+            "bus": f"{p.bus.chip_read_bw / 1e9:.2f}GB/s",
+            "mem": f"{p.memory_latency_ns:.1f}ns",
+        }
+
+
+def load_spec(path: Union[str, Path]) -> MachineSpec:
+    """Load and validate a spec file (``.json`` or ``.toml``)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    try:
+        if suffix == ".json":
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        elif suffix == ".toml":
+            try:
+                import tomllib
+            except ImportError:  # pragma: no cover - Python < 3.11
+                raise SpecError(
+                    f"{path}: TOML specs need Python 3.11+ (tomllib); "
+                    "use JSON instead"
+                ) from None
+            with open(path, "rb") as fh:
+                data = tomllib.load(fh)
+        else:
+            raise SpecError(
+                f"{path}: unsupported spec format {suffix!r} "
+                "(expected .json or .toml)"
+            )
+    except OSError as exc:
+        raise SpecError(f"cannot read machine spec {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{path}: invalid JSON: {exc}") from None
+    try:
+        return MachineSpec.from_dict(data, source=path)
+    except SpecError as exc:
+        raise SpecError(f"{path}: {exc}") from None

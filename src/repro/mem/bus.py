@@ -14,8 +14,8 @@ binding bottleneck (chip port or memory controller).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.machine.params import BusParams
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import functools
-from typing import Dict, List, Optional, Union
+from typing import List, Union
 
 from repro.npb import bt, cg, ep, ft, is_, lu, mg, sp
 from repro.npb.common import BenchmarkInfo, ProblemClass

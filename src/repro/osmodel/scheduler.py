@@ -19,7 +19,7 @@ each core (Snavely-style symbiotic scheduling).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.machine.topology import HWContext, SystemTopology
 from repro.osmodel.process import Placement, ProgramSpec

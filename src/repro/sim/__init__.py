@@ -6,9 +6,46 @@ sharing, SMT issue contention, branch-predictor pollution and front-side
 bus contention as coupled fixed points, and accumulating PMU counters.
 Concurrent programs are co-simulated phase-pair by phase-pair, so
 asymmetric mixes (the paper's CG/FT workload) interact faithfully.
+
+The engine is a thin step loop over three pluggable pieces: a
+:class:`~repro.sim.resolver.ContentionResolver` (the coupled-contention
+fixed point), the :class:`~repro.sim.advance.TimeAccountant`
+(wall-time projection + PMU accounting), and
+:class:`~repro.sim.observer.SimObserver` hooks (timeline, phase log,
+and any user-supplied tracing).
 """
 
 from repro.sim.engine import Engine
+from repro.sim.advance import Progress, TimeAccountant
+from repro.sim.observer import (
+    PhaseEvent,
+    PhaseLogObserver,
+    SimObserver,
+    StepEvent,
+    TimelineObserver,
+)
+from repro.sim.resolver import (
+    ActiveContext,
+    ContentionResolver,
+    FixedPointResolver,
+    ResolvedContext,
+)
 from repro.sim.results import ProgramResult, RunResult, PhaseRecord
 
-__all__ = ["Engine", "ProgramResult", "RunResult", "PhaseRecord"]
+__all__ = [
+    "Engine",
+    "Progress",
+    "TimeAccountant",
+    "PhaseEvent",
+    "PhaseLogObserver",
+    "SimObserver",
+    "StepEvent",
+    "TimelineObserver",
+    "ActiveContext",
+    "ContentionResolver",
+    "FixedPointResolver",
+    "ResolvedContext",
+    "ProgramResult",
+    "RunResult",
+    "PhaseRecord",
+]

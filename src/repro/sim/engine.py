@@ -1,137 +1,71 @@
-"""The phase-level simulation engine.
+"""The phase-level simulation engine: a thin step loop.
 
 Execution model
 ---------------
 
 Programs are lists of phases.  At every *step* the engine looks at the
-phase each live program is currently in, resolves the coupled contention
-effects for every active hardware context —
-
-1. hierarchy rates (HT capacity sharing, constructive code/data sharing),
-2. branch-predictor pollution,
-3. SMT issue-slot contention,
-4. front-side-bus queueing + prefetch coverage (a damped fixed point,
-   because execution rate determines bus load determines memory stalls
-   determines execution rate)
-
-— then advances simulated time to the nearest phase boundary of any
-program, accumulating PMU counters pro rata.  Single-program runs are the
-one-program special case.  Synchronization (fork/join, barriers, load
-imbalance) enters each phase's wall time through the OpenMP cost models.
+phase each live program is currently in, asks its
+:class:`~repro.sim.resolver.ContentionResolver` for the coupled
+contention state of every active hardware context (hierarchy sharing,
+branch-predictor pollution, SMT issue contention, and the front-side-bus
+fixed point — see :class:`~repro.sim.resolver.FixedPointResolver`), then
+advances simulated time to the nearest phase boundary of any program.
+The :class:`~repro.sim.advance.TimeAccountant` projects phase wall times
+and accumulates PMU counters pro rata; progress is broadcast to
+:class:`~repro.sim.observer.SimObserver` hooks (the timeline and phase
+log are ordinary observers, as are any tracing/metrics consumers passed
+in).  Single-program runs are the one-program special case.
+Synchronization (fork/join, barriers, load imbalance) enters each
+phase's wall time through the OpenMP cost models.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.counters.collector import Collector
-from repro.counters.timeline import Timeline, TimelineSample
-from repro.counters.events import Event
-from repro.cpu.branch import analytic_mispredict_rate
-from repro.cpu.pipeline import (
-    _COVERED_EXPOSURE,
-    CPIBreakdown,
-    PipelineModel,
-)
 from repro.machine.configurations import MachineConfig
 from repro.machine.params import MachineParams
-from repro.mem.bus import BusLoad, BusModel, BusOutcome, PREFETCH_WASTE
-from repro.mem.coherence import (
-    coherence_stall_cycles_per_instr,
-)
-from repro.mem.hierarchy import HierarchyModel, LevelRates
-from repro.openmp.env import OMPEnvironment, ScheduleKind
-from repro.openmp.loops import partition_imbalance
-from repro.openmp.sync import barrier_cycles, fork_join_cycles
-from repro.osmodel.process import Placement, ProgramSpec, ThreadPlacement
+from repro.openmp.env import OMPEnvironment
+from repro.osmodel.process import Placement, ProgramSpec
 from repro.osmodel.scheduler import Scheduler, make_scheduler
-from repro.sim.results import PhaseRecord, ProgramResult, RunResult
-from repro.trace.phase import Phase, Workload
+from repro.sim.advance import Progress, TimeAccountant
+from repro.sim.observer import (
+    PhaseEvent,
+    PhaseLogObserver,
+    SimObserver,
+    StepEvent,
+    TimelineObserver,
+    broadcast,
+)
+from repro.sim.resolver import (
+    ActiveContext,
+    ContentionResolver,
+    FixedPointResolver,
+    ResolvedContext,
+)
+from repro.sim.results import ProgramResult, RunResult
+from repro.trace.phase import Workload
 
 _MAX_STEPS = 100_000
-_FIXED_POINT_ITERS = 40
-_DAMPING = 0.6
-#: Extra data-cache misses from self-scheduled loops: chunks migrate
-#: between threads, so iterations lose the affinity a static partition
-#: preserves across repeated sweeps.
-_SCHEDULE_LOCALITY_PENALTY = {
-    ScheduleKind.STATIC: 1.0,
-    ScheduleKind.DYNAMIC: 1.18,
-    ScheduleKind.GUIDED: 1.07,
-}
-#: Fraction of the L2 a migrated thread must refill on a cold core.
-_MIGRATION_REFILL_FRACTION = 0.6
-#: Cycles for a voluntary context switch at an oversubscribed barrier
-#: (yield + schedule + warm-up of the incoming thread's hot state).
-_OVERSUB_SWITCH_CYCLES = 28_000.0
-#: Throughput tax per extra time-shared thread on a context (timeslice
-#: rotation cold misses).
-_OVERSUB_THROUGHPUT_TAX = 0.08
-#: Migrations landing on the old core's HT sibling find a warm cache.
-_SIBLING_MIGRATION_FRACTION = 0.3
-
-
-@dataclass
-class _ActiveCtx:
-    """One busy hardware context during a step."""
-
-    placement: ThreadPlacement
-    spec: ProgramSpec
-    phase: Phase
-    n_work: int  # active team size (1 for serial phases)
-
-
-@dataclass
-class _Resolved:
-    """Contention-resolved execution state for one active context."""
-
-    active: _ActiveCtx
-    rates: LevelRates
-    mispredict_rate: float
-    cpi: CPIBreakdown
-    bus: Optional[BusOutcome]
-    coherence_per_instr: float = 0.0
-    #: Effective CPI including bandwidth-sharing time (>= cpi.cpi): when
-    #: the FSB saturates, threads wait for their share of the bus beyond
-    #: the per-miss latency the breakdown accounts for.
-    cpi_eff: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.cpi_eff <= 0:
-            self.cpi_eff = self.cpi.cpi
-
-    @property
-    def stall_per_instr_eff(self) -> float:
-        """All non-execution cycles per uop, including bus waiting."""
-        exec_cycles = self.cpi.cpi_exec * self.cpi.smt_slowdown
-        return max(self.cpi_eff - exec_cycles, 0.0)
-
-
-@dataclass
-class _Progress:
-    """Per-program progress cursor."""
-
-    spec: ProgramSpec
-    phase_idx: int = 0
-    frac_remaining: float = 1.0
-    elapsed: float = 0.0
-    done: bool = False
-
-    @property
-    def phase(self) -> Phase:
-        return self.spec.workload.phases[self.phase_idx]
-
-    def advance_phase(self) -> None:
-        self.phase_idx += 1
-        self.frac_remaining = 1.0
-        if self.phase_idx >= len(self.spec.workload.phases):
-            self.done = True
 
 
 class Engine:
-    """Simulates one machine configuration executing programs."""
+    """Simulates one machine configuration executing programs.
+
+    Args:
+        config: Table-1 processor configuration (HT state, contexts).
+        params: machine parameters (default: the configuration's).
+        scheduler: placement policy (default ``linux_default``).
+        omp: OpenMP runtime environment.
+        resolver: contention resolver; the default
+            :class:`~repro.sim.resolver.FixedPointResolver` reproduces
+            the paper's coupled-contention model exactly.
+        observers: extra :class:`~repro.sim.observer.SimObserver` hooks
+            notified of every step and phase boundary, after the
+            built-in timeline/phase-log observers.
+    """
 
     def __init__(
         self,
@@ -139,6 +73,8 @@ class Engine:
         params: Optional[MachineParams] = None,
         scheduler: Optional[Scheduler] = None,
         omp: Optional[OMPEnvironment] = None,
+        resolver: Optional[ContentionResolver] = None,
+        observers: Optional[Sequence[SimObserver]] = None,
     ):
         self.config = config
         self.params = params if params is not None else config.machine_params()
@@ -147,9 +83,16 @@ class Engine:
             "linux_default"
         )
         self.omp = omp if omp is not None else OMPEnvironment()
-        self.hierarchy = HierarchyModel(self.params)
-        self.pipeline = PipelineModel(self.params)
-        self.bus = BusModel(self.params.bus, n_chips_total=self.topology.n_chips)
+        self.resolver = resolver if resolver is not None else FixedPointResolver(
+            config=self.config,
+            params=self.params,
+            topology=self.topology,
+            scheduler=self.scheduler,
+            omp=self.omp,
+        )
+        self.accountant = TimeAccountant(self.params, self.omp)
+        self.observers: List[SimObserver] = list(observers or [])
+        self._oversub_shares = 1
 
     # ------------------------------------------------------------------
     # public API
@@ -198,12 +141,15 @@ class Engine:
         placement = self.scheduler.place(specs, self.topology)
         placement.validate(self.topology)
 
-        progress = [_Progress(spec=s) for s in specs]
+        progress = [Progress(spec=s) for s in specs]
         collector = Collector()
-        phase_log: List[PhaseRecord] = []
-        timeline = Timeline()
+        timeline_obs = TimelineObserver()
+        phase_log_obs = PhaseLogObserver()
+        observers: List[SimObserver] = [
+            timeline_obs, phase_log_obs, *self.observers
+        ]
+        broadcast(observers, "on_run_start", specs)
         global_t = 0.0
-        clock = self.params.core.clock_hz
 
         for _ in range(_MAX_STEPS):
             live = [p for p in progress if not p.done]
@@ -211,12 +157,14 @@ class Engine:
                 break
 
             active = self._active_contexts(live, placement)
-            resolved = self._resolve(active)
+            resolved = self.resolver.resolve(active)
 
             # Projected remaining wall time of each live program's phase.
             projected: Dict[int, Tuple[float, float]] = {}
             for prog in live:
-                full = self._phase_wall_time(prog, resolved)
+                full = self.accountant.phase_wall_time(
+                    prog, resolved, self._oversub_shares
+                )
                 projected[prog.spec.program_id] = (
                     full,
                     full * prog.frac_remaining,
@@ -233,14 +181,10 @@ class Engine:
                 full, _rem = projected[prog.spec.program_id]
                 f = dt / full if full > 0 else prog.frac_remaining
                 f = min(f, prog.frac_remaining)
-                self._accumulate(prog, f, resolved, collector)
-                mean_cpi, util = self._phase_summary(prog, resolved)
-                n_work = max(
-                    (r.active.n_work
-                     for r in self._program_contexts(prog, resolved)),
-                    default=1,
-                )
-                timeline.add(TimelineSample(
+                self.accountant.accumulate(prog, f, resolved, collector)
+                mean_cpi, util = self.accountant.phase_summary(prog, resolved)
+                ctxs = self.accountant.program_contexts(prog, resolved)
+                broadcast(observers, "on_step", StepEvent(
                     program_id=prog.spec.program_id,
                     t_start=global_t,
                     t_end=global_t + dt,
@@ -248,24 +192,27 @@ class Engine:
                     instructions=prog.phase.instructions * f,
                     cpi=mean_cpi,
                     bus_utilization=util,
+                    fraction=f,
+                    context_labels=tuple(
+                        r.active.placement.context.label for r in ctxs
+                    ),
                 ))
                 prog.frac_remaining -= f
                 prog.elapsed += dt
                 if prog.frac_remaining <= 1e-9:
-                    phase_log.append(
-                        PhaseRecord(
-                            program_id=prog.spec.program_id,
-                            phase_name=prog.phase.name,
-                            wall_seconds=full,
-                            mean_cpi=mean_cpi,
-                            bus_utilization=util,
-                        )
-                    )
+                    broadcast(observers, "on_phase_complete", PhaseEvent(
+                        program_id=prog.spec.program_id,
+                        phase_name=prog.phase.name,
+                        wall_seconds=full,
+                        mean_cpi=mean_cpi,
+                        bus_utilization=util,
+                    ))
                     prog.advance_phase()
             global_t += dt
         else:  # pragma: no cover - safety net
             raise RuntimeError("simulation failed to converge (step limit)")
 
+        broadcast(observers, "on_run_complete", global_t)
         results = [
             ProgramResult(
                 spec=p.spec,
@@ -278,8 +225,8 @@ class Engine:
             config=self.config,
             programs=results,
             collector=collector,
-            phase_log=phase_log,
-            timeline=timeline,
+            phase_log=phase_log_obs.phase_log,
+            timeline=timeline_obs.timeline,
         )
 
     def _run_oversubscribed(self, spec: ProgramSpec) -> RunResult:
@@ -299,6 +246,7 @@ class Engine:
         T = spec.n_threads
         shares = math.ceil(T / C)
         extra_ratio = T / C
+        contention = self.params.contention
 
         phases = []
         for phase in spec.workload.phases:
@@ -307,7 +255,7 @@ class Engine:
                 continue
             mix = _scale_mix_for_threads(phase.access_mix, extra_ratio)
             imb_extra = shares * C / T - 1.0  # remainder convoy
-            tax = 1.0 + _OVERSUB_THROUGHPUT_TAX * (extra_ratio - 1.0)
+            tax = 1.0 + contention.oversub_throughput_tax * (extra_ratio - 1.0)
             phases.append(dataclasses.replace(
                 phase,
                 access_mix=mix,
@@ -331,434 +279,37 @@ class Engine:
     # internals
     # ------------------------------------------------------------------
     def _active_contexts(
-        self, live: List[_Progress], placement: Placement
-    ) -> List[_ActiveCtx]:
-        active: List[_ActiveCtx] = []
+        self, live: List[Progress], placement: Placement
+    ) -> List[ActiveContext]:
+        active: List[ActiveContext] = []
         for prog in live:
             phase = prog.phase
             team = placement.program_threads(prog.spec.program_id)
             n_work = prog.spec.n_threads if phase.parallel else 1
             for t in team[:n_work]:
                 active.append(
-                    _ActiveCtx(
+                    ActiveContext(
                         placement=t, spec=prog.spec, phase=phase, n_work=n_work
                     )
                 )
         return active
 
-    def _resolve(self, active: List[_ActiveCtx]) -> Dict[str, _Resolved]:
-        """Resolve all coupled contention effects for the active set."""
-        by_core: Dict[Tuple[int, int], List[_ActiveCtx]] = {}
-        by_chip: Dict[int, List[_ActiveCtx]] = {}
-        for a in active:
-            by_core.setdefault(a.placement.context.core_key, []).append(a)
-            by_chip.setdefault(a.placement.context.chip, []).append(a)
-        l2_chip_scope = self.params.l2_scope == "chip"
+    # Backwards-compatible views of the resolver's models (the old
+    # monolithic engine exposed these as attributes).
+    @property
+    def hierarchy(self):
+        return self.resolver.hierarchy
 
-        total_visible = self.topology.n_contexts
-        ht = self.config.ht
+    @property
+    def pipeline(self):
+        return self.resolver.pipeline
 
-        rates: Dict[str, LevelRates] = {}
-        misp: Dict[str, float] = {}
-        utils: Dict[str, float] = {}
-        sibling_util: Dict[str, float] = {}
-        sharers_of: Dict[str, int] = {}
-        pair_capacity: Dict[str, float] = {}
-        coh_mpi: Dict[str, float] = {}
-        coh_stall: Dict[str, float] = {}
+    @property
+    def bus(self):
+        return self.resolver.bus
 
-        # Physical span of each program's active team (for coherence
-        # transfer distances).
-        prog_chips: Dict[int, int] = {}
-        for a in active:
-            prog_chips.setdefault(a.spec.program_id, 0)
-        for pid in prog_chips:
-            prog_chips[pid] = len({
-                a.placement.context.chip
-                for a in active
-                if a.spec.program_id == pid
-            })
-
-        for a in active:
-            label = a.placement.context.label
-            mates = by_core[a.placement.context.core_key]
-            sharers = len(mates)
-            sharers_of[label] = sharers
-            sibling = next(
-                (m for m in mates if m.placement.context.label != label), None
-            )
-            same_data = (
-                sibling is not None
-                and sibling.spec.program_id == a.spec.program_id
-            )
-            same_code = (
-                sibling is not None
-                and sibling.spec.workload.name == a.spec.workload.name
-            )
-            co_phase = sibling.phase if sibling is not None else None
-            if l2_chip_scope:
-                chipmates = by_chip[a.placement.context.chip]
-                l2_sharers = len(chipmates)
-                l2_same = all(
-                    m.spec.program_id == a.spec.program_id
-                    for m in chipmates
-                )
-            else:
-                l2_sharers, l2_same = None, None
-            base_rates = self.hierarchy.evaluate(
-                a.phase,
-                n_threads=a.n_work,
-                core_sharers=sharers,
-                same_data=same_data,
-                same_code=same_code,
-                total_visible_contexts=total_visible,
-                co_phase=co_phase,
-                l2_sharers=l2_sharers,
-                l2_same_data=l2_same,
-            )
-            rates[label] = self._apply_schedule_locality(
-                base_rates, a.n_work
-            )
-            misp[label] = analytic_mispredict_rate(
-                a.phase,
-                self.params.branch,
-                n_threads=a.n_work,
-                core_sharers=sharers,
-                same_program=same_code,
-                co_phase=co_phase,
-            )
-            utils[label] = self.pipeline.solo_utilization(a.phase, ht)
-            # MESI halo-exchange traffic: boundary lines exchanged per
-            # iteration, charged per uop of this thread's share.
-            if a.n_work > 1 and a.phase.halo_bytes_per_iteration > 0:
-                lines_per_iter = (
-                    a.phase.halo_bytes_per_iteration
-                    / self.params.l2.line_bytes
-                )
-                instr_per_thread = a.phase.instructions / a.n_work
-                coh_mpi[label] = (
-                    lines_per_iter * a.phase.iterations / instr_per_thread
-                )
-            else:
-                coh_mpi[label] = 0.0
-            coh_stall[label] = coherence_stall_cycles_per_instr(
-                coh_mpi[label], prog_chips[a.spec.program_id]
-            )
-
-        sibling_missiness: Dict[str, float] = {}
-        for a in active:
-            label = a.placement.context.label
-            mates = by_core[a.placement.context.core_key]
-            sib = next(
-                (m for m in mates if m.placement.context.label != label), None
-            )
-            sibling_util[label] = (
-                utils[sib.placement.context.label] if sib is not None else 0.0
-            )
-            pair_capacity[label] = (
-                0.5 * (a.phase.smt_capacity + sib.phase.smt_capacity)
-                if sib is not None
-                else a.phase.smt_capacity
-            )
-            if sib is None:
-                sibling_missiness[label] = 0.0
-            else:
-                own = rates[label].l2_misses_per_instr
-                other = rates[
-                    sib.placement.context.label
-                ].l2_misses_per_instr
-                sibling_missiness[label] = (
-                    min(1.0, other / own) if own > 1e-12 else 1.0
-                )
-
-        # --- OS migration noise (multiprogram only) -----------------------
-        # The balancer moves threads between busy logical CPUs; each move
-        # refills part of the L2 working set from memory.  Expressed as
-        # extra misses per instruction at the current execution rate.
-        n_programs = len({a.spec.program_id for a in active})
-        mig_hz = (
-            self.scheduler.multiprogram_migration_hz if n_programs > 1 else 0.0
-        )
-        if mig_hz > 0 and self.config.ht:
-            mig_hz *= _SIBLING_MIGRATION_FRACTION
-        refill_lines = (
-            _MIGRATION_REFILL_FRACTION
-            * self.params.l2.size_bytes
-            / self.params.l2.line_bytes
-        )
-        mig_misses_per_sec = mig_hz * refill_lines
-
-        # --- bus/CPI fixed point -----------------------------------------
-        clock = self.params.core.clock_hz
-        line = self.params.l2.line_bytes
-        cpi_est: Dict[str, float] = {}
-        breakdowns: Dict[str, CPIBreakdown] = {}
-        lite: Dict[str, Tuple[float, float, float]] = {}
-        loads: List[BusLoad] = []
-
-        # Per-label terms of the CPI that do not depend on the bus
-        # outcome.  Only ``stall_memory`` varies across fixed-point
-        # iterations (through the latency multiplier and the prefetch
-        # coverage), so the loop below recomputes just that term — with
-        # the exact arithmetic sequence of
-        # :meth:`~repro.cpu.pipeline.PipelineModel.breakdown` — and
-        # builds the full :class:`CPIBreakdown` once after convergence.
-        fast: Dict[str, Tuple[float, float, float]] = {}
-        mem_lat_cycles = self.params.memory_latency_cycles
-        l2_lat = self.params.l2.latency_cycles
-
-        for a in active:
-            label = a.placement.context.label
-            bd = self.pipeline.breakdown(
-                a.phase,
-                rates[label],
-                misp[label],
-                bus_latency_multiplier=1.0,
-                prefetch_coverage=0.0,
-                ht_enabled=ht,
-                sibling_utilization=sibling_util[label],
-                self_utilization=utils[label],
-                core_sharers=sharers_of[label],
-                smt_capacity=pair_capacity[label],
-                coherence_stall_per_instr=coh_stall[label],
-                sibling_miss_ratio=sibling_missiness[label],
-            )
-            breakdowns[label] = bd
-            cpi_est[label] = bd.cpi
-            fast[label] = (
-                bd.cpi_exec * bd.smt_slowdown,
-                rates[label].l2_misses_per_instr,
-                self.pipeline.effective_mlp(
-                    a.phase, sharers_of[label], sibling_missiness[label]
-                ),
-            )
-
-        for _ in range(_FIXED_POINT_ITERS):
-            loads = []
-            for a in active:
-                label = a.placement.context.label
-                rate = clock / cpi_est[label]
-                miss_rate_eff = (
-                    rates[label].l2_misses_per_instr
-                    + coh_mpi[label]
-                    + mig_misses_per_sec / rate
-                )
-                demand = miss_rate_eff * rate * line
-                loads.append(
-                    BusLoad(
-                        key=label,
-                        chip=a.placement.context.chip,
-                        demand_bytes_per_sec=demand,
-                        read_fraction=0.5 + 0.5 * a.phase.load_fraction,
-                        prefetchability=a.phase.prefetchability,
-                    )
-                )
-            # Warm-start the bus's inner coverage iteration with the
-            # previous outer iteration's converged values.
-            lite = self.bus.resolve_lite(
-                loads,
-                initial_coverage={k: t[1] for k, t in lite.items()}
-                if lite
-                else None,
-            )
-            max_delta = 0.0
-            for a in active:
-                label = a.placement.context.label
-                mult, cov, util = lite[label]
-                exec_term, l2mpi, mlp = fast[label]
-                base = breakdowns[label]
-                # stall_memory recomputed with the same operation
-                # sequence as PipelineModel.breakdown, then chained into
-                # the stall sum in CPIBreakdown.stall_per_instr's order,
-                # so the fast CPI is bit-identical to base.cpi would be.
-                mem_lat = mem_lat_cycles * mult
-                uncovered = l2mpi * (1.0 - cov)
-                covered = l2mpi * cov
-                stall_memory = (
-                    uncovered * mem_lat / mlp
-                    + covered * l2_lat * _COVERED_EXPOSURE
-                )
-                cpi = exec_term + (
-                    base.stall_l2_hit
-                    + stall_memory
-                    + base.stall_trace_cache
-                    + base.stall_itlb
-                    + base.stall_dtlb
-                    + base.stall_branch
-                    + base.stall_moclear
-                    + base.stall_coherence
-                )
-                # Bandwidth sharing: when the offered traffic exceeds the
-                # bus capacity (utilization > 1 at the current execution
-                # rate), each thread's time dilates until the bus is
-                # exactly full.  CPI_bw = CPI_est * utilization is the
-                # processor-sharing equilibrium.
-                cpi_bw = cpi_est[label] * util
-                target = max(cpi, cpi_bw) if util > 1.0 else cpi
-                new_cpi = _DAMPING * cpi_est[label] + (1 - _DAMPING) * target
-                max_delta = max(
-                    max_delta, abs(new_cpi - cpi_est[label]) / cpi_est[label]
-                )
-                cpi_est[label] = new_cpi
-            if max_delta < 1e-4:
-                break
-
-        outcomes = self.bus.build_outcomes(loads, lite)
-        for a in active:
-            label = a.placement.context.label
-            out = outcomes[label]
-            breakdowns[label] = self.pipeline.breakdown(
-                a.phase,
-                rates[label],
-                misp[label],
-                bus_latency_multiplier=out.latency_multiplier,
-                prefetch_coverage=out.prefetch_coverage,
-                ht_enabled=ht,
-                sibling_utilization=sibling_util[label],
-                self_utilization=utils[label],
-                core_sharers=sharers_of[label],
-                smt_capacity=pair_capacity[label],
-                coherence_stall_per_instr=coh_stall[label],
-                sibling_miss_ratio=sibling_missiness[label],
-            )
-
-        return {
-            a.placement.context.label: _Resolved(
-                active=a,
-                rates=rates[a.placement.context.label],
-                mispredict_rate=misp[a.placement.context.label],
-                cpi=breakdowns[a.placement.context.label],
-                bus=outcomes.get(a.placement.context.label),
-                cpi_eff=max(
-                    cpi_est[a.placement.context.label],
-                    breakdowns[a.placement.context.label].cpi,
-                ),
-                coherence_per_instr=coh_mpi[a.placement.context.label],
-            )
-            for a in active
-        }
-
-    def _apply_schedule_locality(
-        self, rates: LevelRates, n_work: int
-    ) -> LevelRates:
-        """Scale data-cache misses for self-scheduled loops (affinity
-        loss when chunks migrate between threads)."""
-        factor = _SCHEDULE_LOCALITY_PENALTY.get(self.omp.schedule, 1.0)
-        if factor == 1.0 or n_work <= 1:
-            return rates
-        import dataclasses
-
-        l1_miss = min(rates.l1_miss_rate * factor, 1.0)
-        l2_global = min(
-            rates.l2_misses_per_instr * factor,
-            rates.l1_accesses_per_instr * l1_miss,
-        )
-        l2_acc = rates.l1_accesses_per_instr * l1_miss
-        return dataclasses.replace(
-            rates,
-            l1_miss_rate=l1_miss,
-            l2_accesses_per_instr=l2_acc,
-            l2_miss_rate=l2_global / l2_acc if l2_acc > 0 else 0.0,
-            l2_misses_per_instr=l2_global,
-        )
-
-    def _program_contexts(
-        self, prog: _Progress, resolved: Dict[str, _Resolved]
-    ) -> List[_Resolved]:
-        return [
-            r
-            for r in resolved.values()
-            if r.active.spec.program_id == prog.spec.program_id
-        ]
-
-    def _phase_wall_time(
-        self, prog: _Progress, resolved: Dict[str, _Resolved]
-    ) -> float:
-        """Full wall time of the program's current phase at the present
-        contention level (compute + imbalance + synchronization)."""
-        phase = prog.phase
-        clock = self.params.core.clock_hz
-        ctxs = self._program_contexts(prog, resolved)
-        if not ctxs:
-            raise RuntimeError(
-                f"no active contexts for program {prog.spec.program_id}"
-            )
-        n_work = ctxs[0].active.n_work
-        instr_per_thread = phase.instructions / n_work
-        times = [instr_per_thread * r.cpi_eff / clock for r in ctxs]
-        slowest = max(times)
-        imb = partition_imbalance(self.omp.schedule, phase.imbalance, n_work)
-        slowest *= 1.0 + imb
-
-        span_cores = len({r.active.placement.context.core_key for r in ctxs})
-        span_chips = len({r.active.placement.context.chip for r in ctxs})
-        sync_cycles = 0.0
-        if phase.parallel and n_work > 1:
-            sync_cycles = (
-                phase.iterations
-                * phase.barriers
-                * barrier_cycles(n_work, span_cores, span_chips)
-                + fork_join_cycles(n_work, span_cores, span_chips)
-                * max(phase.iterations // 4, 1)
-            )
-            shares = getattr(self, "_oversub_shares", 1)
-            if shares > 1:
-                # Every barrier forces a full timeslice rotation: each
-                # excess share yields through the scheduler once.
-                sync_cycles += (
-                    phase.iterations
-                    * phase.barriers
-                    * (shares - 1)
-                    * _OVERSUB_SWITCH_CYCLES
-                )
-        return slowest + sync_cycles / clock
-
-    def _phase_summary(
-        self, prog: _Progress, resolved: Dict[str, _Resolved]
-    ) -> Tuple[float, float]:
-        ctxs = self._program_contexts(prog, resolved)
-        mean_cpi = sum(r.cpi_eff for r in ctxs) / len(ctxs)
-        util = max((r.bus.utilization if r.bus else 0.0) for r in ctxs)
-        return mean_cpi, util
-
-    def _accumulate(
-        self,
-        prog: _Progress,
-        fraction: float,
-        resolved: Dict[str, _Resolved],
-        collector: Collector,
-    ) -> None:
-        """Record counters for executing ``fraction`` of the phase."""
-        if fraction <= 0:
-            return
-        phase = prog.phase
-        for r in self._program_contexts(prog, resolved):
-            label = r.active.placement.context.label
-            instr = phase.instructions / r.active.n_work * fraction
-            rates = r.rates
-            cov = r.bus.prefetch_coverage if r.bus else 0.0
-            l2_misses = instr * rates.l2_misses_per_instr
-            events = {
-                Event.INSTR_RETIRED: instr,
-                Event.CYCLES: instr * r.cpi_eff,
-                Event.STALL_CYCLES: instr * r.stall_per_instr_eff,
-                Event.TC_DELIVER: instr * rates.tc_accesses_per_instr,
-                Event.TC_MISS: instr * rates.tc_misses_per_instr,
-                Event.L1D_ACCESS: instr * rates.l1_accesses_per_instr,
-                Event.L1D_MISS: instr * rates.l1_misses_per_instr,
-                Event.L2_ACCESS: instr * rates.l2_accesses_per_instr,
-                Event.L2_MISS: l2_misses,
-                Event.ITLB_ACCESS: instr * rates.itlb_accesses_per_instr,
-                Event.ITLB_MISS: instr * rates.itlb_misses_per_instr,
-                Event.DTLB_ACCESS: instr * rates.dtlb_accesses_per_instr,
-                Event.DTLB_MISS: instr * rates.dtlb_misses_per_instr,
-                Event.BRANCH_RETIRED: instr * phase.branches_per_instr,
-                Event.BRANCH_MISPRED: instr
-                * phase.branches_per_instr
-                * r.mispredict_rate,
-                Event.BUS_TRANS_DEMAND: l2_misses * (1.0 - cov),
-                Event.BUS_TRANS_PREFETCH: l2_misses * cov * (1.0 + PREFETCH_WASTE),
-                Event.MACHINE_CLEAR: instr * phase.moclears_per_kinstr / 1000.0,
-                Event.COHERENCE_TRANSFER: instr * r.coherence_per_instr,
-            }
-            collector.add_many(prog.spec.program_id, label, events)
+    def _resolve(
+        self, active: Sequence[ActiveContext]
+    ) -> Dict[str, ResolvedContext]:
+        """Deprecated alias for ``self.resolver.resolve`` (pre-split name)."""
+        return self.resolver.resolve(active)

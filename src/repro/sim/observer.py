@@ -1,0 +1,123 @@
+"""Observer hooks for the simulation loop.
+
+The engine's step loop used to build its :class:`~repro.counters.timeline.Timeline`
+and phase log inline; both are now ordinary :class:`SimObserver`
+subscribers, and tracing/metrics consumers attach the same way instead
+of patching the loop.  Observers receive:
+
+* :meth:`SimObserver.on_run_start` — once, with the program specs;
+* :meth:`SimObserver.on_step` — one :class:`StepEvent` per live program
+  per engine step (the engine advances to the nearest phase boundary);
+* :meth:`SimObserver.on_phase_complete` — one :class:`PhaseEvent` when a
+  program finishes a phase;
+* :meth:`SimObserver.on_run_complete` — once, with the total simulated
+  time.
+
+Events are plain frozen dataclasses, so observers cannot perturb the
+simulation; a misbehaving observer can only corrupt its own state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.counters.timeline import Timeline, TimelineSample
+from repro.sim.results import PhaseRecord
+
+__all__ = [
+    "PhaseEvent",
+    "PhaseLogObserver",
+    "SimObserver",
+    "StepEvent",
+    "TimelineObserver",
+]
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One program's activity during one engine step."""
+
+    program_id: int
+    t_start: float
+    t_end: float
+    phase_name: str
+    #: Instructions the program retired during this step.
+    instructions: float
+    #: Mean effective CPI over the program's active contexts.
+    cpi: float
+    #: Highest bus utilization among the program's active contexts.
+    bus_utilization: float
+    #: Fraction of the phase completed during this step.
+    fraction: float
+    #: Labels of the hardware contexts the program occupied.
+    context_labels: Sequence[str] = ()
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """A program completed one phase."""
+
+    program_id: int
+    phase_name: str
+    wall_seconds: float
+    mean_cpi: float
+    bus_utilization: float
+
+
+class SimObserver:
+    """Base class with no-op hooks; subclass and override what you need."""
+
+    def on_run_start(self, specs: Sequence) -> None:
+        """Called once before the first step."""
+
+    def on_step(self, event: StepEvent) -> None:
+        """Called for every live program at every step."""
+
+    def on_phase_complete(self, event: PhaseEvent) -> None:
+        """Called when a program crosses a phase boundary."""
+
+    def on_run_complete(self, total_time: float) -> None:
+        """Called once after the last step."""
+
+
+class TimelineObserver(SimObserver):
+    """Builds the interval-sampled :class:`Timeline` from step events."""
+
+    def __init__(self) -> None:
+        self.timeline = Timeline()
+
+    def on_step(self, event: StepEvent) -> None:
+        self.timeline.add(TimelineSample(
+            program_id=event.program_id,
+            t_start=event.t_start,
+            t_end=event.t_end,
+            phase_name=event.phase_name,
+            instructions=event.instructions,
+            cpi=event.cpi,
+            bus_utilization=event.bus_utilization,
+        ))
+
+
+class PhaseLogObserver(SimObserver):
+    """Collects one :class:`PhaseRecord` per completed phase."""
+
+    def __init__(self) -> None:
+        self.phase_log: List[PhaseRecord] = []
+
+    def on_phase_complete(self, event: PhaseEvent) -> None:
+        self.phase_log.append(PhaseRecord(
+            program_id=event.program_id,
+            phase_name=event.phase_name,
+            wall_seconds=event.wall_seconds,
+            mean_cpi=event.mean_cpi,
+            bus_utilization=event.bus_utilization,
+        ))
+
+
+def broadcast(
+    observers: Sequence[SimObserver], method: str, *args
+) -> None:
+    """Invoke one hook on every observer, in subscription order."""
+    for obs in observers:
+        getattr(obs, method)(*args)

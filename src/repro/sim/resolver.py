@@ -1,0 +1,442 @@
+"""Contention resolution: the coupled fixed point behind every step.
+
+The engine's step loop asks a :class:`ContentionResolver` one question:
+*given these active hardware contexts, how fast does each one execute?*
+The default :class:`FixedPointResolver` answers it the way the monolithic
+engine used to, as a damped fixed point over four coupled effects:
+
+1. hierarchy rates (HT capacity sharing, constructive code/data sharing),
+2. branch-predictor pollution,
+3. SMT issue-slot contention,
+4. front-side-bus queueing + prefetch coverage (execution rate determines
+   bus load determines memory stalls determines execution rate).
+
+Alternative resolvers (an uncontended oracle, a learned model, a
+different interconnect) plug into the engine through the same protocol
+without touching the step loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.cpu.branch import analytic_mispredict_rate
+from repro.cpu.pipeline import (
+    _COVERED_EXPOSURE,
+    CPIBreakdown,
+    PipelineModel,
+)
+from repro.machine.configurations import MachineConfig
+from repro.machine.params import MachineParams
+from repro.machine.topology import SystemTopology
+from repro.mem.bus import BusLoad, BusModel, BusOutcome
+from repro.mem.coherence import coherence_stall_cycles_per_instr
+from repro.mem.hierarchy import HierarchyModel, LevelRates
+from repro.openmp.env import OMPEnvironment, ScheduleKind
+from repro.osmodel.process import ProgramSpec, ThreadPlacement
+from repro.osmodel.scheduler import Scheduler
+from repro.trace.phase import Phase
+
+__all__ = [
+    "ActiveContext",
+    "ContentionResolver",
+    "FixedPointResolver",
+    "ResolvedContext",
+]
+
+#: Damped fixed-point solver numerics (engine-level, not machine model).
+_FIXED_POINT_ITERS = 40
+_DAMPING = 0.6
+
+
+@dataclass
+class ActiveContext:
+    """One busy hardware context during a step."""
+
+    placement: ThreadPlacement
+    spec: ProgramSpec
+    phase: Phase
+    n_work: int  # active team size (1 for serial phases)
+
+
+@dataclass
+class ResolvedContext:
+    """Contention-resolved execution state for one active context."""
+
+    active: ActiveContext
+    rates: LevelRates
+    mispredict_rate: float
+    cpi: CPIBreakdown
+    bus: Optional[BusOutcome]
+    coherence_per_instr: float = 0.0
+    #: Effective CPI including bandwidth-sharing time (>= cpi.cpi): when
+    #: the FSB saturates, threads wait for their share of the bus beyond
+    #: the per-miss latency the breakdown accounts for.
+    cpi_eff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpi_eff <= 0:
+            self.cpi_eff = self.cpi.cpi
+
+    @property
+    def stall_per_instr_eff(self) -> float:
+        """All non-execution cycles per uop, including bus waiting."""
+        exec_cycles = self.cpi.cpi_exec * self.cpi.smt_slowdown
+        return max(self.cpi_eff - exec_cycles, 0.0)
+
+
+class ContentionResolver(Protocol):
+    """Resolves all coupled contention effects for one active set."""
+
+    def resolve(
+        self, active: Sequence[ActiveContext]
+    ) -> Dict[str, ResolvedContext]:
+        """Map each active context's label to its resolved state."""
+        ...
+
+
+class FixedPointResolver:
+    """The default resolver: hierarchy/branch/SMT/bus as a damped fixed
+    point, arithmetically identical to the pre-decomposition engine."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        params: MachineParams,
+        topology: SystemTopology,
+        scheduler: Scheduler,
+        omp: OMPEnvironment,
+    ):
+        self.config = config
+        self.params = params
+        self.topology = topology
+        self.scheduler = scheduler
+        self.omp = omp
+        self.hierarchy = HierarchyModel(params)
+        self.pipeline = PipelineModel(params)
+        self.bus = BusModel(params.bus, n_chips_total=topology.n_chips)
+        c = params.contention
+        self._schedule_locality = {
+            ScheduleKind.STATIC: 1.0,
+            ScheduleKind.DYNAMIC: c.schedule_locality_dynamic,
+            ScheduleKind.GUIDED: c.schedule_locality_guided,
+        }
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self, active: Sequence[ActiveContext]
+    ) -> Dict[str, ResolvedContext]:
+        by_core: Dict[Tuple[int, int], List[ActiveContext]] = {}
+        by_chip: Dict[int, List[ActiveContext]] = {}
+        for a in active:
+            by_core.setdefault(a.placement.context.core_key, []).append(a)
+            by_chip.setdefault(a.placement.context.chip, []).append(a)
+        l2_chip_scope = self.params.l2_scope == "chip"
+
+        total_visible = self.topology.n_contexts
+        ht = self.config.ht
+
+        rates: Dict[str, LevelRates] = {}
+        misp: Dict[str, float] = {}
+        utils: Dict[str, float] = {}
+        sibling_util: Dict[str, float] = {}
+        sharers_of: Dict[str, int] = {}
+        pair_capacity: Dict[str, float] = {}
+        coh_mpi: Dict[str, float] = {}
+        coh_stall: Dict[str, float] = {}
+
+        # Physical span of each program's active team (for coherence
+        # transfer distances).
+        prog_chips: Dict[int, int] = {}
+        for a in active:
+            prog_chips.setdefault(a.spec.program_id, 0)
+        for pid in prog_chips:
+            prog_chips[pid] = len({
+                a.placement.context.chip
+                for a in active
+                if a.spec.program_id == pid
+            })
+
+        for a in active:
+            label = a.placement.context.label
+            mates = by_core[a.placement.context.core_key]
+            sharers = len(mates)
+            sharers_of[label] = sharers
+            sibling = next(
+                (m for m in mates if m.placement.context.label != label), None
+            )
+            same_data = (
+                sibling is not None
+                and sibling.spec.program_id == a.spec.program_id
+            )
+            same_code = (
+                sibling is not None
+                and sibling.spec.workload.name == a.spec.workload.name
+            )
+            co_phase = sibling.phase if sibling is not None else None
+            if l2_chip_scope:
+                chipmates = by_chip[a.placement.context.chip]
+                l2_sharers = len(chipmates)
+                l2_same = all(
+                    m.spec.program_id == a.spec.program_id
+                    for m in chipmates
+                )
+            else:
+                l2_sharers, l2_same = None, None
+            base_rates = self.hierarchy.evaluate(
+                a.phase,
+                n_threads=a.n_work,
+                core_sharers=sharers,
+                same_data=same_data,
+                same_code=same_code,
+                total_visible_contexts=total_visible,
+                co_phase=co_phase,
+                l2_sharers=l2_sharers,
+                l2_same_data=l2_same,
+            )
+            rates[label] = self._apply_schedule_locality(
+                base_rates, a.n_work
+            )
+            misp[label] = analytic_mispredict_rate(
+                a.phase,
+                self.params.branch,
+                n_threads=a.n_work,
+                core_sharers=sharers,
+                same_program=same_code,
+                co_phase=co_phase,
+            )
+            utils[label] = self.pipeline.solo_utilization(a.phase, ht)
+            # MESI halo-exchange traffic: boundary lines exchanged per
+            # iteration, charged per uop of this thread's share.
+            if a.n_work > 1 and a.phase.halo_bytes_per_iteration > 0:
+                lines_per_iter = (
+                    a.phase.halo_bytes_per_iteration
+                    / self.params.l2.line_bytes
+                )
+                instr_per_thread = a.phase.instructions / a.n_work
+                coh_mpi[label] = (
+                    lines_per_iter * a.phase.iterations / instr_per_thread
+                )
+            else:
+                coh_mpi[label] = 0.0
+            coh_stall[label] = coherence_stall_cycles_per_instr(
+                coh_mpi[label], prog_chips[a.spec.program_id]
+            )
+
+        sibling_missiness: Dict[str, float] = {}
+        for a in active:
+            label = a.placement.context.label
+            mates = by_core[a.placement.context.core_key]
+            sib = next(
+                (m for m in mates if m.placement.context.label != label), None
+            )
+            sibling_util[label] = (
+                utils[sib.placement.context.label] if sib is not None else 0.0
+            )
+            pair_capacity[label] = (
+                0.5 * (a.phase.smt_capacity + sib.phase.smt_capacity)
+                if sib is not None
+                else a.phase.smt_capacity
+            )
+            if sib is None:
+                sibling_missiness[label] = 0.0
+            else:
+                own = rates[label].l2_misses_per_instr
+                other = rates[
+                    sib.placement.context.label
+                ].l2_misses_per_instr
+                sibling_missiness[label] = (
+                    min(1.0, other / own) if own > 1e-12 else 1.0
+                )
+
+        # --- OS migration noise (multiprogram only) -----------------------
+        # The balancer moves threads between busy logical CPUs; each move
+        # refills part of the L2 working set from memory.  Expressed as
+        # extra misses per instruction at the current execution rate.
+        n_programs = len({a.spec.program_id for a in active})
+        mig_hz = (
+            self.scheduler.multiprogram_migration_hz if n_programs > 1 else 0.0
+        )
+        if mig_hz > 0 and self.config.ht:
+            mig_hz *= self.params.contention.sibling_migration_fraction
+        refill_lines = (
+            self.params.contention.migration_refill_fraction
+            * self.params.l2.size_bytes
+            / self.params.l2.line_bytes
+        )
+        mig_misses_per_sec = mig_hz * refill_lines
+
+        # --- bus/CPI fixed point -----------------------------------------
+        clock = self.params.core.clock_hz
+        line = self.params.l2.line_bytes
+        cpi_est: Dict[str, float] = {}
+        breakdowns: Dict[str, CPIBreakdown] = {}
+        lite: Dict[str, Tuple[float, float, float]] = {}
+        loads: List[BusLoad] = []
+
+        # Per-label terms of the CPI that do not depend on the bus
+        # outcome.  Only ``stall_memory`` varies across fixed-point
+        # iterations (through the latency multiplier and the prefetch
+        # coverage), so the loop below recomputes just that term — with
+        # the exact arithmetic sequence of
+        # :meth:`~repro.cpu.pipeline.PipelineModel.breakdown` — and
+        # builds the full :class:`CPIBreakdown` once after convergence.
+        fast: Dict[str, Tuple[float, float, float]] = {}
+        mem_lat_cycles = self.params.memory_latency_cycles
+        l2_lat = self.params.l2.latency_cycles
+
+        for a in active:
+            label = a.placement.context.label
+            bd = self.pipeline.breakdown(
+                a.phase,
+                rates[label],
+                misp[label],
+                bus_latency_multiplier=1.0,
+                prefetch_coverage=0.0,
+                ht_enabled=ht,
+                sibling_utilization=sibling_util[label],
+                self_utilization=utils[label],
+                core_sharers=sharers_of[label],
+                smt_capacity=pair_capacity[label],
+                coherence_stall_per_instr=coh_stall[label],
+                sibling_miss_ratio=sibling_missiness[label],
+            )
+            breakdowns[label] = bd
+            cpi_est[label] = bd.cpi
+            fast[label] = (
+                bd.cpi_exec * bd.smt_slowdown,
+                rates[label].l2_misses_per_instr,
+                self.pipeline.effective_mlp(
+                    a.phase, sharers_of[label], sibling_missiness[label]
+                ),
+            )
+
+        for _ in range(_FIXED_POINT_ITERS):
+            loads = []
+            for a in active:
+                label = a.placement.context.label
+                rate = clock / cpi_est[label]
+                miss_rate_eff = (
+                    rates[label].l2_misses_per_instr
+                    + coh_mpi[label]
+                    + mig_misses_per_sec / rate
+                )
+                demand = miss_rate_eff * rate * line
+                loads.append(
+                    BusLoad(
+                        key=label,
+                        chip=a.placement.context.chip,
+                        demand_bytes_per_sec=demand,
+                        read_fraction=0.5 + 0.5 * a.phase.load_fraction,
+                        prefetchability=a.phase.prefetchability,
+                    )
+                )
+            # Warm-start the bus's inner coverage iteration with the
+            # previous outer iteration's converged values.
+            lite = self.bus.resolve_lite(
+                loads,
+                initial_coverage={k: t[1] for k, t in lite.items()}
+                if lite
+                else None,
+            )
+            max_delta = 0.0
+            for a in active:
+                label = a.placement.context.label
+                mult, cov, util = lite[label]
+                exec_term, l2mpi, mlp = fast[label]
+                base = breakdowns[label]
+                # stall_memory recomputed with the same operation
+                # sequence as PipelineModel.breakdown, then chained into
+                # the stall sum in CPIBreakdown.stall_per_instr's order,
+                # so the fast CPI is bit-identical to base.cpi would be.
+                mem_lat = mem_lat_cycles * mult
+                uncovered = l2mpi * (1.0 - cov)
+                covered = l2mpi * cov
+                stall_memory = (
+                    uncovered * mem_lat / mlp
+                    + covered * l2_lat * _COVERED_EXPOSURE
+                )
+                cpi = exec_term + (
+                    base.stall_l2_hit
+                    + stall_memory
+                    + base.stall_trace_cache
+                    + base.stall_itlb
+                    + base.stall_dtlb
+                    + base.stall_branch
+                    + base.stall_moclear
+                    + base.stall_coherence
+                )
+                # Bandwidth sharing: when the offered traffic exceeds the
+                # bus capacity (utilization > 1 at the current execution
+                # rate), each thread's time dilates until the bus is
+                # exactly full.  CPI_bw = CPI_est * utilization is the
+                # processor-sharing equilibrium.
+                cpi_bw = cpi_est[label] * util
+                target = max(cpi, cpi_bw) if util > 1.0 else cpi
+                new_cpi = _DAMPING * cpi_est[label] + (1 - _DAMPING) * target
+                max_delta = max(
+                    max_delta, abs(new_cpi - cpi_est[label]) / cpi_est[label]
+                )
+                cpi_est[label] = new_cpi
+            if max_delta < 1e-4:
+                break
+
+        outcomes = self.bus.build_outcomes(loads, lite)
+        for a in active:
+            label = a.placement.context.label
+            out = outcomes[label]
+            breakdowns[label] = self.pipeline.breakdown(
+                a.phase,
+                rates[label],
+                misp[label],
+                bus_latency_multiplier=out.latency_multiplier,
+                prefetch_coverage=out.prefetch_coverage,
+                ht_enabled=ht,
+                sibling_utilization=sibling_util[label],
+                self_utilization=utils[label],
+                core_sharers=sharers_of[label],
+                smt_capacity=pair_capacity[label],
+                coherence_stall_per_instr=coh_stall[label],
+                sibling_miss_ratio=sibling_missiness[label],
+            )
+
+        return {
+            a.placement.context.label: ResolvedContext(
+                active=a,
+                rates=rates[a.placement.context.label],
+                mispredict_rate=misp[a.placement.context.label],
+                cpi=breakdowns[a.placement.context.label],
+                bus=outcomes.get(a.placement.context.label),
+                cpi_eff=max(
+                    cpi_est[a.placement.context.label],
+                    breakdowns[a.placement.context.label].cpi,
+                ),
+                coherence_per_instr=coh_mpi[a.placement.context.label],
+            )
+            for a in active
+        }
+
+    # ------------------------------------------------------------------
+    def _apply_schedule_locality(
+        self, rates: LevelRates, n_work: int
+    ) -> LevelRates:
+        """Scale data-cache misses for self-scheduled loops (affinity
+        loss when chunks migrate between threads)."""
+        factor = self._schedule_locality.get(self.omp.schedule, 1.0)
+        if factor == 1.0 or n_work <= 1:
+            return rates
+        l1_miss = min(rates.l1_miss_rate * factor, 1.0)
+        l2_global = min(
+            rates.l2_misses_per_instr * factor,
+            rates.l1_accesses_per_instr * l1_miss,
+        )
+        l2_acc = rates.l1_accesses_per_instr * l1_miss
+        return dataclasses.replace(
+            rates,
+            l1_miss_rate=l1_miss,
+            l2_accesses_per_instr=l2_acc,
+            l2_miss_rate=l2_global / l2_acc if l2_acc > 0 else 0.0,
+            l2_misses_per_instr=l2_global,
+        )

@@ -10,12 +10,13 @@ percent parameter change) plus whether each *boolean finding* (e.g.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.study import Study
-from repro.machine.params import MachineParams, paxville_params
+from repro.machine.params import MachineParams
+from repro.machine.registry import default_params
+from repro.machine.spec import SpecOverride
 
 #: (display name, path to the field) for every scalar knob we perturb.
 PERTURBABLE: List[Tuple[str, Tuple[str, ...]]] = [
@@ -37,16 +38,13 @@ PERTURBABLE: List[Tuple[str, Tuple[str, ...]]] = [
 def perturb_params(
     base: MachineParams, path: Tuple[str, ...], scale: float
 ) -> MachineParams:
-    """Return params with the field at ``path`` multiplied by ``scale``."""
-    if len(path) == 1:
-        value = getattr(base, path[0])
-        return dataclasses.replace(base, **{path[0]: value * scale})
-    if len(path) == 2:
-        group = getattr(base, path[0])
-        value = getattr(group, path[1])
-        new_group = dataclasses.replace(group, **{path[1]: value * scale})
-        return dataclasses.replace(base, **{path[0]: new_group})
-    raise ValueError(f"unsupported parameter path {path}")
+    """Return params with the field at ``path`` multiplied by ``scale``.
+
+    A thin wrapper over the spec layer's :class:`SpecOverride`, kept for
+    its established signature; a typo'd path raises instead of silently
+    perturbing nothing.
+    """
+    return SpecOverride.scaled(".".join(path), scale).apply_params(base)
 
 
 @dataclass(frozen=True)
@@ -110,7 +108,7 @@ def _eval_perturbation(task) -> List[Tuple[float, bool]]:
     specs, problem_class, path, scale = task
     study = Study(
         problem_class,
-        params=perturb_params(paxville_params(), path, scale),
+        params=perturb_params(default_params(), path, scale),
     )
     return [(spec.metric(study), spec.finding(study)) for spec in specs]
 

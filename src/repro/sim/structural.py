@@ -19,11 +19,12 @@ It serves two purposes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from repro.machine.params import CacheParams, MachineParams, paxville_params
+from repro.machine.params import MachineParams
+from repro.machine.registry import default_params
 from repro.mem.cache import SetAssocCache
 from repro.mem.hierarchy import HierarchyModel, LevelRates
 from repro.mem.tlb import TLB
@@ -73,7 +74,7 @@ class StructuralCoSimulator:
         seed: int = 20070325,
         vectorized: Optional[bool] = None,
     ):
-        self.params = params if params is not None else paxville_params()
+        self.params = params if params is not None else default_params()
         self.samples = samples
         self.warmup_fraction = warmup_fraction
         self.seed = seed

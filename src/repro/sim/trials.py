@@ -11,9 +11,8 @@ suite asserts the paper's variance band.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -21,7 +20,6 @@ from repro.machine.configurations import MachineConfig, get_config
 from repro.machine.params import MachineParams
 from repro.npb.suite import build_workload
 from repro.sim.engine import Engine
-from repro.trace.phase import Workload
 
 #: Log-normal sigma of per-phase OS noise for a lightly-loaded machine.
 BASE_NOISE_SIGMA = 0.006

@@ -7,8 +7,8 @@ serial or an OpenMP parallel region.  All volumes are expressed for the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Tuple
 
 from repro.trace.patterns import AccessMix
 

@@ -14,7 +14,7 @@ variant — fine for the sampled streams (10^4-10^5) this package uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

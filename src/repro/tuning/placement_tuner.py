@@ -12,7 +12,7 @@ to the winner, and reports the predicted full-run outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.machine.configurations import get_config
 from repro.machine.params import MachineParams

@@ -1,6 +1,5 @@
 """Tests for the analysis layer: speedups, stats, report formatting."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -102,12 +102,12 @@ class TestResolve:
             load(key=f"A{i}", chip=i % 2, demand=per_agent / 2, pf=0.0)
             for i in range(4)
         ])
-        # Same total demand, more agents (cross-chip) -> more overhead.
-        total2 = u2
-        assert max(o.utilization for o in u4_split.values()) > 0.0
+        # Same total demand on the controller: halving each chip's
+        # share barely helps, because the cross-chip agents' reflected
+        # snoops occupy the controller (10 %/agent vs 2 % same-chip).
+        assert max(o.utilization for o in u4_split.values()) > 0.9 * u2
 
     def test_cross_chip_snoop_costlier_than_local(self):
-        base = BusParams()
         m = model()
         # Two agents on one chip vs one per chip, equal total demand that
         # stresses the *system* capacity.

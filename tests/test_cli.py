@@ -113,3 +113,54 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMachinesCli:
+    def test_machines_lists_registry(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "paxville" in out
+        # Fingerprint, key parameters and provenance per line.
+        pax = next(
+            line for line in out.splitlines()
+            if line.startswith("paxville ")
+        )
+        assert "clock=2.8GHz" in pax and "l2=1MB private/core" in pax
+        assert "built-in" in pax or "machines/" in pax
+
+    def test_machines_marks_file_provenance(self, capsys):
+        from repro.machine.registry import machines_dir
+
+        if machines_dir() is None:  # pragma: no cover
+            pytest.skip("no machines/ directory in this deployment")
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "nextgen-shared-l2" in out
+        assert "nextgen-shared-l2.json" in out
+
+    def test_unknown_machine_exits_2(self, capsys):
+        assert main(["run", "fig3", "--machine", "vaporware"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "vaporware" in err and "valid choices" in err
+        assert "paxville" in err
+
+    def test_unreadable_spec_file_exits_2(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["speedup", "CG", "ht_off_4_2",
+                     "--machine", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "nope.json" in err
+
+    def test_speedup_with_named_machine(self, capsys):
+        assert main(["speedup", "EP", "ht_off_4_2",
+                     "--machine", "paxville"]) == 0
+        out = capsys.readouterr().out
+        assert "EP on ht_off_4_2" in out
+
+    def test_run_all_with_machine(self, tmp_path, capsys):
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", "omp-overheads",
+                     "--machine", "paxville"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "omp-overheads.txt").read_text().strip()

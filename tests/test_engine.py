@@ -6,7 +6,6 @@ from repro.counters.events import Event
 from repro.machine.configurations import get_config
 from repro.npb.suite import build_workload
 from repro.openmp.env import OMPEnvironment, ScheduleKind
-from repro.osmodel.process import ProgramSpec
 from repro.osmodel.scheduler import make_scheduler
 from repro.sim.engine import Engine
 

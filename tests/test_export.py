@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.analysis.export import (
     grid_to_csv,

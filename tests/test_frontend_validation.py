@@ -10,7 +10,7 @@ from repro.cpu.branch import (
     analytic_mispredict_rate,
 )
 from repro.machine.params import BranchPredictorParams, CacheParams
-from repro.mem.cache import SetAssocCache, cyclic_chain_miss_rate
+from repro.mem.cache import cyclic_chain_miss_rate
 from repro.npb.suite import build_workload
 from repro.trace.instr_stream import (
     BranchStream,
@@ -133,7 +133,6 @@ class TestTraceCacheAgainstAnalytic:
         cyclic behaviour away from the capacity knee."""
         params = self._tc_params()
         for footprint in (3000, 6000, 40000, 80000):
-            stream = gen_code_stream(footprint, 1)
             # exact per-line steady state:
             n_lines = max(int(footprint) // 6, 1)
             exact = cyclic_chain_miss_rate(

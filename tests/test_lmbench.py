@@ -4,7 +4,6 @@ import pytest
 
 from repro.lmbench.bandwidth import bw_mem
 from repro.lmbench.latency import lat_mem_rd, latency_plateaus
-from repro.machine.params import paxville_params
 
 
 class TestLatMemRd:

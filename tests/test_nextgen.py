@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.study import Study
 from repro.experiments import nextgen
 from repro.machine.configurations import get_config
 from repro.npb.suite import build_workload

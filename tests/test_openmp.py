@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.openmp.env import OMPEnvironment, ScheduleKind
 from repro.openmp.loops import (
-    Chunk,
     chunks_per_thread,
     dynamic_chunks,
     guided_chunks,

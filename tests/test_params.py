@@ -7,7 +7,6 @@ import pytest
 from repro.machine.params import (
     BranchPredictorParams,
     CacheParams,
-    MachineParams,
     TLBParams,
     paxville_params,
 )

@@ -1,6 +1,5 @@
 """Tests for access patterns: analytic models, generators, sharing math."""
 
-import math
 
 import numpy as np
 import pytest

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.study import Study
 from repro.machine.params import paxville_params
 from repro.sim.sensitivity import (
     PERTURBABLE,

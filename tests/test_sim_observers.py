@@ -1,0 +1,113 @@
+"""Tests for the engine decomposition: observer hooks and pluggable
+contention resolvers."""
+
+from repro.machine.configurations import get_config
+from repro.npb.suite import build_workload
+from repro.sim.engine import Engine
+from repro.sim.observer import PhaseEvent, SimObserver, StepEvent
+from repro.sim.resolver import FixedPointResolver
+
+
+class RecordingObserver(SimObserver):
+    def __init__(self):
+        self.started = 0
+        self.completed = []
+        self.steps = []
+        self.phases = []
+
+    def on_run_start(self, specs):
+        self.started += 1
+        self.n_specs = len(specs)
+
+    def on_step(self, event):
+        self.steps.append(event)
+
+    def on_phase_complete(self, event):
+        self.phases.append(event)
+
+    def on_run_complete(self, total_time):
+        self.completed.append(total_time)
+
+
+class TestObserverHooks:
+    def test_observer_sees_the_whole_run(self):
+        obs = RecordingObserver()
+        engine = Engine(get_config("ht_off_2_1"), observers=[obs])
+        result = engine.run_single(build_workload("CG", "W"))
+
+        assert obs.started == 1 and obs.n_specs == 1
+        assert obs.completed == [result.runtime_seconds]
+        assert all(isinstance(e, StepEvent) for e in obs.steps)
+        assert all(isinstance(e, PhaseEvent) for e in obs.phases)
+        # One phase-complete event per phase log record, same order.
+        assert [(e.program_id, e.phase_name) for e in obs.phases] == [
+            (r.program_id, r.phase_name) for r in result.phase_log
+        ]
+        # One step event per timeline sample, same content.
+        samples = result.timeline.samples
+        assert len(obs.steps) == len(samples)
+        for event, sample in zip(obs.steps, samples):
+            assert event.t_start == sample.t_start
+            assert event.t_end == sample.t_end
+            assert event.cpi == sample.cpi
+
+    def test_step_events_carry_context_labels(self):
+        obs = RecordingObserver()
+        engine = Engine(get_config("ht_off_4_2"), observers=[obs])
+        engine.run_single(build_workload("EP", "W"))
+        parallel_steps = [e for e in obs.steps if len(e.context_labels) > 1]
+        assert parallel_steps, "expected multi-context parallel phases"
+        for event in parallel_steps:
+            assert len(set(event.context_labels)) == len(event.context_labels)
+
+    def test_observers_do_not_change_results(self):
+        workload = build_workload("FT", "W")
+        plain = Engine(get_config("ht_on_4_1")).run_single(workload)
+        observed = Engine(
+            get_config("ht_on_4_1"), observers=[RecordingObserver()]
+        ).run_single(workload)
+        assert observed.runtime_seconds == plain.runtime_seconds
+
+    def test_multiprogram_events_tag_programs(self):
+        obs = RecordingObserver()
+        engine = Engine(get_config("ht_off_4_2"), observers=[obs])
+        engine.run_pair(build_workload("CG", "W"), build_workload("FT", "W"))
+        assert {e.program_id for e in obs.steps} == {0, 1}
+
+
+class CountingResolver(FixedPointResolver):
+    """The stock fixed point, instrumented."""
+
+    calls = 0
+
+    def resolve(self, active):
+        type(self).calls += 1
+        return super().resolve(active)
+
+
+class TestPluggableResolver:
+    def test_custom_resolver_is_used(self):
+        config = get_config("ht_off_2_1")
+        engine = Engine(config)
+        resolver = CountingResolver(
+            config=config,
+            params=engine.params,
+            topology=engine.topology,
+            scheduler=engine.scheduler,
+            omp=engine.omp,
+        )
+        CountingResolver.calls = 0
+        custom = Engine(config, resolver=resolver)
+        workload = build_workload("MG", "W")
+        result = custom.run_single(workload)
+        assert CountingResolver.calls > 0
+        # Same arithmetic -> same answer as the default resolver.
+        assert result.runtime_seconds == (
+            Engine(config).run_single(workload).runtime_seconds
+        )
+
+    def test_engine_exposes_resolver_models(self):
+        engine = Engine(get_config("ht_off_2_1"))
+        assert engine.hierarchy is engine.resolver.hierarchy
+        assert engine.pipeline is engine.resolver.pipeline
+        assert engine.bus is engine.resolver.bus

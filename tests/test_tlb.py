@@ -1,7 +1,6 @@
 """Tests for the fully-associative TLB simulator."""
 
 import numpy as np
-import pytest
 
 from repro.machine.params import TLBParams
 from repro.mem.tlb import TLB

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine.topology import build_topology, SystemTopology
+from repro.machine.topology import build_topology
 
 
 class TestBuildTopology:

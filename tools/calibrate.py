@@ -7,7 +7,7 @@ findings (see DESIGN.md section 4).  Run: python tools/calibrate.py [classletter
 
 import sys
 
-from repro.machine import CONFIGURATIONS, get_config
+from repro.machine import get_config
 from repro.npb import build_workload
 from repro.sim import Engine
 
