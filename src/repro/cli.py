@@ -13,7 +13,10 @@ Usage::
 
 Unknown experiment ids, benchmarks, configurations, machines, and
 ``--only``/``--skip`` tokens produce a one-line error listing the valid
-choices and exit status 2.
+choices and exit status 2.  ``run-all`` exits 3 when the matrix
+completed only partially (some experiment failed or was blocked); the
+completed artifacts are still written and ``run-all --resume`` finishes
+the remainder.  See ``docs/ROBUSTNESS.md`` for the failure model.
 """
 
 from __future__ import annotations
@@ -120,6 +123,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--skip", action="append", default=None, metavar="ID_OR_TAG",
         help="skip matching experiments (same syntax as --only)",
     )
+    run_all.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed artifacts from a previous (partial) run "
+             "in --out and re-execute only failed/skipped/missing "
+             "experiments",
+    )
     _add_machine_option(run_all)
 
     speed = sub.add_parser("speedup", help="query one speedup")
@@ -192,8 +201,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
 
+def _validate_fault_spec() -> None:
+    """Reject a malformed ``REPRO_FAULTS`` up front as a usage error.
+
+    Without this, the parse error would surface inside the first
+    experiment's failure boundary and read as a partial run (exit 3)
+    rather than the typo it is (exit 2)."""
+    from repro.testing import faults
+
+    try:
+        faults.active_plan()
+    except faults.FaultSpecError as exc:
+        raise CLIError(str(exc)) from None
+
+
 def _dispatch(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    _validate_fault_spec()
 
     if args.command == "list":
         for entry in registry.EXPERIMENTS.values():
@@ -230,7 +254,12 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run-all":
         from repro.core.context import RunContext
-        from repro.experiments.pipeline import run_pipeline, write_artifacts
+        from repro.experiments.pipeline import (
+            ResumeError,
+            load_resume_state,
+            run_pipeline,
+            write_artifacts,
+        )
 
         only = _split_tokens(args.only)
         skip = _split_tokens(args.skip)
@@ -248,14 +277,44 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
             only = (only + ["fig2", "fig3"]
                     if only and not {"fig2", "fig3"} <= set(only)
                     else only)
+        resume_state = None
+        if args.resume:
+            try:
+                resume_state = load_resume_state(args.out)
+            except ResumeError as exc:
+                raise CLIError(str(exc)) from None
+            print(
+                f"resuming from {args.out}: "
+                f"{len(resume_state.completed)} completed "
+                f"experiment(s) reused"
+            )
         try:
-            pipeline = run_pipeline(ctx, only=only, skip=skip)
+            pipeline = run_pipeline(
+                ctx, only=only, skip=skip, resume=resume_state
+            )
         except KeyError as exc:
             raise CLIError(exc.args[0]) from None
         write_artifacts(pipeline, args.out, progress=print)
         if args.csv:
-            _export_csv(args.out, pipeline)
-        return 0
+            if {"fig2", "fig3"} <= set(pipeline.records):
+                _export_csv(args.out, pipeline)
+            else:
+                print("skipping CSV export: fig2/fig3 did not complete",
+                      file=sys.stderr)
+        if args.resume and not pipeline.executed:
+            print("nothing to resume: previous run already complete")
+        if not pipeline.ok:
+            failed = sorted(pipeline.failures)
+            skipped = sorted(pipeline.skipped)
+            print(
+                f"run-all completed partially: "
+                f"{len(failed)} failed ({', '.join(failed) or '-'}), "
+                f"{len(skipped)} skipped ({', '.join(skipped) or '-'}); "
+                f"completed artifacts were written — "
+                f"re-run with --resume to finish the matrix",
+                file=sys.stderr,
+            )
+        return pipeline.exit_code
 
     if args.command == "speedup":
         from repro.core.study import Study

@@ -31,6 +31,8 @@ from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.core.runcache import configure, study_fingerprint
 from repro.core.study import Study
+from repro.testing import faults as _faults
+from repro.testing.faults import FaultPlan
 from repro.machine.params import MachineParams
 from repro.machine.registry import DEFAULT_MACHINE, resolve_machine
 from repro.machine.spec import MachineSpec
@@ -69,6 +71,10 @@ class RunContext:
     #: Run-cache switches, applied via :meth:`apply_cache_config`.
     cache_enabled: bool = True
     cache_dir: Optional[Path] = None
+    #: Fault-injection plan for robustness drills; carried into pool
+    #: workers by :meth:`apply_runtime_config` so injected faults fire
+    #: identically on the serial and parallel pipeline paths.
+    faults: Optional[FaultPlan] = None
     #: Upstream experiment results, keyed by registry id.
     results: Dict[str, Any] = field(default_factory=dict)
 
@@ -172,6 +178,20 @@ class RunContext:
             configure(disk_dir=self.cache_dir, enabled=True)
         else:
             configure(enabled=True)
+
+    def apply_runtime_config(self) -> None:
+        """Apply every process-global switch the context carries: the
+        run-cache configuration plus the fault-injection plan.  The
+        explicit plan slot mirrors ``self.faults`` exactly — a context
+        without faults clears any plan left over from a previous run in
+        the same process (a resumed run must not re-fail experiments).
+        Plans supplied via ``REPRO_FAULTS`` are unaffected: they live in
+        the environment fallback, not the explicit slot."""
+        self.apply_cache_config()
+        if self.faults is not None:
+            _faults.activate(self.faults)
+        else:
+            _faults.deactivate()
 
     # ------------------------------------------------------------------
     @property

@@ -27,6 +27,17 @@ Tiers:
 Control knobs: ``REPRO_NO_CACHE=1`` disables both tiers globally;
 ``REPRO_CACHE_DIR=<path>`` enables the disk tier by default.  Both are
 overridable programmatically via :func:`configure`.
+
+**Disk-entry integrity.**  Each disk entry is an *envelope* stamping
+the value's pickle bytes with the entry schema, the package version,
+and a SHA-256 of the payload.  On load all three are verified before
+the payload is deserialized; any mismatch — a torn write, bit rot, an
+entry from an older package whose class layouts have since changed, or
+a pre-envelope legacy file — moves the entry to
+``<disk_dir>/quarantine/`` and counts in ``CacheStats.quarantined``
+instead of crashing (stale pickles used to raise ``AttributeError`` /
+``ModuleNotFoundError`` straight through ``run-all``) or silently
+deserializing a stale layout.
 """
 
 from __future__ import annotations
@@ -39,8 +50,12 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro.testing import faults
+
 __all__ = [
+    "CACHE_ENTRY_SCHEMA",
     "CacheStats",
+    "QUARANTINE_DIR",
     "RunCache",
     "configure",
     "get_cache",
@@ -49,6 +64,16 @@ __all__ = [
 
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Disk-entry envelope schema, bumped whenever the on-disk layout of an
+#: entry changes; entries with any other value are quarantined.
+CACHE_ENTRY_SCHEMA = 1
+
+#: Magic marker distinguishing an envelope from a legacy raw pickle.
+_ENVELOPE_MAGIC = "repro-runcache"
+
+#: Subdirectory of ``disk_dir`` where bad entries are moved.
+QUARANTINE_DIR = "quarantine"
 
 #: Sentinel distinguishing "not cached" from a cached None.
 _MISS = object()
@@ -87,6 +112,9 @@ class CacheStats:
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
+    #: Disk entries rejected by the integrity check and moved aside
+    #: (each also counts as a miss — the caller recomputes).
+    quarantined: int = 0
 
     @property
     def hits(self) -> int:
@@ -102,7 +130,9 @@ class CacheStats:
 
     def snapshot(self) -> "CacheStats":
         """An immutable copy of the current counters."""
-        return CacheStats(self.memory_hits, self.disk_hits, self.misses)
+        return CacheStats(
+            self.memory_hits, self.disk_hits, self.misses, self.quarantined
+        )
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
         """Counter deltas relative to an earlier snapshot (the pipeline
@@ -111,6 +141,7 @@ class CacheStats:
             memory_hits=self.memory_hits - earlier.memory_hits,
             disk_hits=self.disk_hits - earlier.disk_hits,
             misses=self.misses - earlier.misses,
+            quarantined=self.quarantined - earlier.quarantined,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -119,6 +150,7 @@ class CacheStats:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "quarantined": self.quarantined,
             "hits": self.hits,
             "lookups": self.lookups,
             "hit_rate": round(self.hit_rate, 4),
@@ -160,18 +192,66 @@ class RunCache:
             return self._mem[entry_key]
         path = self._disk_path(entry_key)
         if path is not None and path.exists():
-            try:
-                with open(path, "rb") as fh:
-                    value = pickle.load(fh)
-            except (OSError, pickle.UnpicklingError, EOFError):
-                # Torn or stale file: treat as a miss; the fresh result
-                # will overwrite it atomically.
-                pass
-            else:
+            value = self._disk_load(path)
+            if not RunCache.is_miss(value):
                 self._mem[entry_key] = value
                 self.stats.disk_hits += 1
                 return value
         self.stats.misses += 1
+        return _MISS
+
+    def _disk_load(self, path: Path) -> Any:
+        """Verify and deserialize one disk entry (miss sentinel on any
+        problem; bad *content* is quarantined, bad *IO* is just a miss)."""
+        try:
+            faults.maybe_corrupt_cache_file(path)
+            faults.maybe_raise_cache_io("read")
+            raw = path.read_bytes()
+        except OSError:
+            # Unreadable right now (permissions, transient IO): the
+            # entry may be fine, so leave it in place and recompute.
+            return _MISS
+        try:
+            envelope = pickle.loads(raw)
+        except Exception:
+            # Garbage bytes raise anything from UnpicklingError to
+            # AttributeError; none of it may escape a cache *read*.
+            return self._quarantine(path, "undecodable envelope")
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("magic") != _ENVELOPE_MAGIC
+        ):
+            return self._quarantine(path, "not an envelope (legacy entry)")
+        if envelope.get("schema") != CACHE_ENTRY_SCHEMA:
+            return self._quarantine(path, "entry-schema mismatch")
+        if envelope.get("package_version") != _package_version():
+            return self._quarantine(path, "package-version mismatch")
+        payload = envelope.get("payload")
+        if not isinstance(payload, bytes) or hashlib.sha256(
+            payload
+        ).hexdigest() != envelope.get("sha256"):
+            return self._quarantine(path, "payload checksum mismatch")
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            # Checksum passed but the class layout no longer exists
+            # (same-version refactor): quarantine rather than crash with
+            # AttributeError/ModuleNotFoundError mid run-all.
+            return self._quarantine(path, "payload not deserializable")
+
+    def _quarantine(self, path: Path, reason: str) -> Any:
+        """Move a bad entry aside so it is never served *or* retried,
+        count it, and report a miss to the caller."""
+        dest_dir = path.parent / QUARANTINE_DIR
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.stats.quarantined += 1
         return _MISS
 
     def put(self, study_fp: str, run_key: Tuple[Any, ...], value: Any) -> None:
@@ -183,13 +263,24 @@ class RunCache:
         if path is None:
             return
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            envelope = {
+                "magic": _ENVELOPE_MAGIC,
+                "schema": CACHE_ENTRY_SCHEMA,
+                "package_version": _package_version(),
+                "payload": payload,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+            }
+            faults.maybe_raise_cache_io("write")
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=str(path.parent), suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(
+                        envelope, fh, protocol=pickle.HIGHEST_PROTOCOL
+                    )
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -219,6 +310,13 @@ class RunCache:
 
     def __len__(self) -> int:
         return len(self._mem)
+
+
+def _package_version() -> str:
+    """The running package's version (stamped into disk entries)."""
+    import repro
+
+    return repro.__version__
 
 
 # ----------------------------------------------------------------------

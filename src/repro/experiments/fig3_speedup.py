@@ -34,6 +34,22 @@ def run(
     return Fig3Result(table=table, config_order=cfgs)
 
 
+def load_result(payload: dict) -> Fig3Result:
+    """Rehydrate from the ``fig3.json`` payload (resume support).
+
+    ``table2`` consumes fig3's speedup table through the pipeline; on a
+    resumed run the table comes back from the artifact instead of a
+    re-simulation.
+    """
+    table = SpeedupTable()
+    for bench, row in payload["table"]["values"].items():
+        for config, speedup in row.items():
+            table.set(bench, config, float(speedup))
+    return Fig3Result(
+        table=table, config_order=list(payload["config_order"])
+    )
+
+
 def report(result: Fig3Result) -> str:
     """Render the Figure-3 speedup series."""
     headers = ["benchmark"] + result.config_order

@@ -1,4 +1,4 @@
-"""Dependency-aware experiment pipeline behind ``repro run-all``.
+"""Dependency-aware, fault-tolerant experiment pipeline (``run-all``).
 
 The pipeline plans the selected registry entries into topological
 *waves* over their declared data dependencies, executes each wave —
@@ -13,34 +13,71 @@ experiment, everything the run manifest needs:
 * wall time, run-cache hit/miss deltas, and the fingerprints of the
   studies the driver touched.
 
+**Failure isolation.**  One experiment raising does not abort the
+matrix: the exception becomes a structured :class:`ExperimentFailure`
+(type, message, traceback, wave, wall time), experiments that *require*
+the failed one are marked skipped with their blockers, and every other
+experiment still runs and emits its artifacts byte-identically to a
+clean run.  A run with failures or skips reports
+``exit_code == EXIT_PARTIAL_FAILURE``.
+
+**Checkpoint/resume.**  Because every completed experiment persists its
+``<id>.txt`` + ``<id>.json`` plus a manifest entry, a failed run is a
+checkpoint: :func:`load_resume_state` reads those artifacts back and
+``run_pipeline(..., resume=state)`` re-executes only the
+failed/skipped/missing experiments, reusing completed results (via the
+drivers' optional ``load_result`` rehydrators) for dependency
+injection.  The resumed manifest is byte-identical to an unfailed run's
+modulo timing/cache counters.
+
 Artifacts: :func:`write_artifacts` emits ``<id>.txt`` + ``<id>.json``
 per experiment plus a top-level ``manifest.json`` (timings, cache
-counters, study fingerprints, package version) — the machine-readable
-surface an autotuner or a service can drive.
+counters, study fingerprints, failures, skips, pool-fallback reports,
+package version) — the machine-readable surface an autotuner or a
+service can drive.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.context import RunContext, as_context
 from repro.core.runcache import get_cache
 from repro.experiments import registry
-from repro.sim.parallel import parallel_map, resolve_jobs, set_default_jobs
+from repro.sim.parallel import (
+    FallbackReport,
+    parallel_map,
+    resolve_jobs,
+    set_default_jobs,
+)
+from repro.testing import faults
 
 __all__ = [
+    "EXIT_PARTIAL_FAILURE",
+    "ExperimentFailure",
     "ExperimentRecord",
     "PipelineResult",
+    "ResumeError",
+    "ResumeState",
+    "load_resume_state",
     "run_pipeline",
     "write_artifacts",
 ]
 
 #: manifest.json schema version, bumped on incompatible layout changes.
-MANIFEST_SCHEMA = 1
+#: 2 = per-experiment ``status`` plus top-level ``status`` / ``failures``
+#: / ``skipped`` / ``parallel_fallbacks`` sections.
+MANIFEST_SCHEMA = 2
+
+#: ``run-all`` exit status when the matrix completed only partially
+#: (distinct from 2 = bad arguments; completed artifacts are still
+#: written and resumable).
+EXIT_PARTIAL_FAILURE = 3
 
 
 @dataclass
@@ -54,31 +91,107 @@ class ExperimentRecord:
     cache: Dict[str, Any] = field(default_factory=dict)
     study_fingerprints: List[str] = field(default_factory=list)
     wave: int = 0
+    #: Pre-rendered ``<id>.json`` payload, set for records reused from a
+    #: previous run (whose ``result`` may be unrehydratable).  When
+    #: None, :func:`write_artifacts` renders the payload from ``result``.
+    payload: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class ExperimentFailure:
+    """A per-experiment exception, contained instead of propagated."""
+
+    id: str
+    wave: int
+    error_type: str
+    message: str
+    traceback: str
+    wall_time_s: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "wave": self.wave,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "wall_time_s": round(self.wall_time_s, 4),
+        }
+
+
+class ResumeError(RuntimeError):
+    """``--resume`` was requested but there is nothing usable to resume."""
+
+
+@dataclass
+class ResumeState:
+    """Artifacts recovered from a previous (possibly partial) run."""
+
+    out_dir: Path
+    manifest: Dict[str, Any]
+    #: experiment id -> {"meta": manifest entry, "text": <id>.txt
+    #: contents, "payload": parsed <id>.json}.
+    completed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
 
 @dataclass
 class PipelineResult:
-    """Ordered records plus the manifest the run-all writes."""
+    """Ordered records plus failures/skips and the manifest."""
 
     records: Dict[str, ExperimentRecord] = field(default_factory=dict)
+    failures: Dict[str, ExperimentFailure] = field(default_factory=dict)
+    #: skipped experiment id -> the failed/skipped ids blocking it.
+    skipped: Dict[str, List[str]] = field(default_factory=dict)
+    #: Pool-degradation events surfaced by :func:`parallel_map`.
+    fallbacks: List[FallbackReport] = field(default_factory=list)
+    #: Ids reused from a previous run instead of re-executed.
+    resumed: List[str] = field(default_factory=list)
+    #: Ids actually executed this run.
+    executed: List[str] = field(default_factory=list)
     manifest: Dict[str, Any] = field(default_factory=dict)
 
     def result(self, experiment_id: str) -> Any:
         return self.records[experiment_id].result
 
+    @property
+    def ok(self) -> bool:
+        """True when every selected experiment completed."""
+        return not self.failures and not self.skipped
 
-def _execute(entry: registry.ExperimentEntry, ctx: RunContext,
-             wave: int) -> ExperimentRecord:
-    """Run one experiment, measuring wall time and cache activity."""
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else EXIT_PARTIAL_FAILURE
+
+
+def _execute(
+    entry: registry.ExperimentEntry, ctx: RunContext, wave: int
+) -> Union[ExperimentRecord, ExperimentFailure]:
+    """Run one experiment, measuring wall time and cache activity.
+
+    Exceptions from the driver (or its renderer) are contained into an
+    :class:`ExperimentFailure` so one bad experiment cannot take down
+    the rest of the wave — on either the serial or the pool path.
+    """
     before = get_cache().stats.snapshot()
     ctx.touched_fingerprints(reset=True)
     start = time.perf_counter()
-    result = entry.run(ctx)
+    try:
+        faults.maybe_fail_experiment(entry.id)
+        result = entry.run(ctx)
+        text = entry.render_text(result)
+    except Exception as exc:
+        return ExperimentFailure(
+            id=entry.id,
+            wave=wave,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=_traceback.format_exc(),
+            wall_time_s=time.perf_counter() - start,
+        )
     wall = time.perf_counter() - start
     return ExperimentRecord(
         id=entry.id,
         result=result,
-        text=entry.render_text(result),
+        text=text,
         wall_time_s=wall,
         cache=get_cache().stats.since(before).as_dict(),
         study_fingerprints=ctx.touched_fingerprints(),
@@ -92,10 +205,12 @@ def _worker_init() -> None:
     set_default_jobs(1)
 
 
-def _pipeline_task(task: Tuple[str, RunContext, int]) -> ExperimentRecord:
-    """Parallel worker: configure the cache, run, measure (picklable)."""
+def _pipeline_task(
+    task: Tuple[str, RunContext, int]
+) -> Union[ExperimentRecord, ExperimentFailure]:
+    """Parallel worker: configure the process, run, measure (picklable)."""
     entry_id, ctx, wave = task
-    ctx.apply_cache_config()
+    ctx.apply_runtime_config()
     return _execute(registry.get(entry_id), ctx, wave)
 
 
@@ -104,6 +219,7 @@ def run_pipeline(
     only: Optional[Sequence[str]] = None,
     skip: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    resume: Optional[ResumeState] = None,
 ) -> PipelineResult:
     """Run the selected experiments in dependency order.
 
@@ -112,48 +228,162 @@ def run_pipeline(
     running its internal sweeps serially), otherwise they run in-process
     and share the context's memoized studies directly.  Results land in
     ``ctx.results`` as they complete, so later waves consume them.
+
+    A failing experiment is recorded, its (selected) dependents are
+    skipped with their blockers, and the remaining waves continue.  With
+    ``resume``, experiments already completed in a previous run are
+    reused from their artifacts instead of re-executed.
     """
     ctx = as_context(ctx)
-    ctx.apply_cache_config()
+    ctx.apply_runtime_config()
     entries = registry.select(only=only, skip=skip)
     waves = registry.execution_waves(entries)
+    selected = {e.id for e in entries}
     n_jobs = resolve_jobs(ctx.jobs)
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
 
     out = PipelineResult()
     for wave_index, wave in enumerate(waves):
-        if n_jobs > 1 and len(wave) > 1:
+        to_run: List[registry.ExperimentEntry] = []
+        for entry in wave:
+            blockers = sorted(
+                dep for dep in entry.requires
+                if dep in selected
+                and (dep in out.failures or dep in out.skipped)
+            )
+            if blockers:
+                out.skipped[entry.id] = blockers
+                note(f"skipped {entry.id} "
+                     f"(blocked by {', '.join(blockers)})")
+                continue
+            if resume is not None and entry.id in resume.completed:
+                record = _record_from_resume(entry, resume, wave_index)
+                if record.result is not None:
+                    ctx.results[record.id] = record.result
+                out.records[record.id] = record
+                out.resumed.append(record.id)
+                note(f"resumed {record.id} (reused previous artifacts)")
+                continue
+            to_run.append(entry)
+
+        if n_jobs > 1 and len(to_run) > 1:
             tasks = [
-                (e.id, ctx.spawn(jobs=1), wave_index) for e in wave
+                (e.id, ctx.spawn(jobs=1), wave_index) for e in to_run
             ]
-            records = parallel_map(
+            outcomes = parallel_map(
                 _pipeline_task, tasks, jobs=n_jobs,
                 initializer=_worker_init,
+                on_fallback=out.fallbacks.append,
             )
         else:
-            records = [_execute(e, ctx, wave_index) for e in wave]
-        for record in records:
-            ctx.results[record.id] = record.result
-            out.records[record.id] = record
-            if progress is not None:
-                progress(
-                    f"ran {record.id} "
-                    f"({record.wall_time_s:.2f}s, "
-                    f"cache {record.cache.get('hits', 0)} hits / "
-                    f"{record.cache.get('misses', 0)} misses)"
-                )
+            outcomes = [_execute(e, ctx, wave_index) for e in to_run]
+
+        for outcome in outcomes:
+            out.executed.append(outcome.id)
+            if isinstance(outcome, ExperimentFailure):
+                out.failures[outcome.id] = outcome
+                note(f"FAILED {outcome.id} "
+                     f"({outcome.error_type}: {outcome.message})")
+                continue
+            ctx.results[outcome.id] = outcome.result
+            out.records[outcome.id] = outcome
+            note(
+                f"ran {outcome.id} "
+                f"({outcome.wall_time_s:.2f}s, "
+                f"cache {outcome.cache.get('hits', 0)} hits / "
+                f"{outcome.cache.get('misses', 0)} misses)"
+            )
 
     # Records in registry order, regardless of wave packing.
-    ordered = {
+    out.records = {
         e.id: out.records[e.id] for e in entries if e.id in out.records
     }
-    out.records = ordered
-    out.manifest = _build_manifest(ctx, out.records, n_jobs)
+    out.manifest = _build_manifest(ctx, out, n_jobs)
     return out
+
+
+def _record_from_resume(
+    entry: registry.ExperimentEntry,
+    resume: ResumeState,
+    wave_index: int,
+) -> ExperimentRecord:
+    """Rebuild a completed experiment's record from its artifacts.
+
+    The text and JSON payload are reused verbatim (so re-written
+    artifacts stay byte-identical); the in-memory result object comes
+    back through the driver's ``load_result`` rehydrator when it has
+    one, enabling dependency injection into re-running dependents.
+    """
+    stored = resume.completed[entry.id]
+    meta, payload = stored["meta"], stored["payload"]
+    try:
+        result = entry.load_result(payload)
+    except Exception:
+        # A rehydrator bug must not kill the resume; dependents fall
+        # back to recomputing through the run cache.
+        result = None
+    return ExperimentRecord(
+        id=entry.id,
+        result=result,
+        text=stored["text"],
+        wall_time_s=float(meta.get("wall_time_s", 0.0)),
+        cache=dict(meta.get("cache", {})),
+        study_fingerprints=list(meta.get("study_fingerprints", [])),
+        wave=wave_index,
+        payload=payload,
+    )
+
+
+def load_resume_state(out_dir: Path) -> ResumeState:
+    """Recover the completed portion of a previous run from ``out_dir``.
+
+    An experiment counts as completed when the manifest marks it ``ok``
+    *and* both of its artifact files are present and parseable — a
+    missing or torn artifact simply re-runs that experiment.  A missing
+    or unreadable manifest raises :class:`ResumeError`.
+    """
+    out_dir = Path(out_dir)
+    manifest_path = out_dir / "manifest.json"
+    if not manifest_path.exists():
+        raise ResumeError(
+            f"nothing to resume: no manifest at {manifest_path}"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ResumeError(
+            f"cannot resume from unreadable manifest {manifest_path}: {exc}"
+        ) from None
+    if not isinstance(manifest, dict) or "experiments" not in manifest:
+        raise ResumeError(
+            f"cannot resume: {manifest_path} is not a run manifest"
+        )
+
+    state = ResumeState(out_dir=out_dir, manifest=manifest)
+    for exp_id, meta in manifest["experiments"].items():
+        # Schema-1 manifests predate per-experiment status: every entry
+        # they list completed (failures aborted the whole run then).
+        if meta.get("status", "ok") != "ok":
+            continue
+        text_path = out_dir / f"{exp_id}.txt"
+        json_path = out_dir / f"{exp_id}.json"
+        try:
+            text = text_path.read_text()
+            payload = json.loads(json_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        state.completed[exp_id] = {
+            "meta": meta, "text": text, "payload": payload
+        }
+    return state
 
 
 def _build_manifest(
     ctx: RunContext,
-    records: Dict[str, ExperimentRecord],
+    out: PipelineResult,
     n_jobs: int,
 ) -> Dict[str, Any]:
     """The top-level manifest.json payload."""
@@ -161,13 +391,14 @@ def _build_manifest(
 
     cache = get_cache()
     experiments: Dict[str, Any] = {}
-    for rec in records.values():
+    for rec in out.records.values():
         entry = registry.get(rec.id)
         experiments[rec.id] = {
             "paper_artifact": entry.paper_artifact,
             "description": entry.description,
             "tags": sorted(entry.tags),
             "requires": list(entry.requires),
+            "status": "ok",
             "wave": rec.wave,
             "wall_time_s": round(rec.wall_time_s, 4),
             "cache": rec.cache,
@@ -180,6 +411,7 @@ def _build_manifest(
     pc = ctx.problem_class
     return {
         "schema": MANIFEST_SCHEMA,
+        "status": "complete" if out.ok else "partial",
         "package_version": repro.__version__,
         "problem_class": pc if isinstance(pc, str) else pc.value,
         "scheduler": ctx.scheduler,
@@ -189,8 +421,17 @@ def _build_manifest(
             "disk_dir": str(cache.disk_dir) if cache.disk_dir else None,
             "totals": cache.stats.as_dict(),
         },
+        "failures": {
+            exp_id: failure.as_dict()
+            for exp_id, failure in sorted(out.failures.items())
+        },
+        "skipped": {
+            exp_id: {"blocked_by": blockers}
+            for exp_id, blockers in sorted(out.skipped.items())
+        },
+        "parallel_fallbacks": [r.as_dict() for r in out.fallbacks],
         "total_wall_time_s": round(
-            sum(r.wall_time_s for r in records.values()), 4
+            sum(r.wall_time_s for r in out.records.values()), 4
         ),
         "experiments": experiments,
     }
@@ -205,7 +446,10 @@ def write_artifacts(
 
     The text files are byte-identical to what the per-module ``report``
     functions produced before the pipeline existed; the JSON files add
-    the machine-readable mirror of each result.
+    the machine-readable mirror of each result.  Failed or skipped
+    experiments contribute no artifact files — only their manifest
+    entries — so a later ``--resume`` can tell them apart from
+    completed work.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -219,12 +463,14 @@ def write_artifacts(
 
     for rec in pipeline.records.values():
         entry = registry.get(rec.id)
+        payload = (
+            rec.payload if rec.payload is not None
+            else entry.json_payload(rec.result)
+        )
         emit(out_dir / f"{rec.id}.txt", rec.text)
         emit(
             out_dir / f"{rec.id}.json",
-            json.dumps(
-                entry.json_payload(rec.result), indent=2, sort_keys=True
-            ) + "\n",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
         )
     emit(
         out_dir / "manifest.json",

@@ -100,6 +100,20 @@ class ExperimentEntry:
             "result": result_to_dict(result),
         }
 
+    def load_result(self, payload: Dict[str, Any]) -> Any:
+        """Rehydrate a result object from a ``<id>.json`` payload.
+
+        Drivers opt in by exposing ``load_result(result_dict)``; the
+        resumable pipeline uses this to feed an already-completed
+        upstream result to its re-running dependents.  Returns ``None``
+        when the driver has no rehydrator (dependents then recompute
+        through the run cache — correct, just slower).
+        """
+        hook = getattr(self.load(), "load_result", None)
+        if hook is None:
+            return None
+        return hook(payload.get("result", {}))
+
 
 _ENTRIES: List[ExperimentEntry] = [
     ExperimentEntry(

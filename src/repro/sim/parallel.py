@@ -7,10 +7,19 @@ result values.  :func:`parallel_map` fans such tasks out over a process
 pool while keeping the *exact* semantics of the serial loop:
 
 * results come back in input order, regardless of completion order;
-* any pool-infrastructure failure (unpicklable callables, a broken
-  worker, fork limits in constrained sandboxes) falls back to the plain
-  serial loop — task-level exceptions still propagate, as they would
-  serially;
+* exceptions raised *by the task function* propagate unchanged — on
+  the pool path they are re-raised in the caller, never confused with
+  pool-infrastructure failures (a task raising ``OSError`` used to
+  trigger a silent full serial re-run);
+* pool-infrastructure failures degrade instead of aborting: an
+  unpicklable callable or an unspawnable pool falls back to the serial
+  loop, and a worker dying mid-run (``BrokenProcessPool``) retries
+  **only the not-yet-completed tasks**, serially, once — completed
+  results are kept, nothing runs twice;
+* every degradation is recorded as a :class:`FallbackReport`
+  (retrievable via :func:`take_fallback_report`, or pushed to the
+  ``on_fallback`` callback) so callers like the experiment pipeline can
+  surface it in their manifest instead of hiding it;
 * ``jobs=1`` (or a single task) short-circuits to the serial loop with
   zero pool overhead.
 
@@ -30,16 +39,21 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.testing import faults
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 __all__ = [
+    "FallbackReport",
     "get_default_jobs",
     "parallel_map",
     "resolve_jobs",
     "set_default_jobs",
+    "take_fallback_report",
 ]
 
 JOBS_ENV = "REPRO_JOBS"
@@ -77,19 +91,69 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return min(n, os.cpu_count() or 1)
 
 
+@dataclass
+class FallbackReport:
+    """One pool-degradation event inside a :func:`parallel_map` call.
+
+    ``completed + retried == len(items)`` whenever the map returned
+    normally — the report accounts for every task exactly once.
+    """
+
+    #: ``unpicklable-callable`` | ``pool-unavailable`` | ``broken-pool``
+    reason: str
+    #: Tasks whose pool results were kept.
+    completed: int
+    #: Tasks re-executed serially in the caller's process.
+    retried: int
+    #: The triggering exception, stringified (empty for pre-checks).
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "reason": self.reason,
+            "completed": self.completed,
+            "retried": self.retried,
+            "detail": self.detail,
+        }
+
+
+#: The most recent map's degradation event (None = clean pool run).
+_last_report: Optional[FallbackReport] = None
+
+
+def take_fallback_report() -> Optional[FallbackReport]:
+    """Pop the last :func:`parallel_map` call's fallback report, if any."""
+    global _last_report
+    report, _last_report = _last_report, None
+    return report
+
+
+@dataclass
+class _FaultProbe:
+    """Wraps the task function so the fault harness can observe the
+    task index inside the worker (picklable iff ``fn`` is)."""
+
+    fn: Callable[[Any], Any]
+
+    def __call__(self, indexed: Any) -> Any:
+        index, item = indexed
+        faults.maybe_kill_worker(index)
+        return self.fn(item)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     jobs: Optional[int] = None,
     initializer: Optional[Callable[..., None]] = None,
     initargs: tuple = (),
+    on_fallback: Optional[Callable[[FallbackReport], None]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, possibly across worker processes.
 
     Args:
-        fn: a picklable callable (module-level function); if it is not,
-            the pool raises at submission time and the map transparently
-            re-runs serially.
+        fn: a picklable callable (module-level function); unpicklable
+            callables are detected up front and run serially.
         items: tasks, each picklable for the parallel path.
         jobs: worker count; None uses :func:`get_default_jobs`; 1 means
             the plain serial loop.
@@ -99,24 +163,94 @@ def parallel_map(
             the pool path — the serial loop and the fallback run in the
             caller's process, whose global state must stay untouched.
         initargs: arguments for ``initializer``.
+        on_fallback: called with the :class:`FallbackReport` when the
+            pool degrades (the report is also held for
+            :func:`take_fallback_report`).
 
     Returns:
         ``[fn(x) for x in items]`` — identical results and ordering on
-        both paths.  Exceptions raised *by fn* propagate either way.
+        both paths.  Exceptions raised *by fn* propagate either way;
+        pool-infrastructure failures never do.
     """
+    global _last_report
+    _last_report = None
     items = list(items)
     n_jobs = resolve_jobs(jobs)
     if n_jobs <= 1 or len(items) <= 1:
         return [fn(x) for x in items]
+
+    def degrade(report: FallbackReport) -> None:
+        global _last_report
+        _last_report = report
+        if on_fallback is not None:
+            on_fallback(report)
+
     try:
-        with ProcessPoolExecutor(
+        pickle.dumps(fn)
+    except Exception as exc:
+        degrade(FallbackReport(
+            reason="unpicklable-callable", completed=0,
+            retried=len(items), detail=str(exc),
+        ))
+        return [fn(x) for x in items]
+
+    try:
+        executor = ProcessPoolExecutor(
             max_workers=min(n_jobs, len(items)),
             initializer=initializer,
             initargs=initargs,
-        ) as ex:
-            return list(ex.map(fn, items))
-    except (pickle.PicklingError, AttributeError, BrokenProcessPool, OSError):
-        # Pool infrastructure failed (unpicklable payload, dead worker,
-        # fork refusal); the task semantics don't change, so rerun the
-        # plain loop.
+        )
+    except OSError as exc:
+        degrade(FallbackReport(
+            reason="pool-unavailable", completed=0,
+            retried=len(items), detail=str(exc),
+        ))
         return [fn(x) for x in items]
+
+    # The probe wrapper is only interposed when a fault plan targets
+    # parallel_map — the production path ships `fn` to workers as-is.
+    plan = faults.active_plan()
+    pool_fn: Callable[[Any], Any] = fn
+    pool_items: Sequence[Any] = items
+    if plan is not None and plan.touches_parallel_map:
+        pool_fn = _FaultProbe(fn)
+        pool_items = list(enumerate(items))
+
+    results: List[Any] = [None] * len(items)
+    done = [False] * len(items)
+    broken: Optional[BaseException] = None
+    try:
+        try:
+            futures = [executor.submit(pool_fn, x) for x in pool_items]
+        except (BrokenProcessPool, OSError) as exc:
+            # Submission-time infrastructure failure (workers
+            # unspawnable): nothing completed, everything retries.
+            futures, broken = [], exc
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result()
+                done[i] = True
+            except (BrokenProcessPool, pickle.PicklingError) as exc:
+                # Infrastructure: the worker died, or this task's
+                # payload/result never crossed the process boundary —
+                # the task itself did not fail.  Keep harvesting so
+                # every result that *did* complete is preserved; the
+                # rest retry serially below.
+                if broken is None:
+                    broken = exc
+            # Anything else is the task's own exception — including
+            # OSError — and propagates to the caller unchanged.
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+
+    if broken is None:
+        return results
+
+    pending = [i for i in range(len(items)) if not done[i]]
+    degrade(FallbackReport(
+        reason="broken-pool", completed=len(items) - len(pending),
+        retried=len(pending), detail=str(broken),
+    ))
+    for i in pending:
+        results[i] = fn(items[i])
+    return results

@@ -1,0 +1,284 @@
+"""Deterministic fault injection for robustness tests and CI drills.
+
+The pipeline, the run cache, and the parallel sweep runner each expose
+one *hook point* into this module.  All hooks are no-ops unless a
+:class:`FaultPlan` is active, so production code pays one attribute read
+per hook and nothing else.  A plan activates in one of two ways:
+
+* programmatically — :func:`activate` / :func:`deactivate`, or the
+  :func:`injected_faults` context manager (what the tests use);
+* from the environment — ``REPRO_FAULTS=<spec>`` (what the CI fault
+  drill uses; forked pool workers inherit it automatically).
+
+The spec is a comma-separated token list:
+
+``experiment:<id>[=message]``
+    Raise :class:`InjectedFault` inside experiment ``<id>``'s driver.
+``cache-read-oserror``
+    Raise ``OSError`` on every disk-cache read (the cache must degrade
+    to a miss, never crash).
+``cache-write-oserror``
+    Raise ``OSError`` on every disk-cache write (the cache must degrade
+    to memory-only, never crash).
+``cache-corrupt:<n>``
+    Physically overwrite the first ``n`` distinct disk-cache entries
+    read (per process) with garbage bytes *before* the cache opens
+    them, exercising the integrity-check/quarantine path end to end.
+``worker-death:<i>``
+    Hard-kill (``os._exit``) the pool worker executing task index
+    ``<i>`` of a :func:`repro.sim.parallel.parallel_map` call.  Only
+    fires in a child process, so the serial retry that follows the
+    resulting ``BrokenProcessPool`` completes normally.
+
+Example::
+
+    REPRO_FAULTS="experiment:fig3,cache-corrupt:1" repro run-all ...
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Set
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedFault",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "injected_faults",
+    "maybe_corrupt_cache_file",
+    "maybe_fail_experiment",
+    "maybe_kill_worker",
+    "maybe_raise_cache_io",
+    "parse_plan",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Bytes scribbled over a cache entry by ``cache-corrupt`` — an opcode
+#: stream no pickle protocol accepts, so the read path must quarantine.
+_GARBAGE = b"\x80repro-injected-corruption\x00"
+
+#: Exit status of a fault-killed pool worker (distinctive in CI logs).
+_WORKER_DEATH_STATUS = 113
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``experiment:`` faults."""
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``REPRO_FAULTS`` spec string."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A declarative set of faults to inject.
+
+    Immutable so a plan can be shared across a ``RunContext`` and its
+    pool workers without aliasing surprises; mutable bookkeeping (which
+    entries were already corrupted) lives in module state instead.
+    """
+
+    #: experiment id -> exception message for :class:`InjectedFault`.
+    fail_experiments: Dict[str, str] = dataclasses.field(
+        default_factory=dict
+    )
+    cache_read_oserror: bool = False
+    cache_write_oserror: bool = False
+    #: Corrupt the first N distinct disk entries read (per process).
+    corrupt_cache_reads: int = 0
+    #: Kill the pool worker executing this parallel_map task index.
+    worker_death_index: Optional[int] = None
+
+    @property
+    def touches_parallel_map(self) -> bool:
+        return self.worker_death_index is not None
+
+    def spec(self) -> str:
+        """The plan re-encoded as a ``REPRO_FAULTS`` token list."""
+        tokens = []
+        for exp_id, message in sorted(self.fail_experiments.items()):
+            tokens.append(
+                f"experiment:{exp_id}" + (f"={message}" if message else "")
+            )
+        if self.cache_read_oserror:
+            tokens.append("cache-read-oserror")
+        if self.cache_write_oserror:
+            tokens.append("cache-write-oserror")
+        if self.corrupt_cache_reads:
+            tokens.append(f"cache-corrupt:{self.corrupt_cache_reads}")
+        if self.worker_death_index is not None:
+            tokens.append(f"worker-death:{self.worker_death_index}")
+        return ",".join(tokens)
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    fail: Dict[str, str] = {}
+    read_os = write_os = False
+    corrupt = 0
+    death: Optional[int] = None
+    for raw in spec.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        if token.startswith("experiment:"):
+            target = token[len("experiment:"):]
+            exp_id, _, message = target.partition("=")
+            if not exp_id:
+                raise FaultSpecError(f"empty experiment id in {token!r}")
+            fail[exp_id] = message
+        elif token == "cache-read-oserror":
+            read_os = True
+        elif token == "cache-write-oserror":
+            write_os = True
+        elif token.startswith("cache-corrupt:"):
+            corrupt = _int_arg(token, "cache-corrupt")
+        elif token.startswith("worker-death:"):
+            death = _int_arg(token, "worker-death")
+        else:
+            raise FaultSpecError(
+                f"unknown fault token {token!r}; valid: experiment:<id>, "
+                f"cache-read-oserror, cache-write-oserror, "
+                f"cache-corrupt:<n>, worker-death:<i>"
+            )
+    return FaultPlan(
+        fail_experiments=fail,
+        cache_read_oserror=read_os,
+        cache_write_oserror=write_os,
+        corrupt_cache_reads=corrupt,
+        worker_death_index=death,
+    )
+
+
+def _int_arg(token: str, name: str) -> int:
+    value = token[len(name) + 1:]
+    try:
+        n = int(value)
+    except ValueError:
+        raise FaultSpecError(
+            f"{name} needs an integer argument, got {value!r}"
+        ) from None
+    if n < 0:
+        raise FaultSpecError(f"{name} argument must be >= 0")
+    return n
+
+
+# ----------------------------------------------------------------------
+# Active-plan state.  An explicit activation always wins; otherwise the
+# environment is consulted (parsed once per distinct spec string).
+_explicit_plan: Optional[FaultPlan] = None
+_env_cache: Optional[tuple] = None  # (spec string, parsed plan)
+_corrupted_paths: Set[str] = set()
+
+
+def activate(plan: Optional[FaultPlan]) -> None:
+    """Make ``plan`` the active plan (``None`` clears it)."""
+    global _explicit_plan
+    _explicit_plan = plan
+    _corrupted_paths.clear()
+
+
+def deactivate() -> None:
+    """Clear any explicitly-activated plan."""
+    activate(None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan currently in force, or ``None``.
+
+    Explicit activation beats the environment; a malformed environment
+    spec raises :class:`FaultSpecError` (failing loudly beats silently
+    running a drill with no faults).
+    """
+    if _explicit_plan is not None:
+        return _explicit_plan
+    spec = os.environ.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return None
+    global _env_cache
+    if _env_cache is None or _env_cache[0] != spec:
+        _env_cache = (spec, parse_plan(spec))
+    return _env_cache[1]
+
+
+@contextmanager
+def injected_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of a ``with`` block."""
+    previous = _explicit_plan
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        activate(previous)
+
+
+# ----------------------------------------------------------------------
+# Hook points.  Each is a no-op without an active plan.
+
+def maybe_fail_experiment(experiment_id: str) -> None:
+    """Raise :class:`InjectedFault` if the plan targets this experiment."""
+    plan = active_plan()
+    if plan is None:
+        return
+    message = plan.fail_experiments.get(experiment_id)
+    if message is not None:
+        raise InjectedFault(
+            message or f"injected failure in experiment {experiment_id!r}"
+        )
+
+
+def maybe_raise_cache_io(operation: str) -> None:
+    """Raise ``OSError`` on a disk-cache read/write if the plan says so."""
+    plan = active_plan()
+    if plan is None:
+        return
+    if (operation == "read" and plan.cache_read_oserror) or (
+        operation == "write" and plan.cache_write_oserror
+    ):
+        raise OSError(f"injected cache {operation} failure")
+
+
+def maybe_corrupt_cache_file(path: os.PathLike) -> None:
+    """Scribble garbage over a cache entry about to be read.
+
+    Corrupts at most ``corrupt_cache_reads`` *distinct* entries per
+    process, so a quarantine-then-recompute cycle converges instead of
+    chasing an ever-corrupting cache.
+    """
+    plan = active_plan()
+    if plan is None or plan.corrupt_cache_reads <= 0:
+        return
+    key = str(path)
+    if key in _corrupted_paths:
+        return
+    if len(_corrupted_paths) >= plan.corrupt_cache_reads:
+        return
+    try:
+        with open(path, "wb") as fh:
+            fh.write(_GARBAGE)
+    except OSError:
+        return
+    _corrupted_paths.add(key)
+
+
+def maybe_kill_worker(task_index: int) -> None:
+    """Hard-kill the current *pool worker* at the planned task index.
+
+    Never fires in the main process: the whole point of worker-death
+    injection is proving that the parent's retry path completes, so the
+    serial re-execution of the same task must survive.
+    """
+    plan = active_plan()
+    if plan is None or plan.worker_death_index != task_index:
+        return
+    if multiprocessing.parent_process() is None:
+        return
+    os._exit(_WORKER_DEATH_STATUS)

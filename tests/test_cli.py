@@ -115,6 +115,108 @@ class TestCli:
             main([])
 
 
+class TestCliFailurePaths:
+    """run-all under injected failure: exit codes, manifest, --resume."""
+
+    @pytest.fixture(autouse=True)
+    def clean_faults(self, monkeypatch):
+        from repro.testing import faults
+
+        monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+        faults.deactivate()
+        yield
+        faults.deactivate()
+
+    ONLY = "sec3-lmbench,omp-overheads"
+
+    def _failing_run(self, tmp_path, monkeypatch, spec, only=ONLY):
+        monkeypatch.setenv("REPRO_FAULTS", spec)
+        code = main(["run-all", "--out", str(tmp_path), "--only", only])
+        monkeypatch.delenv("REPRO_FAULTS")
+        return code
+
+    def test_partial_failure_exits_3(self, tmp_path, monkeypatch, capsys):
+        code = self._failing_run(
+            tmp_path, monkeypatch, "experiment:omp-overheads"
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "completed partially" in err
+        assert "1 failed (omp-overheads)" in err
+        assert "--resume" in err
+
+    def test_partial_manifest_contents(self, tmp_path, monkeypatch, capsys):
+        self._failing_run(
+            tmp_path, monkeypatch, "experiment:fig3",
+            only="fig3,table2,sec3-lmbench",
+        )
+        capsys.readouterr()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["status"] == "partial"
+        failure = manifest["failures"]["fig3"]
+        assert failure["error_type"] == "InjectedFault"
+        assert "Traceback" in failure["traceback"]
+        assert manifest["skipped"]["table2"]["blocked_by"] == ["fig3"]
+        # The independent experiment still completed and shipped.
+        assert manifest["experiments"]["sec3-lmbench"]["status"] == "ok"
+        assert (tmp_path / "sec3-lmbench.txt").exists()
+        assert not (tmp_path / "fig3.txt").exists()
+
+    def test_resume_happy_path(self, tmp_path, monkeypatch, capsys):
+        assert self._failing_run(
+            tmp_path, monkeypatch, "experiment:omp-overheads"
+        ) == 3
+        capsys.readouterr()
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "1 completed experiment(s) reused" in out
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["status"] == "complete"
+        assert manifest["failures"] == {} and manifest["skipped"] == {}
+        assert (tmp_path / "omp-overheads.txt").read_text().strip()
+
+    def test_resume_nothing_to_do(self, tmp_path, capsys):
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY]) == 0
+        capsys.readouterr()
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to resume" in out
+
+    def test_malformed_faults_env_is_a_usage_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # A typo in REPRO_FAULTS must exit 2 before anything runs, not
+        # surface inside an experiment as a partial failure (exit 3).
+        monkeypatch.setenv("REPRO_FAULTS", "bogus-token")
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown fault token" in err
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_resume_without_previous_run_exits_2(self, tmp_path, capsys):
+        assert main(["run-all", "--out", str(tmp_path / "fresh"),
+                     "--resume", "--only", self.ONLY]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "nothing to resume" in err
+
+    def test_csv_export_skipped_when_inputs_failed(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "experiment:fig3")
+        code = main(["run-all", "--out", str(tmp_path), "--csv",
+                     "--only", "fig2,fig3,table2"])
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "skipping CSV export" in captured.err
+        assert not (tmp_path / "fig3_speedup.csv").exists()
+
+
 class TestMachinesCli:
     def test_machines_lists_registry(self, capsys):
         assert main(["machines"]) == 0

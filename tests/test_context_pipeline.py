@@ -104,7 +104,10 @@ class TestPipeline:
 
     def test_manifest_shape(self, pipeline):
         m = pipeline.manifest
-        assert m["schema"] == 1
+        assert m["schema"] == 2
+        assert m["status"] == "complete"
+        assert m["failures"] == {} and m["skipped"] == {}
+        assert m["parallel_fallbacks"] == []
         assert m["problem_class"] == "B"
         assert m["package_version"]
         assert set(m["experiments"]) == {"fig3", "table2"}

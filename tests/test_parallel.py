@@ -10,7 +10,10 @@ from repro.sim.parallel import (
     parallel_map,
     resolve_jobs,
     set_default_jobs,
+    take_fallback_report,
 )
+from repro.testing import faults
+from repro.testing.faults import FaultPlan
 
 
 def _square(x):
@@ -21,11 +24,25 @@ def _boom(x):
     raise ValueError(f"task {x}")
 
 
+def _os_boom(x):
+    raise OSError(f"task io failure {x}")
+
+
 @pytest.fixture(autouse=True)
 def reset_default_jobs():
     set_default_jobs(None)
+    take_fallback_report()
+    faults.deactivate()
     yield
     set_default_jobs(None)
+    faults.deactivate()
+
+
+@pytest.fixture
+def pool_host(monkeypatch):
+    """Pretend the host has cores so resolve_jobs does not clamp the
+    pool path away on single-CPU CI containers."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
 
 
 class TestJobResolution:
@@ -68,13 +85,59 @@ class TestParallelMap:
         assert parallel_map(_square, [], jobs=4) == []
         assert parallel_map(_square, [5], jobs=4) == [25]
 
-    def test_unpicklable_callable_falls_back_to_serial(self):
+    def test_unpicklable_callable_falls_back_to_serial(self, pool_host):
         # Lambdas cannot cross a process boundary; the map must still
         # return correct results via the serial fallback.
         assert parallel_map(lambda x: x + 1, [1, 2, 3], jobs=2) == [2, 3, 4]
+        report = take_fallback_report()
+        assert report.reason == "unpicklable-callable"
+        assert report.completed == 0 and report.retried == 3
 
     def test_task_exceptions_propagate(self):
         with pytest.raises(ValueError, match="task"):
             parallel_map(_boom, [1, 2], jobs=1)
         with pytest.raises(ValueError, match="task"):
             parallel_map(_boom, [1, 2], jobs=2)
+
+    def test_task_oserror_propagates_not_swallowed(self, pool_host):
+        """Regression: an OSError raised *by the task* used to be
+        mistaken for pool infrastructure failure, silently re-running
+        the whole list serially (and raising only on the second pass)."""
+        with pytest.raises(OSError, match="task io failure"):
+            parallel_map(_os_boom, [1, 2], jobs=2)
+        # And it was a task failure, not a pool degradation.
+        assert take_fallback_report() is None
+
+
+class TestBrokenPoolRetry:
+    def test_worker_death_retries_only_incomplete(self, pool_host):
+        plan = FaultPlan(worker_death_index=1)
+        with faults.injected_faults(plan):
+            results = parallel_map(_square, [0, 1, 2, 3], jobs=2)
+        assert results == [0, 1, 4, 9]
+        report = take_fallback_report()
+        assert report is not None
+        assert report.reason == "broken-pool"
+        # Every task is accounted for exactly once: results the pool
+        # delivered are kept, the rest re-ran serially.
+        assert report.completed + report.retried == 4
+        assert report.retried >= 1
+
+    def test_on_fallback_callback_invoked(self, pool_host):
+        seen = []
+        with faults.injected_faults(FaultPlan(worker_death_index=0)):
+            parallel_map(
+                _square, [1, 2, 3], jobs=2, on_fallback=seen.append
+            )
+        assert len(seen) == 1
+        assert seen[0].reason == "broken-pool"
+        assert seen[0].as_dict()["retried"] == seen[0].retried
+
+    def test_clean_run_leaves_no_report(self, pool_host):
+        assert parallel_map(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+        assert take_fallback_report() is None
+
+    def test_take_report_pops(self, pool_host):
+        parallel_map(lambda x: x, [1, 2], jobs=2)
+        assert take_fallback_report() is not None
+        assert take_fallback_report() is None

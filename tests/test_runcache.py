@@ -4,7 +4,9 @@ import pickle
 
 import pytest
 
+from repro.core import runcache
 from repro.core.runcache import (
+    QUARANTINE_DIR,
     RunCache,
     configure,
     get_cache,
@@ -13,6 +15,19 @@ from repro.core.runcache import (
 from repro.core.study import Study
 from repro.machine.params import paxville_params
 from repro.openmp.env import OMPEnvironment
+from repro.testing import faults
+from repro.testing.faults import FaultPlan
+
+
+class _Payload:
+    """A picklable value class tests can make 'disappear' to simulate a
+    class-layout refactor between package versions."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, _Payload) and other.value == self.value
 
 
 @pytest.fixture(autouse=True)
@@ -79,6 +94,128 @@ class TestRunCache:
         path.write_bytes(b"\x80")  # truncated pickle
         reader = RunCache(disk_dir=tmp_path)
         assert reader.is_miss(reader.get("fp", ("k",)))
+
+
+class TestDiskIntegrity:
+    def _one_entry(self, tmp_path, value="value"):
+        writer = RunCache(disk_dir=tmp_path)
+        writer.put("fp", ("k",), value)
+        (path,) = tmp_path.glob("*.pkl")
+        return path
+
+    def _read(self, tmp_path):
+        reader = RunCache(disk_dir=tmp_path)
+        return reader, reader.get("fp", ("k",))
+
+    def assert_quarantined(self, tmp_path, path, reader):
+        assert not path.exists()
+        assert (tmp_path / QUARANTINE_DIR / path.name).exists()
+        assert reader.stats.quarantined == 1
+        assert reader.stats.as_dict()["quarantined"] == 1
+
+    def test_corrupt_entry_quarantined_not_served(self, tmp_path):
+        path = self._one_entry(tmp_path)
+        path.write_bytes(b"\x00garbage that is not a pickle")
+        reader, value = self._read(tmp_path)
+        assert reader.is_miss(value)
+        self.assert_quarantined(tmp_path, path, reader)
+
+    def test_legacy_raw_pickle_entry_quarantined(self, tmp_path):
+        """Pre-envelope entries (plain pickled values) are stale by
+        definition: quarantined, never deserialized."""
+        path = self._one_entry(tmp_path)
+        path.write_bytes(pickle.dumps({"v": 1}))
+        reader, value = self._read(tmp_path)
+        assert reader.is_miss(value)
+        self.assert_quarantined(tmp_path, path, reader)
+
+    def test_package_version_mismatch_quarantined(self, tmp_path, monkeypatch):
+        path = self._one_entry(tmp_path)
+        monkeypatch.setattr(
+            runcache, "_package_version", lambda: "999.0.0"
+        )
+        reader, value = self._read(tmp_path)
+        assert reader.is_miss(value)
+        self.assert_quarantined(tmp_path, path, reader)
+
+    def test_entry_schema_mismatch_quarantined(self, tmp_path, monkeypatch):
+        path = self._one_entry(tmp_path)
+        monkeypatch.setattr(runcache, "CACHE_ENTRY_SCHEMA", 999)
+        reader, value = self._read(tmp_path)
+        assert reader.is_miss(value)
+        self.assert_quarantined(tmp_path, path, reader)
+
+    def test_payload_bitrot_fails_checksum(self, tmp_path):
+        path = self._one_entry(tmp_path, value="A" * 256)
+        raw = bytearray(path.read_bytes())
+        # Flip one bit inside the payload region (the long A-run).
+        raw[raw.find(b"AAAA") + 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        reader, value = self._read(tmp_path)
+        assert reader.is_miss(value)
+        self.assert_quarantined(tmp_path, path, reader)
+
+    def test_stale_class_layout_regression(self, tmp_path, monkeypatch):
+        """Regression: unpickling an entry whose class no longer exists
+        raised AttributeError straight through ``get`` — a warm cache
+        crashed run-all after any refactor.  Now it quarantines."""
+        import tests.test_runcache as this_module
+
+        path = self._one_entry(tmp_path, value=_Payload(7))
+        # Same package version, but the class was refactored away.
+        monkeypatch.delattr(this_module, "_Payload")
+        reader, value = self._read(tmp_path)
+        assert reader.is_miss(value)
+        self.assert_quarantined(tmp_path, path, reader)
+
+    def test_valid_entry_round_trips_with_zero_quarantine(self, tmp_path):
+        self._one_entry(tmp_path, value=_Payload(7))
+        reader, value = self._read(tmp_path)
+        assert value == _Payload(7)
+        assert reader.stats.quarantined == 0
+        assert reader.stats.disk_hits == 1
+
+    def test_quarantined_entry_not_retried(self, tmp_path):
+        path = self._one_entry(tmp_path)
+        path.write_bytes(b"garbage")
+        reader = RunCache(disk_dir=tmp_path)
+        assert reader.is_miss(reader.get("fp", ("k",)))
+        assert reader.is_miss(reader.get("fp", ("k",)))
+        assert reader.stats.quarantined == 1  # moved aside exactly once
+
+
+class TestInjectedCacheFaults:
+    @pytest.fixture(autouse=True)
+    def no_plan(self):
+        faults.deactivate()
+        yield
+        faults.deactivate()
+
+    def test_read_oserror_degrades_to_miss(self, tmp_path):
+        writer = RunCache(disk_dir=tmp_path)
+        writer.put("fp", ("k",), 42)
+        reader = RunCache(disk_dir=tmp_path)
+        with faults.injected_faults(FaultPlan(cache_read_oserror=True)):
+            assert reader.is_miss(reader.get("fp", ("k",)))
+        # Entry left intact (the failure was IO, not content).
+        assert reader.stats.quarantined == 0
+        assert reader.get("fp", ("k",)) == 42
+
+    def test_write_oserror_degrades_to_memory_only(self, tmp_path):
+        cache = RunCache(disk_dir=tmp_path)
+        with faults.injected_faults(FaultPlan(cache_write_oserror=True)):
+            cache.put("fp", ("k",), 42)
+        assert not list(tmp_path.glob("*.pkl"))
+        assert cache.get("fp", ("k",)) == 42  # memory tier still serves
+
+    def test_injected_corruption_is_quarantined(self, tmp_path):
+        writer = RunCache(disk_dir=tmp_path)
+        writer.put("fp", ("k",), 42)
+        reader = RunCache(disk_dir=tmp_path)
+        with faults.injected_faults(FaultPlan(corrupt_cache_reads=1)):
+            assert reader.is_miss(reader.get("fp", ("k",)))
+        assert reader.stats.quarantined == 1
+        assert list((tmp_path / QUARANTINE_DIR).iterdir())
 
     def test_clear(self, tmp_path):
         cache = RunCache(disk_dir=tmp_path)
