@@ -1,6 +1,11 @@
 """Benchmark: regenerate the Section-3 LMbench characterization table."""
 
+import pytest
+
 from repro.experiments import sec3_lmbench
+
+# Cheap enough (no NPB sweep) to ride in the CI smoke subset.
+pytestmark = pytest.mark.smoke
 
 
 def test_bench_sec3_lmbench(benchmark):

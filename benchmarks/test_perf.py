@@ -18,6 +18,10 @@ import numpy as np
 import pytest
 
 from repro.core.runcache import RunCache
+
+# Every benchmark here is a sub-second micro-measurement, so the whole
+# module doubles as the CI smoke subset (run with --benchmark-disable).
+pytestmark = pytest.mark.smoke
 from repro.core.study import Study
 from repro.machine.params import CacheParams
 from repro.machine.registry import resolve_machine

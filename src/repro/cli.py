@@ -136,6 +136,21 @@ def _build_parser() -> argparse.ArgumentParser:
     speed.add_argument("config")
     speed.add_argument("--problem-class", default="B")
     _add_machine_option(speed)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the experiment matrix under the invariant auditor "
+             "(cache disabled, serial) and report the audit",
+    )
+    verify.add_argument(
+        "--only", action="append", default=None, metavar="ID_OR_TAG",
+        help="audit only matching experiments (same syntax as run-all)",
+    )
+    verify.add_argument(
+        "--skip", action="append", default=None, metavar="ID_OR_TAG",
+        help="skip matching experiments (same syntax as run-all)",
+    )
+    _add_machine_option(verify)
     return parser
 
 
@@ -314,6 +329,49 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 f"re-run with --resume to finish the matrix",
                 file=sys.stderr,
             )
+        return pipeline.exit_code
+
+    if args.command == "verify":
+        from repro import verify as verify_mod
+        from repro.core.context import RunContext
+        from repro.experiments.pipeline import run_pipeline
+
+        # Serial and cache-disabled on purpose: audited runs must
+        # actually simulate (a cache hit skips the engine entirely), and
+        # pool workers would keep their audit counters to themselves.
+        ctx = RunContext(
+            machine=_resolve_machine_arg(args.machine),
+            jobs=1,
+            cache_enabled=False,
+            verify=True,
+        )
+        verify_mod.reset_stats()
+        try:
+            pipeline = run_pipeline(
+                ctx, only=_split_tokens(args.only),
+                skip=_split_tokens(args.skip),
+            )
+        except KeyError as exc:
+            raise CLIError(exc.args[0]) from None
+        s = verify_mod.stats()
+        print(
+            f"audited {len(pipeline.records)} experiment(s): "
+            f"{s.runs} engine runs, {s.steps} steps, {s.phases} phases, "
+            f"{s.checks} invariant checks, {s.violations} violation(s)"
+        )
+        if not pipeline.ok:
+            for exp_id, failure in sorted(pipeline.failures.items()):
+                print(
+                    f"verify: {exp_id} failed "
+                    f"[{failure.error_type}]: {failure.message}",
+                    file=sys.stderr,
+                )
+            for exp_id, blockers in sorted(pipeline.skipped.items()):
+                print(
+                    f"verify: {exp_id} skipped "
+                    f"(blocked by {', '.join(blockers)})",
+                    file=sys.stderr,
+                )
         return pipeline.exit_code
 
     if args.command == "speedup":

@@ -33,6 +33,7 @@ from repro.core.runcache import configure, study_fingerprint
 from repro.core.study import Study
 from repro.testing import faults as _faults
 from repro.testing.faults import FaultPlan
+from repro import verify as _verify
 from repro.machine.params import MachineParams
 from repro.machine.registry import DEFAULT_MACHINE, resolve_machine
 from repro.machine.spec import MachineSpec
@@ -75,6 +76,12 @@ class RunContext:
     #: workers by :meth:`apply_runtime_config` so injected faults fire
     #: identically on the serial and parallel pipeline paths.
     faults: Optional[FaultPlan] = None
+    #: Runtime verification switch for the invariant auditor
+    #: (:mod:`repro.verify`).  ``None`` defers to the ``REPRO_VERIFY``
+    #: environment variable and the audit-under-pytest default; an
+    #: explicit ``True``/``False`` wins, and is carried into pool
+    #: workers by :meth:`apply_runtime_config` like the fault plan.
+    verify: Optional[bool] = None
     #: Upstream experiment results, keyed by registry id.
     results: Dict[str, Any] = field(default_factory=dict)
 
@@ -181,17 +188,21 @@ class RunContext:
 
     def apply_runtime_config(self) -> None:
         """Apply every process-global switch the context carries: the
-        run-cache configuration plus the fault-injection plan.  The
-        explicit plan slot mirrors ``self.faults`` exactly — a context
-        without faults clears any plan left over from a previous run in
-        the same process (a resumed run must not re-fail experiments).
-        Plans supplied via ``REPRO_FAULTS`` are unaffected: they live in
-        the environment fallback, not the explicit slot."""
+        run-cache configuration, the fault-injection plan, and the
+        verification switch.  The explicit plan slot mirrors
+        ``self.faults`` exactly — a context without faults clears any
+        plan left over from a previous run in the same process (a
+        resumed run must not re-fail experiments).  Plans supplied via
+        ``REPRO_FAULTS`` are unaffected: they live in the environment
+        fallback, not the explicit slot.  ``self.verify`` mirrors into
+        :func:`repro.verify.activate` the same way (``None`` clears the
+        explicit switch, deferring to ``REPRO_VERIFY``/pytest)."""
         self.apply_cache_config()
         if self.faults is not None:
             _faults.activate(self.faults)
         else:
             _faults.deactivate()
+        _verify.activate(self.verify)
 
     # ------------------------------------------------------------------
     @property

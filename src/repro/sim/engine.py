@@ -34,6 +34,7 @@ from repro.sim.advance import Progress, TimeAccountant
 from repro.sim.observer import (
     PhaseEvent,
     PhaseLogObserver,
+    ResolveEvent,
     SimObserver,
     StepEvent,
     TimelineObserver,
@@ -47,6 +48,12 @@ from repro.sim.resolver import (
 )
 from repro.sim.results import ProgramResult, RunResult
 from repro.trace.phase import Workload
+
+# Runtime verification (the invariant auditor attaches per run when
+# enabled).  Safe against the import cycle: only attribute access at run
+# time, and ``repro.verify`` resolves through ``sys.modules`` even while
+# partially initialized.
+from repro import verify as _verify
 
 _MAX_STEPS = 100_000
 
@@ -148,8 +155,11 @@ class Engine:
         observers: List[SimObserver] = [
             timeline_obs, phase_log_obs, *self.observers
         ]
+        if _verify.enabled():
+            observers.append(_verify.InvariantAuditor(resolver=self.resolver))
         broadcast(observers, "on_run_start", specs)
         global_t = 0.0
+        step_idx = 0
 
         for _ in range(_MAX_STEPS):
             live = [p for p in progress if not p.done]
@@ -158,6 +168,9 @@ class Engine:
 
             active = self._active_contexts(live, placement)
             resolved = self.resolver.resolve(active)
+            step_idx += 1
+            broadcast(observers, "on_resolve",
+                      ResolveEvent(step=step_idx, resolved=resolved))
 
             # Projected remaining wall time of each live program's phase.
             projected: Dict[int, Tuple[float, float]] = {}
@@ -221,13 +234,15 @@ class Engine:
             )
             for p in progress
         ]
-        return RunResult(
+        result = RunResult(
             config=self.config,
             programs=results,
             collector=collector,
             phase_log=phase_log_obs.phase_log,
             timeline=timeline_obs.timeline,
         )
+        broadcast(observers, "on_result", result)
+        return result
 
     def _run_oversubscribed(self, spec: ProgramSpec) -> RunResult:
         """Time-share ``spec.n_threads`` threads over the contexts.

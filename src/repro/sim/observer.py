@@ -6,21 +6,30 @@ subscribers, and tracing/metrics consumers attach the same way instead
 of patching the loop.  Observers receive:
 
 * :meth:`SimObserver.on_run_start` — once, with the program specs;
+* :meth:`SimObserver.on_resolve` — one :class:`ResolveEvent` per engine
+  step, right after the contention resolver produced the step's
+  per-context execution state (before any time advances on it);
 * :meth:`SimObserver.on_step` — one :class:`StepEvent` per live program
   per engine step (the engine advances to the nearest phase boundary);
 * :meth:`SimObserver.on_phase_complete` — one :class:`PhaseEvent` when a
   program finishes a phase;
 * :meth:`SimObserver.on_run_complete` — once, with the total simulated
-  time.
+  time;
+* :meth:`SimObserver.on_result` — once, with the assembled
+  :class:`~repro.sim.results.RunResult` (counter-closure audits hook
+  here).
 
 Events are plain frozen dataclasses, so observers cannot perturb the
 simulation; a misbehaving observer can only corrupt its own state.
+(:class:`ResolveEvent` and :meth:`~SimObserver.on_result` expose the
+engine's own objects for auditing — observers must treat them as
+read-only.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Any, List, Mapping, Sequence
 
 from repro.counters.timeline import Timeline, TimelineSample
 from repro.sim.results import PhaseRecord
@@ -28,10 +37,26 @@ from repro.sim.results import PhaseRecord
 __all__ = [
     "PhaseEvent",
     "PhaseLogObserver",
+    "ResolveEvent",
     "SimObserver",
     "StepEvent",
     "TimelineObserver",
 ]
+
+
+@dataclass(frozen=True)
+class ResolveEvent:
+    """The resolver's output for one engine step, before time advances.
+
+    ``resolved`` maps hardware-context labels to the live
+    :class:`~repro.sim.resolver.ResolvedContext` objects the engine will
+    advance on — exposed for auditing, not for mutation.
+    """
+
+    #: Engine step index (1-based; the step about to be taken).
+    step: int
+    #: Label -> resolved execution state for every active context.
+    resolved: Mapping[str, Any]
 
 
 @dataclass(frozen=True)
@@ -71,6 +96,9 @@ class SimObserver:
     def on_run_start(self, specs: Sequence) -> None:
         """Called once before the first step."""
 
+    def on_resolve(self, event: ResolveEvent) -> None:
+        """Called once per step with the resolver's output."""
+
     def on_step(self, event: StepEvent) -> None:
         """Called for every live program at every step."""
 
@@ -79,6 +107,9 @@ class SimObserver:
 
     def on_run_complete(self, total_time: float) -> None:
         """Called once after the last step."""
+
+    def on_result(self, result: Any) -> None:
+        """Called once with the assembled run result."""
 
 
 class TimelineObserver(SimObserver):

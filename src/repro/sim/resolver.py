@@ -37,6 +37,7 @@ from repro.mem.hierarchy import HierarchyModel, LevelRates
 from repro.openmp.env import OMPEnvironment, ScheduleKind
 from repro.osmodel.process import ProgramSpec, ThreadPlacement
 from repro.osmodel.scheduler import Scheduler
+from repro.testing import faults
 from repro.trace.phase import Phase
 
 __all__ = [
@@ -117,6 +118,10 @@ class FixedPointResolver:
         self.hierarchy = HierarchyModel(params)
         self.pipeline = PipelineModel(params)
         self.bus = BusModel(params.bus, n_chips_total=topology.n_chips)
+        #: Residual (max relative CPI delta) of the last fixed point —
+        #: the invariant auditor bounds it to catch silent
+        #: non-convergence.  ``None`` until the first resolve.
+        self.last_residual: Optional[float] = None
         c = params.contention
         self._schedule_locality = {
             ScheduleKind.STATIC: 1.0,
@@ -313,6 +318,7 @@ class FixedPointResolver:
                 ),
             )
 
+        max_delta = 0.0
         for _ in range(_FIXED_POINT_ITERS):
             loads = []
             for a in active:
@@ -382,6 +388,7 @@ class FixedPointResolver:
                 cpi_est[label] = new_cpi
             if max_delta < 1e-4:
                 break
+        self.last_residual = max_delta
 
         outcomes = self.bus.build_outcomes(loads, lite)
         for a in active:
@@ -402,7 +409,7 @@ class FixedPointResolver:
                 sibling_miss_ratio=sibling_missiness[label],
             )
 
-        return {
+        resolved = {
             a.placement.context.label: ResolvedContext(
                 active=a,
                 rates=rates[a.placement.context.label],
@@ -417,6 +424,9 @@ class FixedPointResolver:
             )
             for a in active
         }
+        # Fault-drill hook: a no-op without an active resolver-skew plan.
+        faults.maybe_skew_resolver(resolved)
+        return resolved
 
     # ------------------------------------------------------------------
     def _apply_schedule_locality(

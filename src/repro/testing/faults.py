@@ -29,6 +29,13 @@ The spec is a comma-separated token list:
     ``<i>`` of a :func:`repro.sim.parallel.parallel_map` call.  Only
     fires in a child process, so the serial retry that follows the
     resulting ``BrokenProcessPool`` completes normally.
+``resolver-skew:<f>``
+    Corrupt the contention resolver's output: inflate every resolved
+    context's global L2 miss rate by the factor ``1 + f`` *without*
+    adjusting the access counts it must stay consistent with.  The
+    physics stops closing, which the
+    :class:`~repro.verify.auditor.InvariantAuditor` must catch at the
+    first resolved step (the auditor drill in CI).
 
 Example::
 
@@ -56,6 +63,7 @@ __all__ = [
     "maybe_fail_experiment",
     "maybe_kill_worker",
     "maybe_raise_cache_io",
+    "maybe_skew_resolver",
     "parse_plan",
 ]
 
@@ -96,6 +104,8 @@ class FaultPlan:
     corrupt_cache_reads: int = 0
     #: Kill the pool worker executing this parallel_map task index.
     worker_death_index: Optional[int] = None
+    #: Inflate resolved L2 miss rates by 1 + this factor (0 = off).
+    resolver_skew: float = 0.0
 
     @property
     def touches_parallel_map(self) -> bool:
@@ -116,6 +126,8 @@ class FaultPlan:
             tokens.append(f"cache-corrupt:{self.corrupt_cache_reads}")
         if self.worker_death_index is not None:
             tokens.append(f"worker-death:{self.worker_death_index}")
+        if self.resolver_skew:
+            tokens.append(f"resolver-skew:{self.resolver_skew}")
         return ",".join(tokens)
 
 
@@ -125,6 +137,7 @@ def parse_plan(spec: str) -> FaultPlan:
     read_os = write_os = False
     corrupt = 0
     death: Optional[int] = None
+    skew = 0.0
     for raw in spec.split(","):
         token = raw.strip()
         if not token:
@@ -143,11 +156,13 @@ def parse_plan(spec: str) -> FaultPlan:
             corrupt = _int_arg(token, "cache-corrupt")
         elif token.startswith("worker-death:"):
             death = _int_arg(token, "worker-death")
+        elif token.startswith("resolver-skew:"):
+            skew = _float_arg(token, "resolver-skew")
         else:
             raise FaultSpecError(
                 f"unknown fault token {token!r}; valid: experiment:<id>, "
                 f"cache-read-oserror, cache-write-oserror, "
-                f"cache-corrupt:<n>, worker-death:<i>"
+                f"cache-corrupt:<n>, worker-death:<i>, resolver-skew:<f>"
             )
     return FaultPlan(
         fail_experiments=fail,
@@ -155,6 +170,7 @@ def parse_plan(spec: str) -> FaultPlan:
         cache_write_oserror=write_os,
         corrupt_cache_reads=corrupt,
         worker_death_index=death,
+        resolver_skew=skew,
     )
 
 
@@ -169,6 +185,19 @@ def _int_arg(token: str, name: str) -> int:
     if n < 0:
         raise FaultSpecError(f"{name} argument must be >= 0")
     return n
+
+
+def _float_arg(token: str, name: str) -> float:
+    value = token[len(name) + 1:]
+    try:
+        f = float(value)
+    except ValueError:
+        raise FaultSpecError(
+            f"{name} needs a number argument, got {value!r}"
+        ) from None
+    if f <= 0:
+        raise FaultSpecError(f"{name} argument must be > 0")
+    return f
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +296,26 @@ def maybe_corrupt_cache_file(path: os.PathLike) -> None:
     except OSError:
         return
     _corrupted_paths.add(key)
+
+
+def maybe_skew_resolver(resolved: Dict[str, "object"]) -> None:
+    """Corrupt the resolver's output in place, if the plan says so.
+
+    Inflates every context's global L2 miss rate by ``1 + skew`` while
+    leaving the access counts and local miss rate untouched — the
+    hierarchy closure (``l2_misses = l2_accesses * l2_miss_rate``) no
+    longer holds, which the invariant auditor must report with the
+    step/context where it first saw the incoherence.
+    """
+    plan = active_plan()
+    if plan is None or plan.resolver_skew <= 0.0:
+        return
+    factor = 1.0 + plan.resolver_skew
+    for r in resolved.values():
+        r.rates = dataclasses.replace(
+            r.rates,
+            l2_misses_per_instr=r.rates.l2_misses_per_instr * factor,
+        )
 
 
 def maybe_kill_worker(task_index: int) -> None:

@@ -1,0 +1,146 @@
+"""Hypothesis strategies for random-but-valid machine descriptions.
+
+The metamorphic suite (``tests/test_metamorphic.py``) asserts laws of
+the simulator — larger caches never miss more, a faster bus never slows
+a run down — over *arbitrary* machines, not just Paxville.  These
+strategies generate those machines through
+:meth:`~repro.machine.spec.MachineSpec.from_dict`, so every drawn spec
+passed the same schema validation a spec file would: cache geometries
+are constructed from (line, associativity, power-of-two set count)
+triples instead of raw byte sizes, cross-field constraints (L2 lines at
+least as large as L1 lines, L2 scope vs sharing) hold by construction,
+and anything the schema would reject simply cannot be drawn.
+
+Import this module only from tests: it requires ``hypothesis``, which is
+a ``test`` extra, so it is deliberately **not** re-exported from
+:mod:`repro.testing` (the fault harness there must stay importable from
+production code).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from hypothesis import strategies as st
+
+from repro.machine.spec import MachineSpec
+
+__all__ = [
+    "cache_tables",
+    "machine_params",
+    "machine_specs",
+    "machine_trees",
+]
+
+
+def _pow2(min_exp: int, max_exp: int) -> st.SearchStrategy[int]:
+    return st.integers(min_exp, max_exp).map(lambda e: 2 ** e)
+
+
+def cache_tables(
+    line_bytes: st.SearchStrategy[int],
+    associativity: st.SearchStrategy[int],
+    n_sets: st.SearchStrategy[int],
+    latency_cycles: st.SearchStrategy[float],
+) -> st.SearchStrategy[Dict[str, Any]]:
+    """A sparse ``machine.<cache>`` table with valid geometry.
+
+    ``size = line * associativity * sets`` with a power-of-two set
+    count, so the dataclass invariants (size divisible by line,
+    associativity divides the line count) hold for every draw.
+    """
+    return st.builds(
+        lambda line, assoc, sets, lat: {
+            "size_bytes": line * assoc * sets,
+            "line_bytes": line,
+            "associativity": assoc,
+            "latency_cycles": lat,
+        },
+        line_bytes, associativity, n_sets, latency_cycles,
+    )
+
+
+def _core_tables() -> st.SearchStrategy[Dict[str, Any]]:
+    return st.fixed_dictionaries({
+        "clock_hz": st.floats(1.4e9, 4.2e9),
+        "issue_width": st.floats(1.2, 2.4),
+        "mlp": st.floats(1.5, 4.0),
+    })
+
+
+def _bus_tables() -> st.SearchStrategy[Dict[str, Any]]:
+    # The system-level bandwidth is the chip bandwidth times a
+    # saturation factor >= 1 (two chips never stream slower than one).
+    return st.builds(
+        lambda chip_read, sys_factor, write_frac: {
+            "chip_read_bw": chip_read,
+            "chip_write_bw": chip_read * write_frac,
+            "system_read_bw": chip_read * sys_factor,
+            "system_write_bw": chip_read * write_frac * sys_factor,
+        },
+        st.floats(2.0e9, 8.0e9),
+        st.floats(1.05, 1.9),
+        st.floats(0.4, 0.7),
+    )
+
+
+def _tlb_tables() -> st.SearchStrategy[Dict[str, Any]]:
+    return st.fixed_dictionaries({
+        "entries": _pow2(5, 8),
+        "miss_penalty_cycles": st.floats(15.0, 60.0),
+    })
+
+
+def machine_trees() -> st.SearchStrategy[Dict[str, Any]]:
+    """A sparse ``machine`` tree (the spec file's ``machine`` table).
+
+    L1 lines are fixed at 64 B and L2 lines drawn from {64, 128} B, so
+    the cross-field rule "L2 lines at least as large as L1 lines" holds
+    by construction; sharing scopes keep the Paxville defaults (the
+    schema ties them to the topology).  Omitted sections inherit the
+    Paxville baseline, mirroring how spec files are written.
+    """
+    return st.fixed_dictionaries({
+        "core": _core_tables(),
+        "l1d": cache_tables(
+            line_bytes=st.just(64),
+            associativity=st.sampled_from([2, 4, 8]),
+            n_sets=_pow2(4, 6),
+            latency_cycles=st.floats(2.0, 6.0),
+        ),
+        "l2": cache_tables(
+            line_bytes=st.sampled_from([64, 128]),
+            associativity=st.sampled_from([4, 8]),
+            n_sets=_pow2(8, 12),
+            latency_cycles=st.floats(14.0, 40.0),
+        ),
+        "itlb": _tlb_tables(),
+        "dtlb": _tlb_tables(),
+        "bus": _bus_tables(),
+        "memory_latency_ns": st.floats(70.0, 280.0),
+    })
+
+
+def machine_specs(
+    name: str = "hypothesis-machine",
+    trees: Optional[st.SearchStrategy[Dict[str, Any]]] = None,
+) -> st.SearchStrategy[MachineSpec]:
+    """Random valid :class:`~repro.machine.spec.MachineSpec` instances.
+
+    Every draw goes through :meth:`MachineSpec.from_dict` — the same
+    code path as a spec file — so schema validation is part of the
+    strategy, not an afterthought in the test.
+    """
+    return (trees if trees is not None else machine_trees()).map(
+        lambda tree: MachineSpec.from_dict({
+            "schema": 1,
+            "name": name,
+            "description": "hypothesis-generated machine",
+            "machine": tree,
+        })
+    )
+
+
+def machine_params():
+    """Random valid engine-facing parameter bundles."""
+    return machine_specs().map(lambda spec: spec.to_params())

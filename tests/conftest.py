@@ -1,0 +1,84 @@
+"""Shared test configuration: Hypothesis profiles and common fixtures.
+
+Hypothesis profiles (satellite of the correctness-harness PR):
+
+* ``ci`` — derandomized (fixed seed) with the deadline off, so property
+  tests are deterministic in CI: same examples every run, no flakes
+  from machine speed.  Selected with ``HYPOTHESIS_PROFILE=ci``.
+* ``dev`` — the default locally: randomized exploration (new examples
+  every run) with the deadline off (simulation-backed properties are
+  far slower than Hypothesis' 200 ms default budget expects).
+
+To reproduce a ``dev``-profile failure, copy the ``@reproduce_failure``
+decorator (or the seed) Hypothesis prints with the failing example —
+see ``docs/TESTING.md``.
+
+Shared fixtures live here instead of being re-declared per test module:
+``study`` (the memoized class-B study), ``fail_plan``/``strip_timings``
+(fault-drill helpers), and the autouse ``clean_runtime_switches`` that
+isolates the process-global fault plan and verification switch between
+tests.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import settings
+
+from repro.core.study import Study
+from repro.testing import faults
+from repro.testing.faults import FaultPlan
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+@pytest.fixture(scope="module")
+def study():
+    """The shared class-B study (memoized workloads + run cache)."""
+    return Study("B")
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime_switches(monkeypatch):
+    """Isolate process-global switches between tests.
+
+    The fault plan and the verification switch are process-global (so
+    pool workers inherit them); a test that activates either must not
+    leak it into the next test, and an externally-set ``REPRO_FAULTS``/
+    ``REPRO_VERIFY`` must not leak in.
+    """
+    from repro import verify
+
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(verify.VERIFY_ENV, raising=False)
+    faults.deactivate()
+    verify.deactivate()
+    yield
+    faults.deactivate()
+    verify.deactivate()
+
+
+@pytest.fixture
+def fail_plan():
+    """Factory for a plan failing the given experiment ids."""
+    def _fail(*ids):
+        return FaultPlan(fail_experiments={i: "" for i in ids})
+    return _fail
+
+
+@pytest.fixture
+def strip_timings():
+    """A manifest with every timing/cache counter removed — the part
+    that must be byte-identical between a clean and a resumed run."""
+    def _strip(manifest):
+        m = json.loads(json.dumps(manifest))
+        m.pop("cache")
+        m.pop("total_wall_time_s")
+        for entry in m["experiments"].values():
+            entry.pop("wall_time_s")
+            entry.pop("cache")
+        return m
+    return _strip

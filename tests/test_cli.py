@@ -116,16 +116,11 @@ class TestCli:
 
 
 class TestCliFailurePaths:
-    """run-all under injected failure: exit codes, manifest, --resume."""
+    """run-all under injected failure: exit codes, manifest, --resume.
 
-    @pytest.fixture(autouse=True)
-    def clean_faults(self, monkeypatch):
-        from repro.testing import faults
-
-        monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
-        faults.deactivate()
-        yield
-        faults.deactivate()
+    Fault-plan isolation is handled by the autouse
+    ``clean_runtime_switches`` fixture in tests/conftest.py.
+    """
 
     ONLY = "sec3-lmbench,omp-overheads"
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.study import Study
 from repro.experiments import (
     fig2_single_program,
     fig3_speedup,
@@ -14,9 +13,7 @@ from repro.experiments import (
 )
 
 
-@pytest.fixture(scope="module")
-def study():
-    return Study("B")
+# The shared ``study`` fixture lives in tests/conftest.py.
 
 
 class TestRegistry:

@@ -4,6 +4,9 @@ These drive the full ``run_pipeline``/``write_artifacts``/
 ``load_resume_state`` cycle with injected faults, using the cheap
 experiments (sec3-lmbench, omp-overheads) plus the one real dependency
 edge in the registry (table2 requires fig3).
+
+The ``fail_plan``/``strip_timings`` helpers and the autouse fault-plan
+isolation live in ``tests/conftest.py`` (shared with the CLI tests).
 """
 
 import json
@@ -20,39 +23,16 @@ from repro.experiments.pipeline import (
     write_artifacts,
 )
 from repro.testing import faults
-from repro.testing.faults import FaultPlan, InjectedFault
+from repro.testing.faults import InjectedFault
 
 
 CHEAP = ["sec3-lmbench", "omp-overheads"]
 DEP_CHAIN = ["fig3", "table2"]
 
 
-@pytest.fixture(autouse=True)
-def no_leftover_plan():
-    faults.deactivate()
-    yield
-    faults.deactivate()
-
-
-def fail(*ids):
-    return FaultPlan(fail_experiments={i: "" for i in ids})
-
-
-def strip_timings(manifest):
-    """A manifest with every timing/cache counter removed — the part
-    that must be byte-identical between a clean and a resumed run."""
-    m = json.loads(json.dumps(manifest))
-    m.pop("cache")
-    m.pop("total_wall_time_s")
-    for entry in m["experiments"].values():
-        entry.pop("wall_time_s")
-        entry.pop("cache")
-    return m
-
-
 class TestFailureIsolation:
-    def test_one_failure_does_not_stop_the_wave(self):
-        ctx = RunContext(faults=fail("omp-overheads"))
+    def test_one_failure_does_not_stop_the_wave(self, fail_plan):
+        ctx = RunContext(faults=fail_plan("omp-overheads"))
         out = run_pipeline(ctx, only=CHEAP)
         assert "sec3-lmbench" in out.records
         assert "omp-overheads" not in out.records
@@ -64,8 +44,8 @@ class TestFailureIsolation:
         assert not out.ok
         assert out.exit_code == EXIT_PARTIAL_FAILURE
 
-    def test_dependent_skipped_with_blockers(self):
-        ctx = RunContext(faults=fail("fig3"))
+    def test_dependent_skipped_with_blockers(self, fail_plan):
+        ctx = RunContext(faults=fail_plan("fig3"))
         out = run_pipeline(ctx, only=DEP_CHAIN)
         assert out.skipped == {"table2": ["fig3"]}
         assert "table2" not in out.records
@@ -77,8 +57,8 @@ class TestFailureIsolation:
         out = run_pipeline(RunContext(), only=["table2"])
         assert out.ok and "table2" in out.records
 
-    def test_failure_recorded_in_manifest(self):
-        ctx = RunContext(faults=fail("omp-overheads"))
+    def test_failure_recorded_in_manifest(self, fail_plan):
+        ctx = RunContext(faults=fail_plan("omp-overheads"))
         out = run_pipeline(ctx, only=CHEAP)
         m = out.manifest
         assert m["schema"] == 2
@@ -89,11 +69,13 @@ class TestFailureIsolation:
         # Completed experiments are untouched and marked ok.
         assert m["experiments"]["sec3-lmbench"]["status"] == "ok"
 
-    def test_surviving_artifacts_byte_identical_to_clean_run(self, tmp_path):
+    def test_surviving_artifacts_byte_identical_to_clean_run(
+        self, tmp_path, fail_plan
+    ):
         clean = run_pipeline(RunContext(), only=CHEAP)
         write_artifacts(clean, tmp_path / "clean")
         faulty = run_pipeline(
-            RunContext(faults=fail("omp-overheads")), only=CHEAP
+            RunContext(faults=fail_plan("omp-overheads")), only=CHEAP
         )
         write_artifacts(faulty, tmp_path / "faulty")
         for suffix in (".txt", ".json"):
@@ -104,11 +86,11 @@ class TestFailureIsolation:
         assert not (tmp_path / "faulty" / "omp-overheads.txt").exists()
         assert not (tmp_path / "faulty" / "omp-overheads.json").exists()
 
-    def test_parallel_wave_isolates_failures_too(self, monkeypatch):
+    def test_parallel_wave_isolates_failures_too(self, monkeypatch, fail_plan):
         import os
 
         monkeypatch.setattr(os, "cpu_count", lambda: 4)
-        ctx = RunContext(jobs=2, faults=fail("omp-overheads"))
+        ctx = RunContext(jobs=2, faults=fail_plan("omp-overheads"))
         out = run_pipeline(ctx, only=CHEAP)
         assert "sec3-lmbench" in out.records
         assert out.failures["omp-overheads"].error_type == "InjectedFault"
@@ -127,14 +109,15 @@ class TestFailureIsolation:
 
 
 class TestResume:
-    def _partial_run(self, tmp_path, only=None, plan=None):
-        ctx = RunContext(faults=plan or fail("fig3"))
+    @staticmethod
+    def _partial_run(tmp_path, plan, only=None):
+        ctx = RunContext(faults=plan)
         out = run_pipeline(ctx, only=only or DEP_CHAIN)
         write_artifacts(out, tmp_path)
         return out
 
-    def test_resume_reruns_only_failed_and_blocked(self, tmp_path):
-        self._partial_run(tmp_path, only=DEP_CHAIN + CHEAP)
+    def test_resume_reruns_only_failed_and_blocked(self, tmp_path, fail_plan):
+        self._partial_run(tmp_path, fail_plan("fig3"), only=DEP_CHAIN + CHEAP)
         state = load_resume_state(tmp_path)
         assert set(state.completed) == set(CHEAP)
         out = run_pipeline(RunContext(), only=DEP_CHAIN + CHEAP,
@@ -145,9 +128,9 @@ class TestResume:
         assert set(out.records) == set(DEP_CHAIN + CHEAP)
 
     def test_resumed_manifest_matches_clean_run_modulo_timings(
-        self, tmp_path
+        self, tmp_path, fail_plan, strip_timings
     ):
-        self._partial_run(tmp_path / "r")
+        self._partial_run(tmp_path / "r", fail_plan("fig3"))
         out = run_pipeline(
             RunContext(), only=DEP_CHAIN,
             resume=load_resume_state(tmp_path / "r"),
@@ -165,8 +148,10 @@ class TestResume:
             clean_manifest
         )
 
-    def test_resumed_artifacts_rewritten_byte_identical(self, tmp_path):
-        self._partial_run(tmp_path, only=DEP_CHAIN + CHEAP)
+    def test_resumed_artifacts_rewritten_byte_identical(
+        self, tmp_path, fail_plan
+    ):
+        self._partial_run(tmp_path, fail_plan("fig3"), only=DEP_CHAIN + CHEAP)
         before = {
             name: (tmp_path / name).read_bytes()
             for name in ("sec3-lmbench.txt", "sec3-lmbench.json",
@@ -179,11 +164,11 @@ class TestResume:
             assert (tmp_path / name).read_bytes() == raw
 
     def test_completed_dependency_injected_into_rerunning_dependent(
-        self, tmp_path
+        self, tmp_path, fail_plan
     ):
         # fig3 completed; table2 failed.  On resume, table2 must consume
         # fig3's rehydrated result (zero cache lookups of its own).
-        self._partial_run(tmp_path, plan=fail("table2"))
+        self._partial_run(tmp_path, fail_plan("table2"))
         state = load_resume_state(tmp_path)
         assert "fig3" in state.completed
         out = run_pipeline(RunContext(), only=DEP_CHAIN, resume=state)
@@ -191,8 +176,8 @@ class TestResume:
         assert out.records["table2"].cache["lookups"] == 0
         assert out.records["fig3"].result is not None  # rehydrated
 
-    def test_missing_artifact_file_forces_rerun(self, tmp_path):
-        self._partial_run(tmp_path, only=CHEAP, plan=fail("fig3"))
+    def test_missing_artifact_file_forces_rerun(self, tmp_path, fail_plan):
+        self._partial_run(tmp_path, fail_plan("fig3"), only=CHEAP)
         (tmp_path / "omp-overheads.json").unlink()
         state = load_resume_state(tmp_path)
         assert "omp-overheads" not in state.completed
@@ -214,12 +199,12 @@ class TestResume:
 
 
 class TestInjectionPlumbing:
-    def test_context_plan_activates_in_process(self):
-        ctx = RunContext(faults=fail("omp-overheads"))
+    def test_context_plan_activates_in_process(self, fail_plan):
+        ctx = RunContext(faults=fail_plan("omp-overheads"))
         out = run_pipeline(ctx, only=["omp-overheads"])
         assert out.failures["omp-overheads"].error_type == "InjectedFault"
 
-    def test_injected_fault_raises_like_any_exception(self):
-        with faults.injected_faults(fail("x")):
+    def test_injected_fault_raises_like_any_exception(self, fail_plan):
+        with faults.injected_faults(fail_plan("x")):
             with pytest.raises(InjectedFault):
                 faults.maybe_fail_experiment("x")

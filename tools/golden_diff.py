@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Semantic diff of freshly-rendered artifacts against the goldens.
+
+``tests/test_engine_equivalence.py`` answers *whether* an artifact still
+matches its golden, byte for byte.  This tool answers *what changed and
+by how much* when it no longer does: it re-renders each golden artifact
+through the experiment registry, aligns the text line by line, and
+reports every numeric token that moved — with its section (``== name
+==`` headers), row label, old and new values, and relative delta —
+instead of a raw textual diff.
+
+Usage::
+
+    PYTHONPATH=src python tools/golden_diff.py              # all goldens
+    PYTHONPATH=src python tools/golden_diff.py --only fig2,table2
+    PYTHONPATH=src python tools/golden_diff.py --goldens tests/goldens
+
+Exit status: 0 when every artifact matches its golden, 1 on any drift,
+2 on usage errors.  To accept deliberate drift, regenerate the goldens
+with ``tools/refresh_goldens.py`` (see docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Artifacts with checked-in goldens (mirrors the equivalence test).
+GOLDEN_IDS = ["fig2", "fig3", "table2", "nextgen"]
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_GOLDEN_DIR = _REPO_ROOT / "tests" / "goldens"
+
+_NUMBER = re.compile(r"-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?")
+_SECTION = re.compile(r"^==\s*(?P<name>.+?)\s*==$")
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One numeric token that differs between golden and fresh text."""
+
+    experiment: str
+    section: str
+    row: str
+    column: int
+    line_no: int
+    old: float
+    new: float
+
+    @property
+    def rel_delta(self) -> float:
+        if self.old == 0.0:
+            return float("inf") if self.new != 0.0 else 0.0
+        return (self.new - self.old) / abs(self.old)
+
+    def format(self) -> str:
+        where = f"{self.experiment}:{self.line_no}"
+        label = self.section or "-"
+        rel = self.rel_delta
+        rel_text = "new" if rel == float("inf") else f"{rel:+.3%}"
+        return (
+            f"{where:<14} [{label}] {self.row} #{self.column}: "
+            f"{self.old:g} -> {self.new:g} ({rel_text})"
+        )
+
+
+@dataclass
+class ArtifactDiff:
+    """Comparison outcome for one golden artifact."""
+
+    experiment: str
+    identical: bool
+    metric_diffs: List[MetricDiff]
+    structural_changes: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return self.identical
+
+
+def _row_label(line: str) -> str:
+    stripped = line.strip()
+    if not stripped:
+        return "(blank)"
+    head = stripped.split()[0]
+    return head if not _NUMBER.fullmatch(head) else "(row)"
+
+
+def diff_text(experiment: str, golden: str, fresh: str) -> ArtifactDiff:
+    """Align two renders line by line and collect per-metric diffs.
+
+    Lines are compared positionally; a changed numeric token becomes a
+    :class:`MetricDiff`, anything else (wording, added or removed lines)
+    a structural change.  Artifacts are line-oriented tables, so
+    positional alignment is exact whenever only values drift.
+    """
+    if golden == fresh:
+        return ArtifactDiff(experiment, True, [], [])
+
+    metric_diffs: List[MetricDiff] = []
+    structural: List[str] = []
+    golden_lines = golden.splitlines()
+    fresh_lines = fresh.splitlines()
+    if len(golden_lines) != len(fresh_lines):
+        structural.append(
+            f"line count changed: {len(golden_lines)} -> {len(fresh_lines)}"
+        )
+
+    section = ""
+    for i, (old_line, new_line) in enumerate(
+        zip(golden_lines, fresh_lines), start=1
+    ):
+        match = _SECTION.match(old_line.strip())
+        if match:
+            section = match.group("name")
+        if old_line == new_line:
+            continue
+        old_nums = _NUMBER.findall(old_line)
+        new_nums = _NUMBER.findall(new_line)
+        skeleton_old = _NUMBER.sub("#", old_line)
+        skeleton_new = _NUMBER.sub("#", new_line)
+        if skeleton_old != skeleton_new or len(old_nums) != len(new_nums):
+            structural.append(
+                f"line {i}: text changed\n"
+                f"  - {old_line.rstrip()}\n  + {new_line.rstrip()}"
+            )
+            continue
+        row = _row_label(old_line)
+        for col, (o, n) in enumerate(zip(old_nums, new_nums), start=1):
+            if o != n:
+                metric_diffs.append(MetricDiff(
+                    experiment=experiment,
+                    section=section,
+                    row=row,
+                    column=col,
+                    line_no=i,
+                    old=float(o),
+                    new=float(n),
+                ))
+    return ArtifactDiff(experiment, False, metric_diffs, structural)
+
+
+def render(experiment_id: str) -> str:
+    """Render one artifact exactly as ``repro run`` prints it."""
+    from repro.core.context import RunContext
+    from repro.experiments import registry
+
+    entry = registry.get(experiment_id)
+    result = entry.run(RunContext())
+    return entry.render_text(result) + "\n"
+
+
+def diff_against_goldens(
+    golden_dir: Path,
+    only: Optional[List[str]] = None,
+) -> Dict[str, ArtifactDiff]:
+    """Render and diff each selected artifact against its golden file."""
+    ids = only if only else GOLDEN_IDS
+    unknown = [i for i in ids if i not in GOLDEN_IDS]
+    if unknown:
+        raise KeyError(
+            f"no golden for {', '.join(unknown)}; "
+            f"valid ids: {', '.join(GOLDEN_IDS)}"
+        )
+    out: Dict[str, ArtifactDiff] = {}
+    for experiment_id in ids:
+        golden = (golden_dir / f"{experiment_id}.txt").read_text()
+        out[experiment_id] = diff_text(
+            experiment_id, golden, render(experiment_id)
+        )
+    return out
+
+
+def report(diffs: Dict[str, ArtifactDiff]) -> int:
+    """Print a human-readable summary; return the number of drifted
+    artifacts."""
+    drifted = 0
+    for experiment_id, diff in diffs.items():
+        if diff.clean:
+            print(f"{experiment_id}: OK")
+            continue
+        drifted += 1
+        print(f"{experiment_id}: DRIFTED "
+              f"({len(diff.metric_diffs)} metric(s), "
+              f"{len(diff.structural_changes)} structural change(s))")
+        for md in diff.metric_diffs:
+            print(f"  {md.format()}")
+        for change in diff.structural_changes:
+            print(f"  {change}")
+    if drifted:
+        print(f"\n{drifted} artifact(s) drifted; if deliberate, refresh "
+              f"with: PYTHONPATH=src python tools/refresh_goldens.py")
+    return drifted
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="semantic per-metric diff against the golden artifacts"
+    )
+    parser.add_argument(
+        "--only", help="comma-separated golden ids (default: all)"
+    )
+    parser.add_argument(
+        "--goldens", type=Path, default=DEFAULT_GOLDEN_DIR,
+        help="golden directory (default: tests/goldens)",
+    )
+    args = parser.parse_args(argv)
+    only = args.only.split(",") if args.only else None
+    try:
+        diffs = diff_against_goldens(args.goldens, only)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 1 if report(diffs) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Regenerate the golden artifacts under ``tests/goldens/``.
+
+The one-command refresh for deliberate output changes::
+
+    PYTHONPATH=src python tools/refresh_goldens.py
+
+Every golden is re-rendered through the experiment registry (the exact
+code path ``repro run`` uses) and rewritten in place.  Before a file is
+touched, its semantic diff is printed via ``tools/golden_diff.py`` so
+the commit message can say *which metrics* moved and by how much — a
+refresh that shows unexplained drift is a bug, not a baseline update.
+
+Options mirror ``golden_diff.py``: ``--only fig2,table2`` restricts the
+refresh, ``--goldens DIR`` redirects it (used by the tests).  Exit
+status is 0 whether or not files changed; this tool records decisions,
+it does not gate them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import golden_diff
+
+
+def refresh(golden_dir: Path, only: Optional[List[str]] = None) -> int:
+    """Rewrite the selected goldens; returns how many files changed."""
+    diffs = golden_diff.diff_against_goldens(golden_dir, only)
+    changed = 0
+    for experiment_id, diff in diffs.items():
+        path = golden_dir / f"{experiment_id}.txt"
+        if diff.clean:
+            print(f"{experiment_id}: unchanged")
+            continue
+        changed += 1
+        print(f"{experiment_id}: refreshing {path}")
+        for md in diff.metric_diffs:
+            print(f"  {md.format()}")
+        for change in diff.structural_changes:
+            print(f"  {change}")
+        path.write_text(golden_diff.render(experiment_id))
+    print(f"{changed} golden(s) rewritten")
+    return changed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="re-render and rewrite the golden artifacts"
+    )
+    parser.add_argument(
+        "--only", help="comma-separated golden ids (default: all)"
+    )
+    parser.add_argument(
+        "--goldens", type=Path, default=golden_diff.DEFAULT_GOLDEN_DIR,
+        help="golden directory (default: tests/goldens)",
+    )
+    args = parser.parse_args(argv)
+    only = args.only.split(",") if args.only else None
+    try:
+        refresh(args.goldens, only)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
