@@ -124,6 +124,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip matching experiments (same syntax as --only)",
     )
     run_all.add_argument(
+        "--batch", choices=("auto", "on", "off"), default=None,
+        help="machine-axis batching for sweep experiments: auto "
+             "(default) batches sweeps with two or more machine lanes, "
+             "on forces the batched engine, off disables it (also "
+             "settable via REPRO_BATCH)",
+    )
+    run_all.add_argument(
         "--resume", action="store_true",
         help="reuse completed artifacts from a previous (partial) run "
              "in --out and re-execute only failed/skipped/missing "
@@ -285,6 +292,7 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
             # Disk tier under the output directory: repeat runs (and the
             # pipeline workers) reuse earlier results across processes.
             cache_dir=None if args.no_cache else args.out / ".cache",
+            batch=args.batch,
         )
         if args.csv:
             # The CSV exporter consumes fig2/fig3; make sure a filtered
@@ -310,6 +318,22 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         except KeyError as exc:
             raise CLIError(exc.args[0]) from None
         write_artifacts(pipeline, args.out, progress=print)
+        batched = sum(
+            rec.batch.get("batched_machines", 0)
+            for rec in pipeline.records.values()
+        )
+        scalar = sum(
+            rec.batch.get("scalar_fallbacks", 0)
+            for rec in pipeline.records.values()
+        )
+        deduped = sum(
+            rec.batch.get("deduplicated_machines", 0)
+            for rec in pipeline.records.values()
+        )
+        print(
+            f"machine-axis batching: {batched} machine(s) batched, "
+            f"{scalar} scalar fallback(s), {deduped} deduplicated"
+        )
         if args.csv:
             if {"fig2", "fig3"} <= set(pipeline.records):
                 _export_csv(args.out, pipeline)

@@ -82,6 +82,14 @@ class RunContext:
     #: explicit ``True``/``False`` wins, and is carried into pool
     #: workers by :meth:`apply_runtime_config` like the fault plan.
     verify: Optional[bool] = None
+    #: Machine-axis batching for sweep experiments
+    #: (:mod:`repro.sim.batch`): ``"auto"`` batches whenever a sweep has
+    #: two or more machine lanes and nothing forces scalar runs,
+    #: ``"on"`` forces the batched engine even for single lanes,
+    #: ``"off"`` disables it.  ``None`` defers to the ``REPRO_BATCH``
+    #: environment variable (default ``auto``).  Carried into pool
+    #: workers by :meth:`apply_runtime_config` like the fault plan.
+    batch: Optional[str] = None
     #: Upstream experiment results, keyed by registry id.
     results: Dict[str, Any] = field(default_factory=dict)
 
@@ -203,6 +211,9 @@ class RunContext:
         else:
             _faults.deactivate()
         _verify.activate(self.verify)
+        from repro.sim import batch as _batch
+
+        _batch.set_mode(self.batch)
 
     # ------------------------------------------------------------------
     @property

@@ -49,6 +49,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.context import RunContext, as_context
 from repro.core.runcache import get_cache
 from repro.experiments import registry
+from repro.sim import batch as _batch
 from repro.sim.parallel import (
     FallbackReport,
     parallel_map,
@@ -72,7 +73,10 @@ __all__ = [
 #: manifest.json schema version, bumped on incompatible layout changes.
 #: 2 = per-experiment ``status`` plus top-level ``status`` / ``failures``
 #: / ``skipped`` / ``parallel_fallbacks`` sections.
-MANIFEST_SCHEMA = 2
+#: 3 = machine-axis batching accounting: top-level ``batch_mode`` plus a
+#: per-experiment ``batch`` section (``batched_machines`` /
+#: ``scalar_fallbacks`` / ``deduplicated_machines``).
+MANIFEST_SCHEMA = 3
 
 #: ``run-all`` exit status when the matrix completed only partially
 #: (distinct from 2 = bad arguments; completed artifacts are still
@@ -90,6 +94,8 @@ class ExperimentRecord:
     wall_time_s: float
     cache: Dict[str, Any] = field(default_factory=dict)
     study_fingerprints: List[str] = field(default_factory=list)
+    #: Machine-axis batching counters (:class:`repro.sim.batch.BatchStats`).
+    batch: Dict[str, int] = field(default_factory=dict)
     wave: int = 0
     #: Pre-rendered ``<id>.json`` payload, set for records reused from a
     #: previous run (whose ``result`` may be unrehydratable).  When
@@ -173,6 +179,7 @@ def _execute(
     """
     before = get_cache().stats.snapshot()
     ctx.touched_fingerprints(reset=True)
+    _batch.take_stats()  # drop counters left over from a previous entry
     start = time.perf_counter()
     try:
         faults.maybe_fail_experiment(entry.id)
@@ -195,6 +202,7 @@ def _execute(
         wall_time_s=wall,
         cache=get_cache().stats.since(before).as_dict(),
         study_fingerprints=ctx.touched_fingerprints(),
+        batch=_batch.take_stats().as_dict(),
         wave=wave,
     )
 
@@ -332,6 +340,7 @@ def _record_from_resume(
         wall_time_s=float(meta.get("wall_time_s", 0.0)),
         cache=dict(meta.get("cache", {})),
         study_fingerprints=list(meta.get("study_fingerprints", [])),
+        batch=dict(meta.get("batch", {})),
         wave=wave_index,
         payload=payload,
     )
@@ -402,6 +411,7 @@ def _build_manifest(
             "wave": rec.wave,
             "wall_time_s": round(rec.wall_time_s, 4),
             "cache": rec.cache,
+            "batch": rec.batch,
             "study_fingerprints": rec.study_fingerprints,
             "artifacts": {
                 "text": f"{rec.id}.txt",
@@ -416,6 +426,7 @@ def _build_manifest(
         "problem_class": pc if isinstance(pc, str) else pc.value,
         "scheduler": ctx.scheduler,
         "jobs": n_jobs,
+        "batch_mode": _batch.get_mode(),
         "cache": {
             "enabled": cache.enabled,
             "disk_dir": str(cache.disk_dir) if cache.disk_dir else None,

@@ -1,0 +1,80 @@
+"""Stacked machine parameters: the machine axis as contiguous arrays.
+
+The batched resolver (:mod:`repro.sim.batch`) runs one damped fixed
+point over a ``[n_machines, n_classes]`` batch instead of resolving each
+machine's contention serially.  Its vectorized kernels need every
+machine-level scalar the fixed point reads — clock, L2 geometry, DRAM
+latency, and the full front-side-bus parameter set — as ``float64``
+arrays indexed by *lane* (the machine axis).  :func:`pack_machines`
+builds that layout once per batch; each array holds one field across all
+lanes, in lane order, so a kernel touches ``n_machines`` contiguous
+values instead of chasing ``n_machines`` parameter objects.
+
+Packing is lossless and trivially reversible (``lane i`` column-reads
+reproduce ``params[i]`` exactly); every value is copied bit-for-bit from
+the source :class:`~repro.machine.params.MachineParams`, which keeps the
+batched arithmetic byte-identical to the scalar path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.machine.params import MachineParams
+
+__all__ = ["PackedMachines", "pack_machines"]
+
+
+@dataclass(frozen=True)
+class PackedMachines:
+    """Per-lane machine scalars as ``[n_lanes]`` float64 arrays.
+
+    Field names mirror their scalar sources: ``clock_hz`` and the memory
+    path come from :class:`~repro.machine.params.CoreParams` /
+    :class:`~repro.machine.params.CacheParams`, the ``bus_*`` block from
+    :class:`~repro.machine.params.BusParams`.
+    """
+
+    n_lanes: int
+    clock_hz: np.ndarray
+    l2_line_bytes: np.ndarray
+    l2_latency_cycles: np.ndarray
+    memory_latency_cycles: np.ndarray
+    bus_chip_read_bw: np.ndarray
+    bus_chip_write_bw: np.ndarray
+    bus_system_read_bw: np.ndarray
+    bus_system_write_bw: np.ndarray
+    bus_transaction_bytes: np.ndarray
+    bus_prefetch_headroom: np.ndarray
+    bus_prefetch_max_coverage: np.ndarray
+    bus_snoop_per_agent: np.ndarray
+    bus_snoop_cross_chip: np.ndarray
+
+
+def pack_machines(params: Sequence[MachineParams]) -> PackedMachines:
+    """Stack per-machine scalars into the batched-kernel layout."""
+    if not params:
+        raise ValueError("cannot pack an empty machine batch")
+
+    def col(get) -> np.ndarray:
+        return np.array([get(p) for p in params], dtype=np.float64)
+
+    return PackedMachines(
+        n_lanes=len(params),
+        clock_hz=col(lambda p: p.core.clock_hz),
+        l2_line_bytes=col(lambda p: p.l2.line_bytes),
+        l2_latency_cycles=col(lambda p: p.l2.latency_cycles),
+        memory_latency_cycles=col(lambda p: p.memory_latency_cycles),
+        bus_chip_read_bw=col(lambda p: p.bus.chip_read_bw),
+        bus_chip_write_bw=col(lambda p: p.bus.chip_write_bw),
+        bus_system_read_bw=col(lambda p: p.bus.system_read_bw),
+        bus_system_write_bw=col(lambda p: p.bus.system_write_bw),
+        bus_transaction_bytes=col(lambda p: p.bus.transaction_bytes),
+        bus_prefetch_headroom=col(lambda p: p.bus.prefetch_headroom),
+        bus_prefetch_max_coverage=col(lambda p: p.bus.prefetch_max_coverage),
+        bus_snoop_per_agent=col(lambda p: p.bus.snoop_overhead_per_agent),
+        bus_snoop_cross_chip=col(lambda p: p.bus.snoop_overhead_cross_chip),
+    )

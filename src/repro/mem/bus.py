@@ -15,8 +15,11 @@ binding bottleneck (chip port or memory controller).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.machine.packing import PackedMachines
 from repro.machine.params import BusParams
 
 
@@ -269,3 +272,186 @@ class BusModel:
         else:
             raise ValueError(f"kind must be 'read' or 'write', got {kind!r}")
         return min(chip * n_chips_active, system)
+
+
+# ----------------------------------------------------------------------
+# Machine-axis batched kernel (one lite solve over [n_lanes, n_classes])
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LaneLiteStructure:
+    """Lane-independent context/chip layout for :func:`resolve_lite_lanes`.
+
+    Contexts are collapsed into contention-equivalence *classes* (all
+    members of a class carry identical loads within a lane, for every
+    lane); chips keep their per-context accumulation order so the
+    chip-port sums fold in exactly the scalar sequence.
+    """
+
+    #: Number of contention-equivalence classes (the K axis).
+    n_classes: int
+    #: Per chip, in sorted-chip order: the class index of each context
+    #: on that chip, in global load (context) order.
+    chip_members: Tuple[Tuple[int, ...], ...]
+    #: Chip index each class reads its port utilization from (members of
+    #: one class may span chips, but only chips with identical member
+    #: sequences — the classifier guarantees equal utilizations).
+    class_chip: Tuple[int, ...]
+
+
+def compute_snoop_lanes(
+    packed: PackedMachines,
+    struct: LaneLiteStructure,
+    demand: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-lane snoop factors from the active-agent census.
+
+    The scalar kernel recomputes the census on every call, but an
+    agent's demand sign cannot change across outer fixed-point
+    iterations (demand is a sum of non-negative terms scaled by a
+    positive rate), so callers hoist this out of the outer loop and
+    reuse the result.
+
+    Returns ``(snoop_chip [L, n_chips], snoop_sys [L])``.
+    """
+    L = demand.shape[0]
+    n_chips = len(struct.chip_members)
+    agents = np.zeros((L, n_chips))
+    for c, members in enumerate(struct.chip_members):
+        col = agents[:, c]
+        for k in members:
+            col = col + (demand[:, k] > 0.0)
+        agents[:, c] = col
+    # Census counts are small integers: float addition of them is exact
+    # in any order, so the aggregate needs no explicit fold.
+    total_agents = agents.sum(axis=1)
+    local = np.maximum(agents - 1.0, 0.0)
+    remote = total_agents[:, None] - agents
+    snoop_chip = (
+        1.0 + packed.bus_snoop_per_agent[:, None] * local
+    ) + packed.bus_snoop_cross_chip[:, None] * remote
+    snoop_sys = np.zeros(L)
+    for c in range(n_chips):
+        snoop_sys = snoop_sys + snoop_chip[:, c]
+    snoop_sys = snoop_sys / n_chips
+    return snoop_chip, snoop_sys
+
+
+def resolve_lite_lanes(
+    packed: PackedMachines,
+    struct: LaneLiteStructure,
+    demand: np.ndarray,
+    read_frac: np.ndarray,
+    max_cov: np.ndarray,
+    cov: np.ndarray,
+    lanes: np.ndarray,
+    snoop: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One :meth:`BusModel.resolve_lite` call for every lane at once.
+
+    Args:
+        packed: stacked per-lane machine scalars (bus block).
+        struct: shared context/chip layout.
+        demand: ``[L, K]`` offered bytes/s per lane and class.
+        read_frac: ``[L, K]`` read fraction of each class's traffic.
+        max_cov: ``[L, K]`` prefetcher coverage ceiling
+            (``prefetch_max_coverage * prefetchability``).
+        cov: ``[L, K]`` warm-start coverage (the previous outer
+            iteration's converged values; zeros on the first call).
+            Not mutated.
+        lanes: ``[L]`` bool mask of lanes still iterating the outer
+            fixed point; frozen lanes are neither updated nor allowed to
+            prolong the inner loop (callers keep their own frozen
+            copies).
+        snoop: precomputed :func:`compute_snoop_lanes` result (computed
+            from this call's demand when omitted).
+
+    Returns:
+        ``(latency_multiplier, coverage, utilization)``, each ``[L, K]``
+        — bit-identical per lane to the scalar ``resolve_lite`` on that
+        lane's loads with the same warm start.  Values in frozen lanes
+        are garbage; callers must mask on commit.
+    """
+    L, K = demand.shape
+    n_chips = len(struct.chip_members)
+    waste_factor = 1.0 + PREFETCH_WASTE
+    zeros = np.zeros(L)
+
+    if snoop is None:
+        snoop = compute_snoop_lanes(packed, struct, demand)
+    snoop_chip, snoop_sys = snoop
+
+    chip_read_bw = packed.bus_chip_read_bw[:, None]
+    chip_write_bw = packed.bus_chip_write_bw[:, None]
+    sys_read_bw = packed.bus_system_read_bw
+    sys_write_bw = packed.bus_system_write_bw
+    headroom_cap = packed.bus_prefetch_headroom[:, None]
+
+    cov = cov.copy()
+    utils_chip = np.zeros((L, n_chips))
+    inner = lanes.copy()
+    class_chip = np.asarray(struct.class_chip, dtype=np.intp)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for _ in range(24):
+            offered = demand * ((1.0 - cov) + cov * waste_factor)
+            weighted = offered * read_frac
+            chip_offered = np.empty((L, n_chips))
+            chip_read = np.empty((L, n_chips))
+            # Explicit left folds in context order: k identical IEEE
+            # additions are not k * x, and the scalar kernel folds.
+            for c, members in enumerate(struct.chip_members):
+                co = zeros
+                cr = zeros
+                for k in members:
+                    co = co + offered[:, k]
+                    cr = cr + weighted[:, k]
+                chip_offered[:, c] = co
+                chip_read[:, c] = cr
+
+            total_offered = zeros
+            read_total = zeros
+            for c in range(n_chips):
+                total_offered = total_offered + chip_offered[:, c]
+                read_total = read_total + chip_read[:, c]
+            srf = np.full(L, 0.8)
+            np.divide(
+                read_total, total_offered, out=srf,
+                where=total_offered != 0.0,
+            )
+            denom = srf / sys_read_bw + (1.0 - srf) / sys_write_bw
+            sys_cap = sys_read_bw.copy()
+            np.divide(1.0, denom, out=sys_cap, where=denom > 0.0)
+            sys_util = total_offered * snoop_sys / sys_cap
+
+            rf = np.full((L, n_chips), 0.8)
+            np.divide(
+                chip_read, chip_offered, out=rf,
+                where=chip_offered != 0.0,
+            )
+            denom_c = rf / chip_read_bw + (1.0 - rf) / chip_write_bw
+            cap = np.broadcast_to(chip_read_bw, (L, n_chips)).copy()
+            np.divide(1.0, denom_c, out=cap, where=denom_c > 0.0)
+            chip_util = chip_offered * snoop_chip / cap
+            new_util = np.where(
+                chip_util >= sys_util[:, None], chip_util, sys_util[:, None]
+            )
+            # A lane that converged last iteration keeps the
+            # utilizations computed *before* its final coverage nudge —
+            # exactly what the scalar loop's break leaves behind.
+            utils_chip = np.where(inner[:, None], new_util, utils_chip)
+
+            u = utils_chip[:, class_chip]
+            headroom = np.maximum(headroom_cap - u, 0.0)
+            head_factor = np.minimum(headroom / headroom_cap * 2.2, 1.0)
+            new_cov = 0.5 * cov + 0.5 * (max_cov * head_factor)
+            delta = np.max(np.abs(new_cov - cov), axis=1)
+            cov = np.where(inner[:, None], new_cov, cov)
+            inner = inner & (delta >= 1e-6)
+            if not inner.any():
+                break
+
+    util = utils_chip[:, class_chip]
+    u = np.where(util < 0.98, util, 0.98)
+    mult = np.minimum(1.0 + _QUEUE_COEFF * u * u / (1.0 - u), _QUEUE_CAP)
+    return mult, cov, util

@@ -26,7 +26,34 @@ from repro.osmodel.process import ProgramSpec
 from repro.sim.resolver import ResolvedContext
 from repro.trace.phase import Phase
 
-__all__ = ["Progress", "TimeAccountant"]
+__all__ = ["Progress", "STEP_EVENTS", "TimeAccountant"]
+
+#: The exact event-emission order of :meth:`TimeAccountant.accumulate`.
+#: The batched engine (:mod:`repro.sim.batch`) accumulates the same
+#: events as ``[n_machines, n_classes, n_events]`` arrays and rebuilds
+#: per-context counter sets in this order, so batched and scalar
+#: collectors are byte-identical — keep both sites in sync.
+STEP_EVENTS: Tuple[Event, ...] = (
+    Event.INSTR_RETIRED,
+    Event.CYCLES,
+    Event.STALL_CYCLES,
+    Event.TC_DELIVER,
+    Event.TC_MISS,
+    Event.L1D_ACCESS,
+    Event.L1D_MISS,
+    Event.L2_ACCESS,
+    Event.L2_MISS,
+    Event.ITLB_ACCESS,
+    Event.ITLB_MISS,
+    Event.DTLB_ACCESS,
+    Event.DTLB_MISS,
+    Event.BRANCH_RETIRED,
+    Event.BRANCH_MISPRED,
+    Event.BUS_TRANS_DEMAND,
+    Event.BUS_TRANS_PREFETCH,
+    Event.MACHINE_CLEAR,
+    Event.COHERENCE_TRANSFER,
+)
 
 
 @dataclass

@@ -52,9 +52,22 @@ __all__ = [
     "get_default_jobs",
     "parallel_map",
     "resolve_jobs",
+    "serial_map",
     "set_default_jobs",
     "take_fallback_report",
 ]
+
+
+def serial_map(fn: Callable[["T"], "R"], items: Sequence["T"]) -> List["R"]:
+    """The in-process counterpart of :func:`parallel_map`.
+
+    Batched sweeps (:mod:`repro.sim.batch`) must evaluate their lanes in
+    the calling process — the batched prefetch installs results on the
+    lane objects themselves, which a process pool would not see — so
+    they use this explicit serial path instead of ``parallel_map`` with
+    ``jobs=1`` (same semantics, but the intent is visible and no
+    fallback report is involved)."""
+    return [fn(x) for x in items]
 
 JOBS_ENV = "REPRO_JOBS"
 

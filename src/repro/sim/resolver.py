@@ -19,8 +19,8 @@ without touching the step loop.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.cpu.branch import analytic_mispredict_rate
 from repro.cpu.pipeline import (
@@ -44,6 +44,7 @@ __all__ = [
     "ActiveContext",
     "ContentionResolver",
     "FixedPointResolver",
+    "Prework",
     "ResolvedContext",
 ]
 
@@ -98,6 +99,37 @@ class ContentionResolver(Protocol):
         ...
 
 
+@dataclass
+class Prework:
+    """Everything the bus/CPI fixed point needs that does *not* change
+    across its iterations: hierarchy rates, branch pollution, SMT
+    sharing terms, coherence traffic, and the bus-independent CPI
+    breakdown each context starts from.
+
+    Produced by :meth:`FixedPointResolver.prework`; consumed by the
+    scalar fixed point and — per machine lane — by the batched resolver
+    in :mod:`repro.sim.batch`, which packs these per-label scalars into
+    ``[n_machines, n_classes]`` arrays.
+    """
+
+    rates: Dict[str, LevelRates] = field(default_factory=dict)
+    misp: Dict[str, float] = field(default_factory=dict)
+    utils: Dict[str, float] = field(default_factory=dict)
+    sibling_util: Dict[str, float] = field(default_factory=dict)
+    sharers_of: Dict[str, int] = field(default_factory=dict)
+    pair_capacity: Dict[str, float] = field(default_factory=dict)
+    coh_mpi: Dict[str, float] = field(default_factory=dict)
+    coh_stall: Dict[str, float] = field(default_factory=dict)
+    sibling_missiness: Dict[str, float] = field(default_factory=dict)
+    mig_misses_per_sec: float = 0.0
+    #: Initial (bus-independent) breakdown per label.
+    breakdowns: Dict[str, CPIBreakdown] = field(default_factory=dict)
+    #: Initial CPI estimate per label (``breakdowns[label].cpi``).
+    cpi_est: Dict[str, float] = field(default_factory=dict)
+    #: ``(exec_term, l2_misses_per_instr, effective_mlp)`` per label.
+    fast: Dict[str, Tuple[float, float, float]] = field(default_factory=dict)
+
+
 class FixedPointResolver:
     """The default resolver: hierarchy/branch/SMT/bus as a damped fixed
     point, arithmetically identical to the pre-decomposition engine."""
@@ -130,9 +162,23 @@ class FixedPointResolver:
         }
 
     # ------------------------------------------------------------------
-    def resolve(
-        self, active: Sequence[ActiveContext]
-    ) -> Dict[str, ResolvedContext]:
+    def prework(
+        self,
+        active: Sequence[ActiveContext],
+        labels: Optional[Set[str]] = None,
+    ) -> Prework:
+        """Fixed-point-invariant state for ``active`` (see :class:`Prework`).
+
+        Args:
+            active: the step's busy contexts (the *full* set — grouping,
+                sibling lookups and program spans always see everyone).
+            labels: restrict the per-context computations to these labels
+                (default: all).  The set must be closed under HT
+                siblinghood — a label's sibling terms read the sibling's
+                rates and utilization.  The batched resolver passes one
+                representative per contention-equivalence class (plus
+                siblings) and replicates the values across the class.
+        """
         by_core: Dict[Tuple[int, int], List[ActiveContext]] = {}
         by_chip: Dict[int, List[ActiveContext]] = {}
         for a in active:
@@ -143,14 +189,15 @@ class FixedPointResolver:
         total_visible = self.topology.n_contexts
         ht = self.config.ht
 
-        rates: Dict[str, LevelRates] = {}
-        misp: Dict[str, float] = {}
-        utils: Dict[str, float] = {}
-        sibling_util: Dict[str, float] = {}
-        sharers_of: Dict[str, int] = {}
-        pair_capacity: Dict[str, float] = {}
-        coh_mpi: Dict[str, float] = {}
-        coh_stall: Dict[str, float] = {}
+        pw = Prework()
+        rates = pw.rates
+        misp = pw.misp
+        utils = pw.utils
+        sibling_util = pw.sibling_util
+        sharers_of = pw.sharers_of
+        pair_capacity = pw.pair_capacity
+        coh_mpi = pw.coh_mpi
+        coh_stall = pw.coh_stall
 
         # Physical span of each program's active team (for coherence
         # transfer distances).
@@ -166,6 +213,8 @@ class FixedPointResolver:
 
         for a in active:
             label = a.placement.context.label
+            if labels is not None and label not in labels:
+                continue
             mates = by_core[a.placement.context.core_key]
             sharers = len(mates)
             sharers_of[label] = sharers
@@ -230,9 +279,11 @@ class FixedPointResolver:
                 coh_mpi[label], prog_chips[a.spec.program_id]
             )
 
-        sibling_missiness: Dict[str, float] = {}
+        sibling_missiness = pw.sibling_missiness
         for a in active:
             label = a.placement.context.label
+            if labels is not None and label not in labels:
+                continue
             mates = by_core[a.placement.context.core_key]
             sib = next(
                 (m for m in mates if m.placement.context.label != label), None
@@ -271,29 +322,19 @@ class FixedPointResolver:
             * self.params.l2.size_bytes
             / self.params.l2.line_bytes
         )
-        mig_misses_per_sec = mig_hz * refill_lines
-
-        # --- bus/CPI fixed point -----------------------------------------
-        clock = self.params.core.clock_hz
-        line = self.params.l2.line_bytes
-        cpi_est: Dict[str, float] = {}
-        breakdowns: Dict[str, CPIBreakdown] = {}
-        lite: Dict[str, Tuple[float, float, float]] = {}
-        loads: List[BusLoad] = []
+        pw.mig_misses_per_sec = mig_hz * refill_lines
 
         # Per-label terms of the CPI that do not depend on the bus
         # outcome.  Only ``stall_memory`` varies across fixed-point
         # iterations (through the latency multiplier and the prefetch
-        # coverage), so the loop below recomputes just that term — with
+        # coverage), so the fixed point recomputes just that term — with
         # the exact arithmetic sequence of
         # :meth:`~repro.cpu.pipeline.PipelineModel.breakdown` — and
         # builds the full :class:`CPIBreakdown` once after convergence.
-        fast: Dict[str, Tuple[float, float, float]] = {}
-        mem_lat_cycles = self.params.memory_latency_cycles
-        l2_lat = self.params.l2.latency_cycles
-
         for a in active:
             label = a.placement.context.label
+            if labels is not None and label not in labels:
+                continue
             bd = self.pipeline.breakdown(
                 a.phase,
                 rates[label],
@@ -308,15 +349,38 @@ class FixedPointResolver:
                 coherence_stall_per_instr=coh_stall[label],
                 sibling_miss_ratio=sibling_missiness[label],
             )
-            breakdowns[label] = bd
-            cpi_est[label] = bd.cpi
-            fast[label] = (
+            pw.breakdowns[label] = bd
+            pw.cpi_est[label] = bd.cpi
+            pw.fast[label] = (
                 bd.cpi_exec * bd.smt_slowdown,
                 rates[label].l2_misses_per_instr,
                 self.pipeline.effective_mlp(
                     a.phase, sharers_of[label], sibling_missiness[label]
                 ),
             )
+        return pw
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self, active: Sequence[ActiveContext]
+    ) -> Dict[str, ResolvedContext]:
+        pw = self.prework(active)
+        rates = pw.rates
+        misp = pw.misp
+        coh_mpi = pw.coh_mpi
+        mig_misses_per_sec = pw.mig_misses_per_sec
+        breakdowns = pw.breakdowns
+        cpi_est = pw.cpi_est
+        fast = pw.fast
+        ht = self.config.ht
+
+        # --- bus/CPI fixed point -----------------------------------------
+        clock = self.params.core.clock_hz
+        line = self.params.l2.line_bytes
+        lite: Dict[str, Tuple[float, float, float]] = {}
+        loads: List[BusLoad] = []
+        mem_lat_cycles = self.params.memory_latency_cycles
+        l2_lat = self.params.l2.latency_cycles
 
         max_delta = 0.0
         for _ in range(_FIXED_POINT_ITERS):
@@ -401,12 +465,12 @@ class FixedPointResolver:
                 bus_latency_multiplier=out.latency_multiplier,
                 prefetch_coverage=out.prefetch_coverage,
                 ht_enabled=ht,
-                sibling_utilization=sibling_util[label],
-                self_utilization=utils[label],
-                core_sharers=sharers_of[label],
-                smt_capacity=pair_capacity[label],
-                coherence_stall_per_instr=coh_stall[label],
-                sibling_miss_ratio=sibling_missiness[label],
+                sibling_utilization=pw.sibling_util[label],
+                self_utilization=pw.utils[label],
+                core_sharers=pw.sharers_of[label],
+                smt_capacity=pw.pair_capacity[label],
+                coherence_stall_per_instr=pw.coh_stall[label],
+                sibling_miss_ratio=pw.sibling_missiness[label],
             )
 
         resolved = {

@@ -45,20 +45,28 @@ def study():
 def clean_runtime_switches(monkeypatch):
     """Isolate process-global switches between tests.
 
-    The fault plan and the verification switch are process-global (so
-    pool workers inherit them); a test that activates either must not
-    leak it into the next test, and an externally-set ``REPRO_FAULTS``/
-    ``REPRO_VERIFY`` must not leak in.
+    The fault plan, the verification switch, and the machine-axis
+    batching mode are process-global (so pool workers inherit them); a
+    test that activates any of them must not leak it into the next
+    test, and an externally-set ``REPRO_FAULTS``/``REPRO_VERIFY``/
+    ``REPRO_BATCH`` must not leak in.  Batching counters are drained on
+    both sides so per-test stats assertions start from zero.
     """
     from repro import verify
+    from repro.sim import batch
 
     monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
     monkeypatch.delenv(verify.VERIFY_ENV, raising=False)
+    monkeypatch.delenv(batch.BATCH_ENV, raising=False)
     faults.deactivate()
     verify.deactivate()
+    batch.set_mode(None)
+    batch.take_stats()
     yield
     faults.deactivate()
     verify.deactivate()
+    batch.set_mode(None)
+    batch.take_stats()
 
 
 @pytest.fixture

@@ -104,7 +104,8 @@ class TestPipeline:
 
     def test_manifest_shape(self, pipeline):
         m = pipeline.manifest
-        assert m["schema"] == 2
+        assert m["schema"] == 3
+        assert m["batch_mode"] in ("auto", "on", "off")
         assert m["status"] == "complete"
         assert m["failures"] == {} and m["skipped"] == {}
         assert m["parallel_fallbacks"] == []
