@@ -86,6 +86,20 @@ def test_analytic_run_spec_machine(benchmark):
     benchmark(run)
 
 
+def test_analytic_run_three_level(benchmark):
+    # Same engine path again, on a three-level (L1/L2/shared-L3) spec.
+    # Gates the N-level LevelRates chain: the extra-levels loop must add
+    # only its own level's cost on top of test_analytic_run_spec_machine.
+    study = Study(
+        "B", params=resolve_machine("broadwell-shared-l3").to_params()
+    )
+
+    def run():
+        return study.engine("ht_off_4_2").run_single(study.workload("CG"))
+
+    benchmark(run)
+
+
 def test_spec_resolve_and_materialize(benchmark):
     # Registry lookup + schema validation + params materialization —
     # the per-invocation overhead `--machine <name>` adds to the CLI.

@@ -78,10 +78,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    sub.add_parser(
+    machines = sub.add_parser(
         "machines",
         help="list registered machine specs (name, fingerprint, "
-             "key parameters, provenance)",
+             "key parameters, provenance); with a NAME, show its "
+             "topology tree and cache hierarchy",
+    )
+    machines.add_argument(
+        "name", nargs="?", default=None, metavar="NAME",
+        help="machine to describe in detail (topology tree, cache "
+             "hierarchy table, NUMA tiers)",
     )
 
     run = sub.add_parser("run", help="run one experiment and print it")
@@ -185,6 +191,90 @@ def _run_one(
     return entry.render_text(result)
 
 
+def _fmt_size(size_bytes: int) -> str:
+    if size_bytes % (1024 * 1024) == 0:
+        return f"{size_bytes // (1024 * 1024)}MB"
+    if size_bytes % 1024 == 0:
+        return f"{size_bytes // 1024}KB"
+    return f"{size_bytes}B"
+
+
+def _machine_detail_lines(spec) -> List[str]:
+    """The ``machines NAME`` detail view: topology tree + hierarchy."""
+    p = spec.params
+    topo = p.topo
+    provenance = str(spec.source) if spec.source is not None else "built-in"
+    lines = [f"{spec.name}  {spec.short_fingerprint}  [{provenance}]"]
+    if spec.description:
+        lines.append(f"  {spec.description}")
+    lines.append("")
+    lines.append(
+        f"topology: {topo.sockets} socket(s) x "
+        f"{topo.chips_per_socket} chip(s)/socket x "
+        f"{topo.cores_per_chip} core(s)/chip x "
+        f"{topo.threads_per_core} thread(s)/core "
+        f"= {topo.n_contexts} contexts"
+        + ("" if topo.numa.tiered else " (UMA)")
+    )
+    tree = p.build_topology(ht_enabled=True)
+    for chip in tree.chips:
+        socket = chip.contexts[0].socket
+        if chip.index % topo.chips_per_socket == 0:
+            lines.append(f"  socket {socket}")
+        cls = topo.class_of_chip(chip.index)
+        clock = p.clock_hz_of(chip.index) / 1e9
+        tag = f" [{cls.name}]" if cls is not None else ""
+        lines.append(f"    chip {chip.index} @ {clock:.2f}GHz{tag}")
+        for core in chip.cores:
+            labels = " ".join(ctx.label for ctx in core.contexts)
+            lines.append(f"      core {core.index}: {labels}")
+    lines.append("")
+    lines.append("hierarchy:")
+    header = (
+        f"  {'level':6s} {'scope':7s} {'size':>7s} {'line':>5s} "
+        f"{'assoc':>5s} {'latency':>9s} {'sharers':>7s}"
+    )
+    lines.append(header)
+    for lvl in p.cache_levels():
+        c = lvl.cache
+        lines.append(
+            f"  {lvl.name:6s} {lvl.scope:7s} "
+            f"{_fmt_size(c.size_bytes):>7s} {c.line_bytes:>4d}B "
+            f"{c.associativity:>5d} {c.latency_cycles:>7.1f}cy "
+            f"{c.shared_contexts:>7d}"
+        )
+    lines.append(
+        f"  memory: {p.memory_latency_ns:.1f}ns "
+        f"({p.memory_latency_cycles:.1f} cycles at "
+        f"{p.core.clock_hz / 1e9:.2f}GHz), "
+        f"bus {p.bus.chip_read_bw / 1e9:.2f}GB/s read per chip"
+    )
+    if topo.numa.tiered:
+        lines.append("")
+        lines.append("numa tiers (socket x socket multipliers):")
+        if topo.numa.latency_scale:
+            for i, row in enumerate(topo.numa.latency_scale):
+                cells = "  ".join(f"{v:5.2f}" for v in row)
+                prefix = "  latency:  " if i == 0 else "            "
+                lines.append(f"{prefix}{cells}")
+        if topo.numa.bandwidth_scale:
+            for i, row in enumerate(topo.numa.bandwidth_scale):
+                cells = "  ".join(f"{v:5.2f}" for v in row)
+                prefix = "  bandwidth:" if i == 0 else "            "
+                lines.append(f"{prefix} {cells}")
+    if topo.core_classes:
+        lines.append("")
+        lines.append("core classes:")
+        for cls in topo.core_classes:
+            chips = ",".join(str(c) for c in cls.chips)
+            lines.append(
+                f"  {cls.name}: chips [{chips}] "
+                f"clock x{cls.clock_scale:.2f} "
+                f"issue width x{cls.issue_width_scale:.2f}"
+            )
+    return lines
+
+
 def _split_tokens(values: Optional[List[str]]) -> Optional[List[str]]:
     if not values:
         return None
@@ -249,23 +339,30 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "machines":
-        from repro.machine.registry import list_machines
+        from repro.machine.registry import UnknownMachineError, list_machines
         from repro.machine.spec import SpecError
 
         try:
             machines = list_machines()
         except SpecError as exc:
             raise CLIError(str(exc)) from None
+        if args.name is not None:
+            if args.name not in machines:
+                raise CLIError(
+                    str(UnknownMachineError(args.name, sorted(machines)))
+                )
+            for line in _machine_detail_lines(machines[args.name]):
+                print(line)
+            return 0
         for name in sorted(machines):
             spec = machines[name]
             s = spec.summary()
             provenance = (
                 str(spec.source) if spec.source is not None else "built-in"
             )
+            kv = " ".join(f"{k}={v}" for k, v in s.items())
             print(
-                f"{name:24s} {spec.short_fingerprint}  "
-                f"clock={s['clock']} l2={s['l2']} bus={s['bus']} "
-                f"mem={s['mem']}  [{provenance}]"
+                f"{name:24s} {spec.short_fingerprint}  {kv}  [{provenance}]"
             )
         return 0
 

@@ -41,6 +41,13 @@ class Event(enum.Enum):
     MACHINE_CLEAR = "machine_clear"
     COHERENCE_TRANSFER = "coherence_transfer"
 
+    # Hierarchy levels beyond the L2 (only emitted on machines that
+    # declare them; Paxville artifacts never contain these).
+    L3_ACCESS = "l3_access"
+    L3_MISS = "l3_miss"
+    L4_ACCESS = "l4_access"
+    L4_MISS = "l4_miss"
+
     @property
     def is_ratio_numerator(self) -> bool:
         """True for events that form the numerator of a paper metric."""
@@ -48,6 +55,8 @@ class Event(enum.Enum):
             Event.TC_MISS,
             Event.L1D_MISS,
             Event.L2_MISS,
+            Event.L3_MISS,
+            Event.L4_MISS,
             Event.ITLB_MISS,
             Event.DTLB_MISS,
             Event.BRANCH_MISPRED,

@@ -140,9 +140,8 @@ class PipelineModel:
         l1 = phase.access_mix.miss_rate(
             self.params.l1d.size_bytes, self.params.l1d.line_bytes
         )
-        l2 = phase.access_mix.miss_rate(
-            self.params.l2.size_bytes, self.params.l2.line_bytes
-        )
+        llc = self.params.llc
+        l2 = phase.access_mix.miss_rate(llc.size_bytes, llc.line_bytes)
         mem_stall = (
             phase.mem_ops_per_instr
             * l2
@@ -152,7 +151,7 @@ class PipelineModel:
         l2_stall = (
             phase.mem_ops_per_instr
             * max(l1 - l2, 0.0)
-            * self.params.l2.latency_cycles
+            * llc.latency_cycles
             * _L2_HIT_EXPOSURE
         )
         cpi = cpi_exec + mem_stall + l2_stall
@@ -195,6 +194,7 @@ class PipelineModel:
         smt_capacity: float = SMT_CAPACITY,
         coherence_stall_per_instr: float = 0.0,
         sibling_miss_ratio: float = 1.0,
+        memory_latency_scale: float = 1.0,
     ) -> CPIBreakdown:
         """Full cycle accounting for one context executing ``phase``.
 
@@ -219,6 +219,8 @@ class PipelineModel:
             sibling_miss_ratio: the sibling's miss intensity relative to
                 this thread's (0..1) — a compute-bound sibling barely
                 occupies the shared miss buffers.
+            memory_latency_scale: NUMA tier multiplier on the DRAM
+                latency (1.0 for local/UMA accesses).
         """
         p = self.params
         width = self.issue_width(ht_enabled)
@@ -230,14 +232,27 @@ class PipelineModel:
         stall_l2_hit = (
             l2_hit_per_instr * p.l2.latency_cycles * _L2_HIT_EXPOSURE
         )
+        # Hits in levels beyond the L2 expose the same window-hidden
+        # fraction of that level's (longer) latency.
+        for lvl in rates.extra_levels:
+            lvl_hits = max(
+                lvl.accesses_per_instr - lvl.misses_per_instr, 0.0
+            )
+            stall_l2_hit += lvl_hits * lvl.latency_cycles * _L2_HIT_EXPOSURE
 
-        mem_lat = p.memory_latency_cycles * bus_latency_multiplier
+        llc_misses = rates.llc_misses_per_instr
+        llc_latency = p.llc.latency_cycles
+        mem_lat = (
+            p.memory_latency_cycles
+            * memory_latency_scale
+            * bus_latency_multiplier
+        )
         mlp = self.effective_mlp(phase, core_sharers, sibling_miss_ratio)
-        uncovered = rates.l2_misses_per_instr * (1.0 - prefetch_coverage)
-        covered = rates.l2_misses_per_instr * prefetch_coverage
+        uncovered = llc_misses * (1.0 - prefetch_coverage)
+        covered = llc_misses * prefetch_coverage
         stall_memory = (
             uncovered * mem_lat / mlp
-            + covered * p.l2.latency_cycles * _COVERED_EXPOSURE
+            + covered * llc_latency * _COVERED_EXPOSURE
         )
 
         stall_tc = rates.tc_misses_per_instr * p.core.trace_cache_miss_penalty

@@ -23,28 +23,42 @@ from repro.analysis.result import ExperimentResult
 from repro.core.context import RunContext, as_context
 from repro.core.study import Study
 from repro.machine.params import MachineParams
-from repro.machine.registry import resolve_machine
+from repro.machine.registry import DEFAULT_MACHINE, resolve_machine
 from repro.machine.spec import SpecOverride
 
 
-def shared_l2_params(l2_mb_per_chip: int = 2) -> MachineParams:
+def shared_l2_spec(l2_mb_per_chip: int = 2):
     """A Paxville variant whose chips pool their L2 into one shared
     cache (Woodcrest-style), all else equal.
 
-    The 2 MB and 4 MB points are the registered ``nextgen-shared-l2``
-    machines; other sizes derive from the 2 MB spec via an override.
+    Every size derives from the stock platform by *re-scoping* the L2:
+    widening ``l2_scope`` from ``core`` to ``chip`` makes all four of a
+    chip's contexts share one cache (the sharer count follows from the
+    topology), and the size override pools the capacity.  The 2 MB and
+    4 MB points canonicalize to the same parameters as the registered
+    ``nextgen-shared-l2`` machines, so both routes produce identical
+    artifacts and share run-cache entries (the cache keys on parameter
+    contents, not names).
     """
-    spec = resolve_machine("nextgen-shared-l2")
-    if l2_mb_per_chip == 4:
-        spec = resolve_machine("nextgen-shared-l2-4mb")
-    elif l2_mb_per_chip != 2:
-        spec = spec.override(
-            SpecOverride.set(
-                "l2.size_bytes", l2_mb_per_chip * 1024 * 1024
-            ),
-            name=f"nextgen-shared-l2-{l2_mb_per_chip}mb",
-        )
-    return spec.to_params()
+    base = resolve_machine(DEFAULT_MACHINE)
+    sharers = base.params.topo.contexts_in_scope("chip")
+    return base.override(
+        SpecOverride.set("l2_scope", "chip"),
+        SpecOverride.set("l2.shared_contexts", sharers),
+        SpecOverride.set(
+            "l2.size_bytes", l2_mb_per_chip * 1024 * 1024
+        ),
+        name=f"nextgen-shared-l2-{l2_mb_per_chip}mb",
+        description=(
+            f"Paxville with the L2 re-scoped to the chip and pooled to "
+            f"{l2_mb_per_chip} MB (Woodcrest-style)"
+        ),
+    )
+
+
+def shared_l2_params(l2_mb_per_chip: int = 2) -> MachineParams:
+    """Engine-facing parameters of :func:`shared_l2_spec`."""
+    return shared_l2_spec(l2_mb_per_chip).to_params()
 
 
 @dataclass
@@ -63,11 +77,14 @@ class NextGenResult(ExperimentResult):
     avg_8_2: Dict[str, float] = field(default_factory=dict)
 
 
-#: Display label -> registered machine name (None = the context's own).
+#: Display label -> pooled shared-L2 MB per chip (None = the context's
+#: own stock machine).  Variants derive from the base platform through
+#: :func:`shared_l2_spec` scope overrides; the registered
+#: ``nextgen-shared-l2`` spec files document the same machines.
 VARIANTS = {
     "private_1MB_per_core": None,          # stock Paxville
-    "shared_2MB_per_chip": "nextgen-shared-l2",
-    "shared_4MB_per_chip": "nextgen-shared-l2-4mb",
+    "shared_2MB_per_chip": 2,
+    "shared_4MB_per_chip": 4,
 }
 
 
@@ -78,11 +95,8 @@ def run(
 ) -> NextGenResult:
     ctx = as_context(ctx)
     result = NextGenResult(variants=list(VARIANTS))
-    for name, machine in VARIANTS.items():
-        params = (
-            None if machine is None
-            else resolve_machine(machine).to_params()
-        )
+    for name, l2_mb in VARIANTS.items():
+        params = None if l2_mb is None else shared_l2_params(l2_mb)
         study = ctx.study(problem_class=problem_class, params=params)
         benches = list(benchmarks or study.paper_benchmarks())
         table = study.speedup_table(benchmarks=benches)

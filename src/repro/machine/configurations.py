@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.machine.params import MachineParams, paxville_params
 from repro.machine.topology import SystemTopology, build_topology
@@ -58,9 +58,23 @@ class MachineConfig:
         state = "HTon" if self.ht else "HToff"
         return f"{state}-2-{self.n_threads}-{self.n_chips}"
 
-    def topology(self) -> SystemTopology:
-        """Build the masked topology exposing only this config's contexts."""
-        full = build_topology(n_chips=2, cores_per_chip=2, ht_enabled=self.ht)
+    def topology(
+        self, params: Optional[MachineParams] = None
+    ) -> SystemTopology:
+        """Build the masked topology exposing only this config's contexts.
+
+        Args:
+            params: machine whose declared ``topology`` section shapes
+                the tree (sockets x chips x cores x SMT width).  Omitted,
+                the paper's Paxville shape (2 chips x 2 cores) is built —
+                the default every Table-1 artifact was produced with.
+        """
+        if params is None:
+            full = build_topology(
+                n_chips=2, cores_per_chip=2, ht_enabled=self.ht
+            )
+        else:
+            full = params.build_topology(ht_enabled=self.ht)
         return full.restrict(list(self.context_labels))
 
     def machine_params(self) -> MachineParams:

@@ -40,8 +40,10 @@ class PackedMachines:
 
     n_lanes: int
     clock_hz: np.ndarray
-    l2_line_bytes: np.ndarray
-    l2_latency_cycles: np.ndarray
+    #: Last-level cache geometry — the L2 itself on two-level machines
+    #: (same source floats, so legacy lanes pack bit-identically).
+    llc_line_bytes: np.ndarray
+    llc_latency_cycles: np.ndarray
     memory_latency_cycles: np.ndarray
     bus_chip_read_bw: np.ndarray
     bus_chip_write_bw: np.ndarray
@@ -65,8 +67,8 @@ def pack_machines(params: Sequence[MachineParams]) -> PackedMachines:
     return PackedMachines(
         n_lanes=len(params),
         clock_hz=col(lambda p: p.core.clock_hz),
-        l2_line_bytes=col(lambda p: p.l2.line_bytes),
-        l2_latency_cycles=col(lambda p: p.l2.latency_cycles),
+        llc_line_bytes=col(lambda p: p.llc.line_bytes),
+        llc_latency_cycles=col(lambda p: p.llc.latency_cycles),
         memory_latency_cycles=col(lambda p: p.memory_latency_cycles),
         bus_chip_read_bw=col(lambda p: p.bus.chip_read_bw),
         bus_chip_write_bw=col(lambda p: p.bus.chip_write_bw),

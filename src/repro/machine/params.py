@@ -15,6 +15,14 @@ L2 ~9.6 ns, main memory ~136.9 ns; single-chip read/write bandwidth
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+#: Sharing scopes a cache level may declare, from narrowest to widest.
+#: ``thread`` = private per hardware context; ``core`` = shared by one
+#: core's SMT contexts; ``chip`` = shared by all cores of one package;
+#: ``socket`` = shared by all chips of one NUMA node; ``system`` = one
+#: cache for the whole machine.
+CACHE_SCOPES: Tuple[str, ...] = ("thread", "core", "chip", "socket", "system")
 
 
 @dataclass(frozen=True)
@@ -176,6 +184,215 @@ class CoreParams:
 
 
 @dataclass(frozen=True)
+class CacheLevelParams:
+    """One cache level beyond the L2 in an N-level hierarchy.
+
+    The first two data levels stay the dedicated ``l1d``/``l2`` sections
+    (every legacy spec and the paper's model read them directly); levels
+    three and four are described declaratively as (geometry, scope)
+    pairs.  ``scope`` names the topology unit whose contexts share the
+    cache (see :data:`CACHE_SCOPES`).
+    """
+
+    name: str
+    cache: CacheParams
+    scope: str = "chip"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cache level name must be non-empty")
+        if self.scope not in CACHE_SCOPES:
+            raise ValueError(
+                f"cache level scope must be one of {CACHE_SCOPES}, "
+                f"got {self.scope!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CoreClassParams:
+    """A heterogeneous core class: per-chip clock/width overrides.
+
+    Chips listed in ``chips`` run at ``clock_scale`` times the base
+    clock and ``issue_width_scale`` times the base issue width (a
+    big.LITTLE-style mix).  Chips in no class use the base values.
+    """
+
+    name: str
+    chips: Tuple[int, ...]
+    clock_scale: float = 1.0
+    issue_width_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("core class name must be non-empty")
+        if not self.chips:
+            raise ValueError(f"core class {self.name!r} lists no chips")
+        if self.clock_scale <= 0 or self.issue_width_scale <= 0:
+            raise ValueError(
+                f"core class {self.name!r} scales must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class NumaParams:
+    """NUMA latency/bandwidth tiers between sockets.
+
+    Both matrices are square, indexed ``[accessing socket][home
+    socket]``, and expressed as *multipliers* relative to the machine's
+    base ``memory_latency_ns`` / bus bandwidth: ``latency_scale`` must
+    have a unit diagonal with off-diagonal entries >= 1 (a remote access
+    is never faster than a local one); ``bandwidth_scale`` has a unit
+    diagonal with off-diagonal entries in (0, 1] (a remote link never
+    exceeds local bandwidth).  Empty matrices mean UMA — every access
+    behaves locally, which is the Paxville platform.
+    """
+
+    latency_scale: Tuple[Tuple[float, ...], ...] = ()
+    bandwidth_scale: Tuple[Tuple[float, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        for label, matrix in (
+            ("latency_scale", self.latency_scale),
+            ("bandwidth_scale", self.bandwidth_scale),
+        ):
+            n = len(matrix)
+            for row in matrix:
+                if len(row) != n:
+                    raise ValueError(f"numa {label} must be square")
+            for i in range(n):
+                if matrix[i][i] != 1.0:
+                    raise ValueError(
+                        f"numa {label} diagonal must be 1.0 (local tier)"
+                    )
+                for j in range(n):
+                    v = matrix[i][j]
+                    if label == "latency_scale" and v < 1.0:
+                        raise ValueError(
+                            "numa latency_scale entries must be >= 1.0 "
+                            "(remote is never faster than local)"
+                        )
+                    if label == "bandwidth_scale" and not 0.0 < v <= 1.0:
+                        raise ValueError(
+                            "numa bandwidth_scale entries must be in "
+                            "(0, 1]"
+                        )
+        if (
+            self.latency_scale
+            and self.bandwidth_scale
+            and len(self.latency_scale) != len(self.bandwidth_scale)
+        ):
+            raise ValueError(
+                "numa latency_scale and bandwidth_scale disagree on the "
+                "socket count"
+            )
+
+    @property
+    def tiered(self) -> bool:
+        """True when any non-trivial tier is declared."""
+        return bool(self.latency_scale) or bool(self.bandwidth_scale)
+
+    @property
+    def n_sockets(self) -> int:
+        return max(len(self.latency_scale), len(self.bandwidth_scale))
+
+    def latency(self, from_socket: int, home_socket: int) -> float:
+        """Latency multiplier for ``from_socket`` touching memory homed
+        on ``home_socket`` (1.0 without tiers)."""
+        if not self.latency_scale:
+            return 1.0
+        return self.latency_scale[from_socket][home_socket]
+
+    def bandwidth(self, from_socket: int, home_socket: int) -> float:
+        """Bandwidth multiplier for the same pair (1.0 without tiers)."""
+        if not self.bandwidth_scale:
+            return 1.0
+        return self.bandwidth_scale[from_socket][home_socket]
+
+
+@dataclass(frozen=True)
+class TopologyParams:
+    """Declarative machine shape: sockets x chips x cores x SMT width.
+
+    The Paxville default is the paper's two-package PowerEdge 2850:
+    2 sockets x 1 chip x 2 cores x 2 SMT threads, UMA.
+    """
+
+    sockets: int = 2
+    chips_per_socket: int = 1
+    cores_per_chip: int = 2
+    threads_per_core: int = 2
+    core_classes: Tuple[CoreClassParams, ...] = ()
+    numa: NumaParams = field(default_factory=NumaParams)
+
+    def __post_init__(self) -> None:
+        if min(
+            self.sockets,
+            self.chips_per_socket,
+            self.cores_per_chip,
+            self.threads_per_core,
+        ) < 1:
+            raise ValueError("topology dimensions must be >= 1")
+        seen = set()
+        for cls in self.core_classes:
+            for chip in cls.chips:
+                if not 0 <= chip < self.n_chips:
+                    raise ValueError(
+                        f"core class {cls.name!r} references chip {chip}, "
+                        f"but the topology has {self.n_chips} chips"
+                    )
+                if chip in seen:
+                    raise ValueError(
+                        f"chip {chip} belongs to more than one core class"
+                    )
+                seen.add(chip)
+        if self.numa.tiered and self.numa.n_sockets != self.sockets:
+            raise ValueError(
+                f"numa tier matrices are {self.numa.n_sockets}x"
+                f"{self.numa.n_sockets} but the topology has "
+                f"{self.sockets} sockets"
+            )
+
+    @property
+    def n_chips(self) -> int:
+        return self.sockets * self.chips_per_socket
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_chips * self.cores_per_chip
+
+    @property
+    def n_contexts(self) -> int:
+        return self.n_cores * self.threads_per_core
+
+    def contexts_in_scope(self, scope: str) -> int:
+        """Hardware contexts contained in one unit of ``scope``."""
+        if scope == "thread":
+            return 1
+        if scope == "core":
+            return self.threads_per_core
+        if scope == "chip":
+            return self.threads_per_core * self.cores_per_chip
+        if scope == "socket":
+            return (
+                self.threads_per_core
+                * self.cores_per_chip
+                * self.chips_per_socket
+            )
+        if scope == "system":
+            return self.n_contexts
+        raise ValueError(
+            f"unknown cache scope {scope!r} (valid: {CACHE_SCOPES})"
+        )
+
+    def class_of_chip(self, chip: int) -> Optional[CoreClassParams]:
+        """The core class covering ``chip``, or ``None`` for the base."""
+        for cls in self.core_classes:
+            if chip in cls.chips:
+                return cls
+        return None
+
+
+@dataclass(frozen=True)
 class MachineParams:
     """Full parameter bundle for one machine model."""
 
@@ -219,18 +436,171 @@ class MachineParams:
     memory_latency_ns: float = 136.9
     #: L2 sharing scope: Paxville keeps one private L2 per core
     #: ("core"); next-generation parts (Woodcrest/Conroe) share one L2
-    #: among a chip's cores ("chip").
+    #: among a chip's cores ("chip").  Wider scopes ("socket",
+    #: "system") are accepted for exotic shared-LLC-as-L2 designs.
     l2_scope: str = "core"
+    #: L1-D sharing scope: Paxville's L1 is shared by the core's two HT
+    #: contexts ("core"); most later parts keep it per-thread-private
+    #: only in the duplicated-tag sense, so "core" remains the common
+    #: value — "thread" models a strictly partitioned L1.
+    l1_scope: str = "core"
+    #: Cache levels beyond the L2, ordered outward (L3 first).
+    extra_levels: Tuple[CacheLevelParams, ...] = ()
+    #: Declarative machine shape (sockets x chips x cores x SMT, core
+    #: classes, NUMA tiers).
+    topo: TopologyParams = field(default_factory=TopologyParams)
 
     def __post_init__(self) -> None:
-        if self.l2_scope not in ("core", "chip"):
+        self._validate_hierarchy()
+
+    def _validate_hierarchy(self) -> None:
+        """Topology-aware scope/sharer-count consistency checks.
+
+        This is the single validation point for *every* load path —
+        spec files, overrides, and direct ``MachineParams``
+        construction all pass through here (``dataclasses.replace``
+        re-runs ``__post_init__``).
+        """
+        if self.l1_scope not in ("thread", "core"):
             raise ValueError(
-                f"l2_scope must be 'core' or 'chip', got {self.l2_scope!r}"
+                f"l1_scope must be 'thread' or 'core', got {self.l1_scope!r}"
             )
+        if self.l2_scope not in ("core", "chip", "socket", "system"):
+            raise ValueError(
+                f"l2_scope must be 'core' or 'chip' (or the wider "
+                f"'socket'/'system'), got {self.l2_scope!r}"
+            )
+        topo = self.topo
+        expected_l1 = topo.contexts_in_scope(self.l1_scope)
+        if self.l1d.shared_contexts != expected_l1:
+            raise ValueError(
+                f"l1d.shared_contexts={self.l1d.shared_contexts} is "
+                f"inconsistent with l1_scope={self.l1_scope!r} on this "
+                f"topology (a {self.l1_scope} holds {expected_l1} "
+                f"context(s))"
+            )
+        expected_l2 = topo.contexts_in_scope(self.l2_scope)
+        if self.l2.shared_contexts != expected_l2:
+            raise ValueError(
+                f"l2.shared_contexts={self.l2.shared_contexts} is "
+                f"inconsistent with l2_scope={self.l2_scope!r} on this "
+                f"topology (a {self.l2_scope} holds {expected_l2} "
+                f"context(s))"
+            )
+        scope_rank = {s: i for i, s in enumerate(CACHE_SCOPES)}
+        prev_rank = scope_rank[self.l2_scope]
+        prev_name = "l2"
+        for lvl in self.extra_levels:
+            rank = scope_rank[lvl.scope]
+            if rank < prev_rank:
+                raise ValueError(
+                    f"cache level {lvl.name!r} scope {lvl.scope!r} is "
+                    f"narrower than {prev_name}'s — outer levels must "
+                    f"widen or keep the sharing scope"
+                )
+            expected = topo.contexts_in_scope(lvl.scope)
+            if lvl.cache.shared_contexts != expected:
+                raise ValueError(
+                    f"{lvl.name}.shared_contexts="
+                    f"{lvl.cache.shared_contexts} is inconsistent with "
+                    f"scope={lvl.scope!r} on this topology (a "
+                    f"{lvl.scope} holds {expected} context(s))"
+                )
+            prev_rank = rank
+            prev_name = lvl.name
+        if len(self.extra_levels) > 2:
+            raise ValueError(
+                "at most four data-cache levels are modeled "
+                "(l1d, l2 and two extra levels)"
+            )
+        names = [lvl.name for lvl in self.extra_levels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate cache level names: {names}")
 
     @property
     def memory_latency_cycles(self) -> float:
         return self.memory_latency_ns * self.core.clock_hz / 1e9
+
+    # ------------------------------------------------------------------
+    # N-level hierarchy views
+    # ------------------------------------------------------------------
+    def cache_levels(self) -> Tuple[CacheLevelParams, ...]:
+        """The full ordered data-cache chain as explicit levels."""
+        return (
+            CacheLevelParams(name="l1d", cache=self.l1d, scope=self.l1_scope),
+            CacheLevelParams(name="l2", cache=self.l2, scope=self.l2_scope),
+            *self.extra_levels,
+        )
+
+    @property
+    def llc(self) -> CacheParams:
+        """The last-level cache's geometry (the L2 on two-level
+        machines — the same object, so legacy arithmetic is untouched)."""
+        if self.extra_levels:
+            return self.extra_levels[-1].cache
+        return self.l2
+
+    @property
+    def llc_scope(self) -> str:
+        return (
+            self.extra_levels[-1].scope if self.extra_levels
+            else self.l2_scope
+        )
+
+    # ------------------------------------------------------------------
+    # topology / heterogeneity views
+    # ------------------------------------------------------------------
+    @property
+    def heterogeneous(self) -> bool:
+        """True when any chip deviates from the base core parameters."""
+        return bool(self.topo.core_classes)
+
+    @property
+    def numa_tiered(self) -> bool:
+        return self.topo.numa.tiered
+
+    @property
+    def uniform(self) -> bool:
+        """Homogeneous cores and flat memory — the fast path every
+        legacy machine takes."""
+        return not self.heterogeneous and not self.numa_tiered
+
+    def clock_hz_of(self, chip: int) -> float:
+        """Chip-local core clock (the base clock on homogeneous parts —
+        returned as the *same* float so divisions stay bit-identical)."""
+        cls = self.topo.class_of_chip(chip)
+        if cls is None or cls.clock_scale == 1.0:
+            return self.core.clock_hz
+        return self.core.clock_hz * cls.clock_scale
+
+    def params_for_chip(self, chip: int) -> "MachineParams":
+        """Machine parameters as seen from ``chip``'s cores.
+
+        Homogeneous machines return ``self`` (no copy, so every model
+        keyed on the params object keeps hitting its caches); chips in a
+        core class get a derived bundle with scaled clock/issue width.
+        """
+        cls = self.topo.class_of_chip(chip)
+        if cls is None:
+            return self
+        core = replace(
+            self.core,
+            clock_hz=self.core.clock_hz * cls.clock_scale,
+            issue_width=self.core.issue_width * cls.issue_width_scale,
+        )
+        return replace(self, core=core, topo=replace(self.topo, core_classes=()))
+
+    def build_topology(self, ht_enabled: bool) -> "SystemTopology":
+        """Materialize this machine's :class:`SystemTopology`."""
+        from repro.machine.topology import build_topology
+
+        return build_topology(
+            n_chips=self.topo.n_chips,
+            cores_per_chip=self.topo.cores_per_chip,
+            ht_enabled=ht_enabled,
+            threads_per_core=self.topo.threads_per_core,
+            chips_per_socket=self.topo.chips_per_socket,
+        )
 
     def with_overrides(self, **kwargs) -> "MachineParams":
         """Return a copy with top-level fields replaced (for ablations)."""

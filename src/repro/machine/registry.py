@@ -48,11 +48,19 @@ class UnknownMachineError(KeyError):
     """An unregistered machine name (the CLI maps this to exit 2)."""
 
     def __init__(self, name: str, valid: list):
+        import difflib
+
         self.machine = name
         self.valid = list(valid)
-        super().__init__(
+        self.suggestion: Optional[str] = next(
+            iter(difflib.get_close_matches(name, self.valid, n=1)), None
+        )
+        message = (
             f"unknown machine {name!r}; valid choices: {', '.join(valid)}"
         )
+        if self.suggestion is not None:
+            message += f" (did you mean {self.suggestion!r}?)"
+        super().__init__(message)
 
     def __str__(self) -> str:  # KeyError quotes its payload by default
         return self.args[0]

@@ -29,13 +29,18 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.machine.params import (
+    CACHE_SCOPES,
     BranchPredictorParams,
     BusParams,
+    CacheLevelParams,
     CacheParams,
     ContentionParams,
+    CoreClassParams,
     CoreParams,
     MachineParams,
+    NumaParams,
     TLBParams,
+    TopologyParams,
 )
 
 __all__ = [
@@ -66,6 +71,18 @@ _SCALARS: Dict[str, type] = {
     "memory_latency_ns": float,
     "l2_scope": str,
 }
+
+#: Structured (non-dataclass-section) keys of the ``machine`` tree.
+#: ``hierarchy`` is an ordered list of cache levels that replaces the
+#: ``l1d``/``l2``/``l2_scope`` trio; ``topology`` declares the machine
+#: shape.  Legacy specs (no ``hierarchy`` key) are auto-upgraded to the
+#: equivalent explicit form on load, and two-level machines serialize
+#: back to the legacy keys, so fingerprints of pre-hierarchy specs are
+#: unchanged.
+_STRUCTURED_KEYS = ("hierarchy", "topology")
+
+#: Default machine shape (the paper's 2s x 1 x 2c x 2t PowerEdge 2850).
+_TOPO_DEFAULT = TopologyParams()
 
 
 class SpecError(ValueError):
@@ -251,6 +268,204 @@ def _build_section(
         raise SpecError(str(exc), path) from None
 
 
+def _check_matrix(
+    value: Any, path: Sequence[str]
+) -> Tuple[Tuple[float, ...], ...]:
+    """Validate a NUMA tier matrix (list of equal-length float rows)."""
+    if not isinstance(value, (list, tuple)):
+        raise SpecError(f"expected a list of rows, got {value!r}", path)
+    rows = []
+    for i, row in enumerate(value):
+        if not isinstance(row, (list, tuple)):
+            raise SpecError(f"expected a row, got {row!r}", (*path, str(i)))
+        rows.append(tuple(
+            _check_type(v, float, (*path, str(i), str(j)))
+            for j, v in enumerate(row)
+        ))
+    return tuple(rows)
+
+
+def _build_topology_params(
+    data: Mapping[str, Any], path: Sequence[str]
+) -> TopologyParams:
+    """Parse the ``machine.topology`` table (sparse over the default)."""
+    if not isinstance(data, Mapping):
+        raise SpecError(f"expected a table, got {data!r}", path)
+    valid = {
+        "sockets", "chips_per_socket", "cores_per_chip",
+        "threads_per_core", "core_classes", "numa",
+    }
+    unknown = set(data) - valid
+    if unknown:
+        raise SpecError(
+            f"unknown field(s) {sorted(unknown)} (valid: {sorted(valid)})",
+            path,
+        )
+    kwargs: Dict[str, Any] = {}
+    for name in ("sockets", "chips_per_socket", "cores_per_chip",
+                 "threads_per_core"):
+        if name in data:
+            kwargs[name] = _check_type(data[name], int, (*path, name))
+    if "core_classes" in data:
+        raw = data["core_classes"]
+        if not isinstance(raw, (list, tuple)):
+            raise SpecError(
+                f"expected a list of core classes, got {raw!r}",
+                (*path, "core_classes"),
+            )
+        classes = []
+        for i, entry in enumerate(raw):
+            cpath = (*path, "core_classes", str(i))
+            if not isinstance(entry, Mapping):
+                raise SpecError(f"expected a table, got {entry!r}", cpath)
+            cvalid = {"name", "chips", "clock_scale", "issue_width_scale"}
+            cunknown = set(entry) - cvalid
+            if cunknown:
+                raise SpecError(
+                    f"unknown field(s) {sorted(cunknown)} "
+                    f"(valid: {sorted(cvalid)})",
+                    cpath,
+                )
+            if "name" not in entry or "chips" not in entry:
+                raise SpecError("needs 'name' and 'chips'", cpath)
+            chips = entry["chips"]
+            if not isinstance(chips, (list, tuple)) or not all(
+                isinstance(c, int) and not isinstance(c, bool) for c in chips
+            ):
+                raise SpecError(
+                    f"expected a list of chip indices, got {chips!r}",
+                    (*cpath, "chips"),
+                )
+            try:
+                classes.append(CoreClassParams(
+                    name=_check_type(entry["name"], str, (*cpath, "name")),
+                    chips=tuple(chips),
+                    clock_scale=_check_type(
+                        entry.get("clock_scale", 1.0), float,
+                        (*cpath, "clock_scale"),
+                    ),
+                    issue_width_scale=_check_type(
+                        entry.get("issue_width_scale", 1.0), float,
+                        (*cpath, "issue_width_scale"),
+                    ),
+                ))
+            except ValueError as exc:
+                raise SpecError(str(exc), cpath) from None
+        kwargs["core_classes"] = tuple(classes)
+    if "numa" in data:
+        raw = data["numa"]
+        npath = (*path, "numa")
+        if not isinstance(raw, Mapping):
+            raise SpecError(f"expected a table, got {raw!r}", npath)
+        nvalid = {"latency_scale", "bandwidth_scale"}
+        nunknown = set(raw) - nvalid
+        if nunknown:
+            raise SpecError(
+                f"unknown field(s) {sorted(nunknown)} "
+                f"(valid: {sorted(nvalid)})",
+                npath,
+            )
+        try:
+            kwargs["numa"] = NumaParams(
+                latency_scale=_check_matrix(
+                    raw.get("latency_scale", ()), (*npath, "latency_scale")
+                ),
+                bandwidth_scale=_check_matrix(
+                    raw.get("bandwidth_scale", ()),
+                    (*npath, "bandwidth_scale"),
+                ),
+            )
+        except ValueError as exc:
+            raise SpecError(str(exc), npath) from None
+    try:
+        return dataclasses.replace(_TOPO_DEFAULT, **kwargs)
+    except ValueError as exc:
+        raise SpecError(str(exc), path) from None
+
+
+def _build_hierarchy(
+    levels: Any,
+    base: MachineParams,
+    topo: TopologyParams,
+    path: Sequence[str],
+) -> Dict[str, Any]:
+    """Parse ``machine.hierarchy`` into the MachineParams cache fields.
+
+    The list is ordered inward-out: level 0 maps onto ``l1d`` (scope
+    ``thread``/``core``), level 1 onto ``l2`` (its scope subsumes the
+    legacy ``l2_scope`` scalar), and any further levels become
+    :class:`~repro.machine.params.CacheLevelParams`.  ``shared_contexts``
+    defaults to the context count of the level's scope on this topology.
+    """
+    if not isinstance(levels, (list, tuple)):
+        raise SpecError(f"expected a list of cache levels, got {levels!r}", path)
+    if len(levels) < 2:
+        raise SpecError("a hierarchy needs at least two levels (L1, L2)", path)
+    if len(levels) > 4:
+        raise SpecError("at most four data-cache levels are modeled", path)
+    parsed = []
+    for i, entry in enumerate(levels):
+        lpath = (*path, str(i))
+        if not isinstance(entry, Mapping):
+            raise SpecError(f"expected a table, got {entry!r}", lpath)
+        valid = {
+            "name", "scope", "size_bytes", "line_bytes", "associativity",
+            "latency_cycles", "shared_contexts", "write_allocate",
+        }
+        unknown = set(entry) - valid
+        if unknown:
+            raise SpecError(
+                f"unknown field(s) {sorted(unknown)} (valid: {sorted(valid)})",
+                lpath,
+            )
+        scope = entry.get("scope")
+        if scope is None:
+            scope = "core" if i == 0 else "chip"
+        scope = _check_type(scope, str, (*lpath, "scope"))
+        if scope not in CACHE_SCOPES:
+            raise SpecError(
+                f"must be one of {list(CACHE_SCOPES)}, got {scope!r}",
+                (*lpath, "scope"),
+            )
+        inherit = base.l1d if i == 0 else base.l2
+        cache_fields = {
+            k: v for k, v in entry.items() if k not in ("name", "scope")
+        }
+        if "shared_contexts" not in cache_fields:
+            try:
+                cache_fields["shared_contexts"] = topo.contexts_in_scope(scope)
+            except ValueError as exc:
+                raise SpecError(str(exc), (*lpath, "scope")) from None
+        cache = _build_section(CacheParams, cache_fields, inherit, lpath)
+        default_name = ("l1d", "l2", "l3", "l4")[i]
+        name = _check_type(
+            entry.get("name", default_name), str, (*lpath, "name")
+        )
+        parsed.append((name, scope, cache))
+    l1_name, l1_scope, l1d = parsed[0]
+    if l1_scope not in ("thread", "core"):
+        raise SpecError(
+            f"the first level is per-core hardware; scope must be "
+            f"'thread' or 'core', got {l1_scope!r}",
+            (*path, "0", "scope"),
+        )
+    _, l2_scope, l2 = parsed[1]
+    try:
+        extra = tuple(
+            CacheLevelParams(name=name, cache=cache, scope=scope)
+            for name, scope, cache in parsed[2:]
+        )
+    except ValueError as exc:
+        raise SpecError(str(exc), path) from None
+    return {
+        "l1d": l1d,
+        "l1_scope": l1_scope,
+        "l2": l2,
+        "l2_scope": l2_scope,
+        "extra_levels": extra,
+    }
+
+
 @dataclass(frozen=True)
 class MachineSpec:
     """A named, validated, serializable machine description.
@@ -323,7 +538,7 @@ class MachineSpec:
     def _build_params(machine: Mapping[str, Any]) -> MachineParams:
         if not isinstance(machine, Mapping):
             raise SpecError("expected a table", ("machine",))
-        valid = set(_SECTIONS) | set(_SCALARS)
+        valid = set(_SECTIONS) | set(_SCALARS) | set(_STRUCTURED_KEYS)
         unknown = set(machine) - valid
         if unknown:
             raise SpecError(
@@ -332,6 +547,23 @@ class MachineSpec:
             )
         base = MachineParams()
         kwargs: Dict[str, Any] = {}
+        topo = _TOPO_DEFAULT
+        if "topology" in machine:
+            topo = _build_topology_params(
+                machine["topology"], ("machine", "topology")
+            )
+            kwargs["topo"] = topo
+        if "hierarchy" in machine:
+            clash = {"l1d", "l2", "l2_scope"} & set(machine)
+            if clash:
+                raise SpecError(
+                    f"'hierarchy' replaces the legacy key(s) "
+                    f"{sorted(clash)} — a spec declares one or the other",
+                    ("machine", "hierarchy"),
+                )
+            kwargs.update(_build_hierarchy(
+                machine["hierarchy"], base, topo, ("machine", "hierarchy")
+            ))
         for section, cls_ in _SECTIONS.items():
             if section in machine:
                 kwargs[section] = _build_section(
@@ -354,44 +586,92 @@ class MachineSpec:
     # validation
     # ------------------------------------------------------------------
     def validate(self) -> None:
-        """Cross-field checks beyond per-dataclass invariants."""
+        """Cross-field checks beyond per-dataclass invariants.
+
+        Scope/sharer-count consistency lives in the topology-aware
+        validator of :class:`~repro.machine.params.MachineParams`
+        itself, so it holds on *every* load path (including direct
+        parameter construction); this method keeps the spec-level
+        checks that need the dotted-path error reporting.
+        """
         p = self.params
         if p.memory_latency_ns <= 0:
             raise SpecError(
                 "must be positive", ("machine", "memory_latency_ns")
             )
-        if p.l2_scope == "core":
-            if p.l2.shared_contexts != p.l1d.shared_contexts:
+        levels = p.cache_levels()
+        for inner, outer in zip(levels, levels[1:]):
+            if outer.cache.line_bytes < inner.cache.line_bytes:
                 raise SpecError(
-                    "a core-private L2 is shared by exactly the core's "
-                    f"contexts ({p.l1d.shared_contexts}), got "
-                    f"{p.l2.shared_contexts}",
-                    ("machine", "l2", "shared_contexts"),
+                    f"{outer.name} lines must be at least as large as "
+                    f"{inner.name} lines",
+                    ("machine", outer.name, "line_bytes"),
                 )
-        elif p.l2.shared_contexts < p.l1d.shared_contexts:
-            raise SpecError(
-                "a chip-shared L2 is shared by at least as many contexts "
-                f"as the L1 ({p.l1d.shared_contexts}), got "
-                f"{p.l2.shared_contexts}",
-                ("machine", "l2", "shared_contexts"),
-            )
-        if p.l2.line_bytes < p.l1d.line_bytes:
-            raise SpecError(
-                "L2 lines must be at least as large as L1 lines",
-                ("machine", "l2", "line_bytes"),
-            )
 
     # ------------------------------------------------------------------
     # serialization + identity
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """The full serialized form (always complete, never sparse)."""
-        machine: Dict[str, Any] = {
-            section: dataclasses.asdict(getattr(self.params, section))
-            for section in _SECTIONS
-        }
+        """The full serialized form (always complete, never sparse).
+
+        The serialization is *canonical*: a two-level machine with the
+        default L1 scope emits exactly the legacy ``l1d``/``l2``/
+        ``l2_scope`` keys (so pre-hierarchy spec fingerprints are
+        unchanged, and an explicit-hierarchy spec describing the same
+        machine canonicalizes — and fingerprints — identically), while
+        machines with extra levels or a thread-private L1 emit the
+        ``hierarchy`` list instead.  ``topology`` appears only when the
+        shape differs from the Paxville default.
+        """
+        p = self.params
+        legacy_form = not p.extra_levels and p.l1_scope == "core"
+        machine: Dict[str, Any] = {}
+        for section in _SECTIONS:
+            if not legacy_form and section in ("l1d", "l2"):
+                continue
+            machine[section] = dataclasses.asdict(getattr(p, section))
         for scalar in _SCALARS:
-            machine[scalar] = getattr(self.params, scalar)
+            if not legacy_form and scalar == "l2_scope":
+                continue
+            machine[scalar] = getattr(p, scalar)
+        if not legacy_form:
+            machine["hierarchy"] = [
+                {
+                    "name": lvl.name,
+                    "scope": lvl.scope,
+                    **dataclasses.asdict(lvl.cache),
+                }
+                for lvl in p.cache_levels()
+            ]
+        if p.topo != _TOPO_DEFAULT:
+            topo: Dict[str, Any] = {
+                "sockets": p.topo.sockets,
+                "chips_per_socket": p.topo.chips_per_socket,
+                "cores_per_chip": p.topo.cores_per_chip,
+                "threads_per_core": p.topo.threads_per_core,
+            }
+            if p.topo.core_classes:
+                topo["core_classes"] = [
+                    {
+                        "name": cls.name,
+                        "chips": list(cls.chips),
+                        "clock_scale": cls.clock_scale,
+                        "issue_width_scale": cls.issue_width_scale,
+                    }
+                    for cls in p.topo.core_classes
+                ]
+            if p.topo.numa.tiered:
+                numa: Dict[str, Any] = {}
+                if p.topo.numa.latency_scale:
+                    numa["latency_scale"] = [
+                        list(row) for row in p.topo.numa.latency_scale
+                    ]
+                if p.topo.numa.bandwidth_scale:
+                    numa["bandwidth_scale"] = [
+                        list(row) for row in p.topo.numa.bandwidth_scale
+                    ]
+                topo["numa"] = numa
+            machine["topology"] = topo
         return {
             "schema": SPEC_SCHEMA_VERSION,
             "name": self.name,
@@ -459,10 +739,16 @@ class MachineSpec:
     def summary(self) -> Dict[str, str]:
         """Key parameters for one line of ``repro machines`` output."""
         p = self.params
-        scope = "shared/chip" if p.l2_scope == "chip" else "private/core"
+        llc = p.llc
+        llc_scope = p.llc_scope
+        scope = (
+            "private/core" if llc_scope == "core" else f"shared/{llc_scope}"
+        )
+        llc_name = p.extra_levels[-1].name if p.extra_levels else "l2"
+        key = "l2" if llc_name == "l2" else "llc"
         return {
             "clock": f"{p.core.clock_hz / 1e9:.1f}GHz",
-            "l2": f"{p.l2.size_bytes // 1024 // 1024}MB {scope}",
+            key: f"{llc.size_bytes // 1024 // 1024}MB {scope}",
             "bus": f"{p.bus.chip_read_bw / 1e9:.2f}GB/s",
             "mem": f"{p.memory_latency_ns:.1f}ns",
         }

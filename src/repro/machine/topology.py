@@ -26,6 +26,10 @@ class HWContext:
         core: index of the core within the chip.
         thread: SMT thread slot within the core (0 or 1).
         cpu_id: flat logical CPU number assigned by the (simulated) OS.
+        socket: NUMA node the chip belongs to.  On Paxville each package
+            is its own FSB agent behind one UMA memory controller, so
+            socket == chip; multi-chip-module or NUMA machines group
+            several chips per socket.
     """
 
     label: str
@@ -33,6 +37,7 @@ class HWContext:
     core: int
     thread: int
     cpu_id: int
+    socket: int = 0
 
     @property
     def core_key(self) -> Tuple[int, int]:
@@ -46,6 +51,10 @@ class HWContext:
     def shares_chip_with(self, other: "HWContext") -> bool:
         """True when both contexts live on the same physical package."""
         return self.chip == other.chip
+
+    def shares_socket_with(self, other: "HWContext") -> bool:
+        """True when both contexts live on the same NUMA node."""
+        return self.socket == other.socket
 
 
 @dataclass
@@ -116,6 +125,10 @@ class SystemTopology:
     def n_contexts(self) -> int:
         return sum(len(chip.contexts) for chip in self.chips)
 
+    @property
+    def n_sockets(self) -> int:
+        return len({ctx.socket for ctx in self.contexts})
+
     def context(self, label: str) -> HWContext:
         """Resolve a paper-style label (``"A5"``/``"B2"``) to its context."""
         try:
@@ -175,28 +188,40 @@ def build_topology(
     cores_per_chip: int = 2,
     ht_enabled: bool = True,
     label_prefix: Optional[str] = None,
+    threads_per_core: Optional[int] = None,
+    chips_per_socket: int = 1,
 ) -> SystemTopology:
     """Build a full system topology with paper-style labels.
 
     Args:
         n_chips: number of physical packages.
         cores_per_chip: cores per package (2 for Paxville).
-        ht_enabled: when True each core exposes two contexts and labels use
-            the ``A`` prefix; otherwise one context per core, ``B`` prefix.
+        ht_enabled: when True each core exposes its SMT contexts and
+            labels use the ``A`` prefix; otherwise one context per core,
+            ``B`` prefix.
         label_prefix: override the automatic A/B prefix (useful for tests).
+        threads_per_core: SMT width of one core when HT is enabled
+            (default 2, the paper's Hyper-Threading); HT off always
+            exposes one context per core.
+        chips_per_socket: chips sharing one NUMA node (1 everywhere
+            except multi-chip-module packages).
 
     Returns:
         A :class:`SystemTopology`.
     """
     prefix = label_prefix if label_prefix is not None else ("A" if ht_enabled else "B")
-    threads_per_core = 2 if ht_enabled else 1
+    if threads_per_core is None:
+        threads_per_core = 2
+    smt = threads_per_core if ht_enabled else 1
+    if smt < 1 or n_chips < 1 or cores_per_chip < 1 or chips_per_socket < 1:
+        raise ValueError("topology dimensions must be >= 1")
     chips: List[Chip] = []
     cpu_id = 0
     for c in range(n_chips):
         cores = []
         for k in range(cores_per_chip):
             contexts = []
-            for t in range(threads_per_core):
+            for t in range(smt):
                 contexts.append(
                     HWContext(
                         label=f"{prefix}{cpu_id}",
@@ -204,6 +229,7 @@ def build_topology(
                         core=k,
                         thread=t,
                         cpu_id=cpu_id,
+                        socket=c // chips_per_socket,
                     )
                 )
                 cpu_id += 1

@@ -30,10 +30,14 @@ class BusLoad:
     Attributes:
         key: opaque identifier (context label) used to match outcomes.
         chip: physical chip carrying this context.
-        demand_bytes_per_sec: L2 miss traffic at the current execution
-            rate estimate.
+        demand_bytes_per_sec: last-level-cache miss traffic at the
+            current execution rate estimate.
         read_fraction: fraction of traffic that is reads (line fills).
         prefetchability: stride-regularity of the miss stream (0..1).
+        numa_bandwidth_scale: achievable fraction of the port bandwidth
+            for this context's memory tier (1.0 local/UMA; < 1 when the
+            accesses cross to a remote socket, inflating the effective
+            occupancy of every byte).
     """
 
     key: str
@@ -41,6 +45,7 @@ class BusLoad:
     demand_bytes_per_sec: float
     read_fraction: float = 0.8
     prefetchability: float = 0.5
+    numa_bandwidth_scale: float = 1.0
 
 
 @dataclass
@@ -184,7 +189,12 @@ class BusModel:
         waste_factor = 1.0 + PREFETCH_WASTE
 
         n = len(loads)
-        demand = [l.demand_bytes_per_sec for l in loads]
+        # Remote-tier traffic occupies the port for longer per byte:
+        # scale demand by the inverse achievable bandwidth fraction
+        # (``x / 1.0`` is exact, so UMA loads are untouched).
+        demand = [
+            l.demand_bytes_per_sec / l.numa_bandwidth_scale for l in loads
+        ]
         rfrac = [l.read_fraction for l in loads]
         lchip = [chip_index[l.chip] for l in loads]
         max_cov = [p.prefetch_max_coverage * l.prefetchability for l in loads]

@@ -206,6 +206,7 @@ def coherence_stall_cycles_per_instr(
     misses_per_instr: float,
     span_chips: int,
     cross_chip_fraction: Optional[float] = None,
+    cross_socket_latency_scale: float = 1.0,
 ) -> float:
     """Exposed stall cycles per uop from coherence transfers.
 
@@ -215,6 +216,9 @@ def coherence_stall_cycles_per_instr(
         cross_chip_fraction: share of transfers crossing chips; defaults
             to the neighbor-exchange expectation for a linear slab
             decomposition (1 boundary of T-1 crosses the chip split).
+        cross_socket_latency_scale: NUMA multiplier on the cross-chip
+            transfer cost when the team spans sockets with tiered
+            latency (1.0 on UMA machines — exact no-op).
     """
     if span_chips <= 1:
         return misses_per_instr * SAME_CHIP_TRANSFER_CYCLES
@@ -225,6 +229,6 @@ def coherence_stall_cycles_per_instr(
     )
     per_event = (
         (1.0 - frac) * SAME_CHIP_TRANSFER_CYCLES
-        + frac * CROSS_CHIP_TRANSFER_CYCLES
+        + frac * CROSS_CHIP_TRANSFER_CYCLES * cross_socket_latency_scale
     )
     return misses_per_instr * per_event

@@ -18,7 +18,7 @@ Rate conventions (matching how VTune/the paper report them):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.machine.params import MachineParams
 from repro.trace.patterns import (
@@ -41,8 +41,32 @@ _ITLB_OS_NOISE = 0.012
 
 
 @dataclass(frozen=True)
+class LevelRate:
+    """One resolved cache level beyond the L2 in an N-level chain.
+
+    ``miss_rate`` is the *local* rate (misses per access to this
+    level); ``accesses_per_instr`` equals the previous level's misses
+    per instruction, so the chain composes level-to-level exactly like
+    the L1 -> L2 hand-off.
+    """
+
+    name: str
+    accesses_per_instr: float
+    miss_rate: float
+    misses_per_instr: float
+    latency_cycles: float
+
+
+@dataclass(frozen=True)
 class LevelRates:
-    """Resolved per-context hierarchy rates for one phase."""
+    """Resolved per-context hierarchy rates for one phase.
+
+    The trace cache, L1-D, L2 and both TLBs keep their dedicated fields
+    (the paper's machine, read on every hot path); hierarchy levels
+    beyond the L2 appear in ``extra_levels``, ordered outward, and the
+    ``llc_misses_per_instr`` view is what reaches memory — identical to
+    ``l2_misses_per_instr`` on two-level machines.
+    """
 
     tc_accesses_per_instr: float
     tc_miss_rate: float
@@ -56,6 +80,7 @@ class LevelRates:
     dtlb_accesses_per_instr: float
     dtlb_miss_rate: float
     dtlb_misses_per_instr: float
+    extra_levels: Tuple[LevelRate, ...] = ()
 
     @property
     def tc_misses_per_instr(self) -> float:
@@ -68,6 +93,13 @@ class LevelRates:
     @property
     def itlb_misses_per_instr(self) -> float:
         return self.itlb_accesses_per_instr * self.itlb_miss_rate
+
+    @property
+    def llc_misses_per_instr(self) -> float:
+        """Misses per uop that leave the deepest cache for memory."""
+        if self.extra_levels:
+            return self.extra_levels[-1].misses_per_instr
+        return self.l2_misses_per_instr
 
 
 class HierarchyModel:
@@ -87,6 +119,7 @@ class HierarchyModel:
         co_phase: Optional[Phase] = None,
         l2_sharers: Optional[int] = None,
         l2_same_data: Optional[bool] = None,
+        extra_sharing: Optional[Sequence[Tuple[int, bool]]] = None,
     ) -> LevelRates:
         """Resolve hierarchy rates for one context executing ``phase``.
 
@@ -110,16 +143,22 @@ class HierarchyModel:
                 defaults to ``core_sharers``.
             l2_same_data: whether all L2 sharers belong to one program
                 instance; defaults to ``same_data``.
+            extra_sharing: per extra hierarchy level, the ``(sharers,
+                same_data)`` pair derived from the level's scope and the
+                active placement; defaults to the L2's effective pair
+                for each level (scopes only widen outward, so this is
+                the conservative floor).
         """
         p = self.params
         mix = phase.access_mix
 
         # --- data caches ---------------------------------------------
+        l1_sharers = 1 if p.l1_scope == "thread" else core_sharers
         l1_miss = mix.miss_rate(
             p.l1d.size_bytes,
             p.l1d.line_bytes,
             n_threads=n_threads,
-            sharers=core_sharers,
+            sharers=l1_sharers,
             same_program=same_data,
         )
         eff_l2_sharers = l2_sharers if l2_sharers is not None else core_sharers
@@ -139,6 +178,38 @@ class HierarchyModel:
         l1_acc_per_instr = phase.mem_ops_per_instr
         l2_acc_per_instr = l1_acc_per_instr * l1_miss
         l2_miss_per_instr = l1_acc_per_instr * l2_global
+
+        # --- levels beyond the L2 (N-level chain) --------------------
+        # Each outer level filters the previous level's miss stream:
+        # its accesses/uop are the inner level's misses/uop, its global
+        # rate is clamped by inclusion, and the local rate is the ratio
+        # — the same composition rule as the L1 -> L2 hand-off.
+        extra_rates = []
+        prev_global = l2_global
+        for i, lvl in enumerate(p.extra_levels):
+            if extra_sharing is not None and i < len(extra_sharing):
+                lvl_sharers, lvl_same = extra_sharing[i]
+            else:
+                lvl_sharers, lvl_same = eff_l2_sharers, eff_l2_same
+            lvl_global = mix.miss_rate(
+                lvl.cache.size_bytes,
+                lvl.cache.line_bytes,
+                n_threads=n_threads,
+                sharers=lvl_sharers,
+                same_program=lvl_same,
+            )
+            lvl_global = min(lvl_global, prev_global)
+            lvl_local = (
+                lvl_global / prev_global if prev_global > 1e-12 else 0.0
+            )
+            extra_rates.append(LevelRate(
+                name=lvl.name,
+                accesses_per_instr=l1_acc_per_instr * prev_global,
+                miss_rate=lvl_local,
+                misses_per_instr=l1_acc_per_instr * lvl_global,
+                latency_cycles=lvl.cache.latency_cycles,
+            ))
+            prev_global = lvl_global
 
         # --- trace cache ----------------------------------------------
         code_fp = phase.code_footprint_uops
@@ -198,4 +269,5 @@ class HierarchyModel:
             dtlb_accesses_per_instr=dtlb_acc_per_instr,
             dtlb_miss_rate=dtlb_miss,
             dtlb_misses_per_instr=dtlb_acc_per_instr * dtlb_miss,
+            extra_levels=tuple(extra_rates),
         )

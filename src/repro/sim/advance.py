@@ -26,7 +26,12 @@ from repro.osmodel.process import ProgramSpec
 from repro.sim.resolver import ResolvedContext
 from repro.trace.phase import Phase
 
-__all__ = ["Progress", "STEP_EVENTS", "TimeAccountant"]
+__all__ = [
+    "EXTRA_LEVEL_EVENTS",
+    "Progress",
+    "STEP_EVENTS",
+    "TimeAccountant",
+]
 
 #: The exact event-emission order of :meth:`TimeAccountant.accumulate`.
 #: The batched engine (:mod:`repro.sim.batch`) accumulates the same
@@ -53,6 +58,15 @@ STEP_EVENTS: Tuple[Event, ...] = (
     Event.BUS_TRANS_PREFETCH,
     Event.MACHINE_CLEAR,
     Event.COHERENCE_TRANSFER,
+)
+
+#: (access, miss) event pair for each hierarchy level beyond the L2, in
+#: level order.  Only machines declaring extra levels emit these; the
+#: batched engine appends them to its event axis when every lane has the
+#: same hierarchy depth.
+EXTRA_LEVEL_EVENTS: Tuple[Tuple[Event, Event], ...] = (
+    (Event.L3_ACCESS, Event.L3_MISS),
+    (Event.L4_ACCESS, Event.L4_MISS),
 )
 
 
@@ -113,7 +127,14 @@ class TimeAccountant:
             )
         n_work = ctxs[0].active.n_work
         instr_per_thread = phase.instructions / n_work
-        times = [instr_per_thread * r.cpi_eff / clock for r in ctxs]
+        # clock_hz_of returns the base clock (the same float) on
+        # homogeneous machines, so the division is bit-identical there.
+        times = [
+            instr_per_thread
+            * r.cpi_eff
+            / self.params.clock_hz_of(r.active.placement.context.chip)
+            for r in ctxs
+        ]
         slowest = max(times)
         imb = partition_imbalance(self.omp.schedule, phase.imbalance, n_work)
         slowest *= 1.0 + imb
@@ -168,6 +189,10 @@ class TimeAccountant:
             rates = r.rates
             cov = r.bus.prefetch_coverage if r.bus else 0.0
             l2_misses = instr * rates.l2_misses_per_instr
+            # Bus transactions are the *last-level* miss stream; on
+            # two-level machines llc_misses_per_instr is the same field,
+            # so this value is bit-identical to l2_misses.
+            llc_misses = instr * rates.llc_misses_per_instr
             events = {
                 Event.INSTR_RETIRED: instr,
                 Event.CYCLES: instr * r.cpi_eff,
@@ -186,9 +211,13 @@ class TimeAccountant:
                 Event.BRANCH_MISPRED: instr
                 * phase.branches_per_instr
                 * r.mispredict_rate,
-                Event.BUS_TRANS_DEMAND: l2_misses * (1.0 - cov),
-                Event.BUS_TRANS_PREFETCH: l2_misses * cov * (1.0 + PREFETCH_WASTE),
+                Event.BUS_TRANS_DEMAND: llc_misses * (1.0 - cov),
+                Event.BUS_TRANS_PREFETCH: llc_misses * cov * (1.0 + PREFETCH_WASTE),
                 Event.MACHINE_CLEAR: instr * phase.moclears_per_kinstr / 1000.0,
                 Event.COHERENCE_TRANSFER: instr * r.coherence_per_instr,
             }
+            for i, lvl in enumerate(rates.extra_levels):
+                acc_ev, miss_ev = EXTRA_LEVEL_EVENTS[i]
+                events[acc_ev] = instr * lvl.accesses_per_instr
+                events[miss_ev] = instr * lvl.misses_per_instr
             collector.add_many(prog.spec.program_id, label, events)

@@ -72,7 +72,7 @@ from repro.mem.hierarchy import LevelRates
 from repro.openmp.loops import partition_imbalance
 from repro.openmp.sync import barrier_cycles, fork_join_cycles
 from repro.osmodel.process import ProgramSpec
-from repro.sim.advance import STEP_EVENTS, Progress
+from repro.sim.advance import EXTRA_LEVEL_EVENTS, STEP_EVENTS, Progress
 from repro.sim.engine import Engine
 from repro.sim.resolver import (
     _DAMPING,
@@ -262,9 +262,11 @@ def _classify(active: Sequence[ActiveContext]) -> _StepStructure:
     labels = tuple(a.placement.context.label for a in active)
     by_core: Dict[Tuple[int, int], List[int]] = {}
     by_chip: Dict[int, List[int]] = {}
+    by_socket: Dict[int, List[int]] = {}
     for i, a in enumerate(active):
         by_core.setdefault(a.placement.context.core_key, []).append(i)
         by_chip.setdefault(a.placement.context.chip, []).append(i)
+        by_socket.setdefault(a.placement.context.socket, []).append(i)
     chips = sorted(by_chip)
     chip_index = {c: j for j, c in enumerate(chips)}
 
@@ -275,6 +277,7 @@ def _classify(active: Sequence[ActiveContext]) -> _StepStructure:
         sib = next((j for j in mates if labels[j] != labels[i]), None)
         sib_of.append(sib)
         chipmates = by_chip[a.placement.context.chip]
+        socketmates = by_socket[a.placement.context.socket]
         base.append((
             a.spec.program_id,
             a.spec.workload.name,
@@ -289,6 +292,14 @@ def _classify(active: Sequence[ActiveContext]) -> _StepStructure:
             all(
                 active[j].spec.program_id == a.spec.program_id
                 for j in chipmates
+            ),
+            # Socket-scope sharing signature: on single-chip sockets
+            # (every legacy machine) this duplicates the chip entries,
+            # so legacy class partitions are unchanged.
+            len(socketmates),
+            all(
+                active[j].spec.program_id == a.spec.program_id
+                for j in socketmates
             ),
         ))
     # Pair signature: own + sibling base (sibling terms read both sides);
@@ -463,9 +474,9 @@ class BatchedFixedPointResolver:
         )
 
         clock = packed.clock_hz[:, None]
-        line = packed.l2_line_bytes[:, None]
+        line = packed.llc_line_bytes[:, None]
         mem_lat_cycles = packed.memory_latency_cycles[:, None]
-        l2_lat = packed.l2_latency_cycles[:, None]
+        llc_lat = packed.llc_latency_cycles[:, None]
 
         # --- the outer damped fixed point, all lanes at once ----------
         # Lanes converge at different iterations; each lane's state is
@@ -499,7 +510,7 @@ class BatchedFixedPointResolver:
             covered = l2mpi * cov
             stall_memory = (
                 uncovered * mem_lat / mlp
-                + covered * l2_lat * _COVERED_EXPOSURE
+                + covered * llc_lat * _COVERED_EXPOSURE
             )
             stall = s_l2hit + stall_memory
             stall = stall + s_tc
@@ -639,6 +650,13 @@ def _lockstep_ok(
             return False
         if e.config.name != e0.config.name:
             return False
+        # Heterogeneous core mixes and NUMA tiers carry per-context
+        # clocks/latency scales the packed lane layout does not model;
+        # mixed hierarchy depths would need ragged event axes.
+        if not e.params.uniform:
+            return False
+        if len(e.params.extra_levels) != len(e0.params.extra_levels):
+            return False
     w0 = workloads[0]
     for w in workloads:
         if len(w.phases) != len(w0.phases):
@@ -684,7 +702,14 @@ def run_batched_single(
             return None  # heterogeneous placements
 
     bres = BatchedFixedPointResolver.from_engines(engines)
-    E = len(STEP_EVENTS)
+    # The event axis: the legacy 19 slots, plus one (access, miss) pair
+    # per declared extra hierarchy level (depth is lane-uniform, gated
+    # by _lockstep_ok; two-level machines keep exactly STEP_EVENTS).
+    depth = len(engines[0].params.extra_levels)
+    event_list: List = list(STEP_EVENTS)
+    for d in range(depth):
+        event_list.extend(EXTRA_LEVEL_EVENTS[d])
+    E = len(event_list)
     clocks = [e.params.core.clock_hz for e in engines]
     schedules = [e.omp.schedule for e in engines]
 
@@ -777,6 +802,10 @@ def run_batched_single(
         cpi_eff_a = np.array(sol.cpi_eff)
         stall_a = np.array(sol.stall_eff)
         l2m = instr * rate_arr("l2_misses_per_instr")
+        # Bus transactions carry the *last-level* miss stream; on
+        # two-level machines llc_misses_per_instr reads the same field,
+        # so llcm is the bit-identical twin of l2m there.
+        llcm = instr * rate_arr("llc_misses_per_instr")
         ev = np.empty((L, K, E))
         ev[:, :, 0] = instr  # INSTR_RETIRED
         ev[:, :, 1] = instr * cpi_eff_a  # CYCLES
@@ -793,10 +822,29 @@ def run_batched_single(
         ev[:, :, 12] = instr * rate_arr("dtlb_misses_per_instr")
         ev[:, :, 13] = instr * bpi  # BRANCH_RETIRED
         ev[:, :, 14] = instr * bpi * sol.misp  # BRANCH_MISPRED
-        ev[:, :, 15] = l2m * (1.0 - sol.cov)  # BUS_TRANS_DEMAND
-        ev[:, :, 16] = l2m * sol.cov * (1.0 + PREFETCH_WASTE)
+        ev[:, :, 15] = llcm * (1.0 - sol.cov)  # BUS_TRANS_DEMAND
+        ev[:, :, 16] = llcm * sol.cov * (1.0 + PREFETCH_WASTE)
         ev[:, :, 17] = instr * mo / 1000.0  # MACHINE_CLEAR
         ev[:, :, 18] = instr * sol.coh  # COHERENCE_TRANSFER
+        for d in range(depth):
+            ev[:, :, 19 + 2 * d] = instr * np.array(
+                [
+                    [
+                        sol.rates[l][k].extra_levels[d].accesses_per_instr
+                        for k in range(K)
+                    ]
+                    for l in range(L)
+                ]
+            )
+            ev[:, :, 20 + 2 * d] = instr * np.array(
+                [
+                    [
+                        sol.rates[l][k].extra_levels[d].misses_per_instr
+                        for k in range(K)
+                    ]
+                    for l in range(L)
+                ]
+            )
         for i in range(n_ctx):
             slot = label_slots.setdefault(
                 struct.labels[i], len(label_slots)
@@ -836,14 +884,14 @@ def run_batched_single(
         collector = Collector()
         for lab, slot in label_slots.items():
             collector._sets[(0, lab)] = CounterSet(
-                {STEP_EVENTS[e]: float(totals[l, slot, e]) for e in range(E)}
+                {event_list[e]: float(totals[l, slot, e]) for e in range(E)}
             )
         merged: Dict = {}
         for e in range(E):
             acc = 0.0
             for _lab, slot in label_slots.items():
                 acc = acc + float(totals[l, slot, e])
-            merged[STEP_EVENTS[e]] = acc
+            merged[event_list[e]] = acc
         results.append(
             RunResult(
                 config=engines[l].config,

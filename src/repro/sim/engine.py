@@ -85,7 +85,7 @@ class Engine:
     ):
         self.config = config
         self.params = params if params is not None else config.machine_params()
-        self.topology = config.topology()
+        self.topology = config.topology(self.params)
         self.scheduler = scheduler if scheduler is not None else make_scheduler(
             "linux_default"
         )

@@ -121,12 +121,16 @@ class Prework:
     coh_mpi: Dict[str, float] = field(default_factory=dict)
     coh_stall: Dict[str, float] = field(default_factory=dict)
     sibling_missiness: Dict[str, float] = field(default_factory=dict)
+    #: NUMA latency multiplier per label (1.0 on UMA machines).
+    mem_scale: Dict[str, float] = field(default_factory=dict)
+    #: NUMA bandwidth multiplier per label (1.0 on UMA machines).
+    bw_scale: Dict[str, float] = field(default_factory=dict)
     mig_misses_per_sec: float = 0.0
     #: Initial (bus-independent) breakdown per label.
     breakdowns: Dict[str, CPIBreakdown] = field(default_factory=dict)
     #: Initial CPI estimate per label (``breakdowns[label].cpi``).
     cpi_est: Dict[str, float] = field(default_factory=dict)
-    #: ``(exec_term, l2_misses_per_instr, effective_mlp)`` per label.
+    #: ``(exec_term, llc_misses_per_instr, effective_mlp)`` per label.
     fast: Dict[str, Tuple[float, float, float]] = field(default_factory=dict)
 
 
@@ -160,6 +164,19 @@ class FixedPointResolver:
             ScheduleKind.DYNAMIC: c.schedule_locality_dynamic,
             ScheduleKind.GUIDED: c.schedule_locality_guided,
         }
+        #: Per-chip pipeline views for heterogeneous core mixes (lazily
+        #: built; homogeneous machines always reuse ``self.pipeline``).
+        self._pipeline_by_chip: Dict[int, PipelineModel] = {}
+
+    def _pipeline_for(self, chip: int) -> PipelineModel:
+        """The pipeline model as seen from ``chip``'s cores."""
+        if not self.params.heterogeneous:
+            return self.pipeline
+        pm = self._pipeline_by_chip.get(chip)
+        if pm is None:
+            pm = PipelineModel(self.params.params_for_chip(chip))
+            self._pipeline_by_chip[chip] = pm
+        return pm
 
     # ------------------------------------------------------------------
     def prework(
@@ -181,10 +198,43 @@ class FixedPointResolver:
         """
         by_core: Dict[Tuple[int, int], List[ActiveContext]] = {}
         by_chip: Dict[int, List[ActiveContext]] = {}
+        by_socket: Dict[int, List[ActiveContext]] = {}
         for a in active:
             by_core.setdefault(a.placement.context.core_key, []).append(a)
             by_chip.setdefault(a.placement.context.chip, []).append(a)
-        l2_chip_scope = self.params.l2_scope == "chip"
+            by_socket.setdefault(a.placement.context.socket, []).append(a)
+        all_active = list(active)
+
+        def scope_group(a: ActiveContext, scope: str) -> List[ActiveContext]:
+            """The busy contexts sharing a cache of ``scope`` with ``a``."""
+            ctx = a.placement.context
+            if scope == "thread":
+                return [a]
+            if scope == "core":
+                return by_core[ctx.core_key]
+            if scope == "chip":
+                return by_chip[ctx.chip]
+            if scope == "socket":
+                return by_socket[ctx.socket]
+            return all_active
+
+        l2_scope = self.params.l2_scope
+        l2_shared_beyond_core = l2_scope in ("chip", "socket", "system")
+        extra_level_scopes = tuple(
+            lvl.scope for lvl in self.params.extra_levels
+        )
+
+        # NUMA home sockets: a program's pages are first-touched by its
+        # lowest-numbered context, so every teammate's memory accesses
+        # are charged the tier from its own socket to that home socket.
+        numa_tiered = self.params.numa_tiered
+        home_socket: Dict[int, Tuple[int, int]] = {}
+        if numa_tiered:
+            for a in active:
+                ctx = a.placement.context
+                cur = home_socket.get(a.spec.program_id)
+                if cur is None or ctx.cpu_id < cur[0]:
+                    home_socket[a.spec.program_id] = (ctx.cpu_id, ctx.socket)
 
         total_visible = self.topology.n_contexts
         ht = self.config.ht
@@ -210,6 +260,26 @@ class FixedPointResolver:
                 for a in active
                 if a.spec.program_id == pid
             })
+        # Teams spanning NUMA sockets pay the remote tier on their
+        # cross-chip cache-to-cache transfers.
+        prog_coh_scale: Dict[int, float] = {}
+        for pid in prog_chips:
+            scale = 1.0
+            if numa_tiered:
+                socks = sorted({
+                    a.placement.context.socket
+                    for a in active
+                    if a.spec.program_id == pid
+                })
+                if len(socks) > 1:
+                    numa = self.params.topo.numa
+                    scale = max(
+                        numa.latency(s1, s2)
+                        for s1 in socks
+                        for s2 in socks
+                        if s1 != s2
+                    )
+            prog_coh_scale[pid] = scale
 
         for a in active:
             label = a.placement.context.label
@@ -230,15 +300,30 @@ class FixedPointResolver:
                 and sibling.spec.workload.name == a.spec.workload.name
             )
             co_phase = sibling.phase if sibling is not None else None
-            if l2_chip_scope:
-                chipmates = by_chip[a.placement.context.chip]
-                l2_sharers = len(chipmates)
+            if l2_shared_beyond_core:
+                group = scope_group(a, l2_scope)
+                l2_sharers = len(group)
                 l2_same = all(
                     m.spec.program_id == a.spec.program_id
-                    for m in chipmates
+                    for m in group
                 )
             else:
                 l2_sharers, l2_same = None, None
+            if extra_level_scopes:
+                extra_sharing = tuple(
+                    (
+                        len(g),
+                        all(
+                            m.spec.program_id == a.spec.program_id
+                            for m in g
+                        ),
+                    )
+                    for g in (
+                        scope_group(a, scope) for scope in extra_level_scopes
+                    )
+                )
+            else:
+                extra_sharing = None
             base_rates = self.hierarchy.evaluate(
                 a.phase,
                 n_threads=a.n_work,
@@ -249,6 +334,7 @@ class FixedPointResolver:
                 co_phase=co_phase,
                 l2_sharers=l2_sharers,
                 l2_same_data=l2_same,
+                extra_sharing=extra_sharing,
             )
             rates[label] = self._apply_schedule_locality(
                 base_rates, a.n_work
@@ -261,7 +347,21 @@ class FixedPointResolver:
                 same_program=same_code,
                 co_phase=co_phase,
             )
-            utils[label] = self.pipeline.solo_utilization(a.phase, ht)
+            utils[label] = self._pipeline_for(
+                a.placement.context.chip
+            ).solo_utilization(a.phase, ht)
+            if numa_tiered:
+                numa = self.params.topo.numa
+                home = home_socket[a.spec.program_id][1]
+                pw.mem_scale[label] = numa.latency(
+                    a.placement.context.socket, home
+                )
+                pw.bw_scale[label] = numa.bandwidth(
+                    a.placement.context.socket, home
+                )
+            else:
+                pw.mem_scale[label] = 1.0
+                pw.bw_scale[label] = 1.0
             # MESI halo-exchange traffic: boundary lines exchanged per
             # iteration, charged per uop of this thread's share.
             if a.n_work > 1 and a.phase.halo_bytes_per_iteration > 0:
@@ -276,7 +376,11 @@ class FixedPointResolver:
             else:
                 coh_mpi[label] = 0.0
             coh_stall[label] = coherence_stall_cycles_per_instr(
-                coh_mpi[label], prog_chips[a.spec.program_id]
+                coh_mpi[label],
+                prog_chips[a.spec.program_id],
+                cross_socket_latency_scale=prog_coh_scale[
+                    a.spec.program_id
+                ],
             )
 
         sibling_missiness = pw.sibling_missiness
@@ -335,7 +439,8 @@ class FixedPointResolver:
             label = a.placement.context.label
             if labels is not None and label not in labels:
                 continue
-            bd = self.pipeline.breakdown(
+            pipe = self._pipeline_for(a.placement.context.chip)
+            bd = pipe.breakdown(
                 a.phase,
                 rates[label],
                 misp[label],
@@ -348,13 +453,14 @@ class FixedPointResolver:
                 smt_capacity=pair_capacity[label],
                 coherence_stall_per_instr=coh_stall[label],
                 sibling_miss_ratio=sibling_missiness[label],
+                memory_latency_scale=pw.mem_scale[label],
             )
             pw.breakdowns[label] = bd
             pw.cpi_est[label] = bd.cpi
             pw.fast[label] = (
                 bd.cpi_exec * bd.smt_slowdown,
-                rates[label].l2_misses_per_instr,
-                self.pipeline.effective_mlp(
+                rates[label].llc_misses_per_instr,
+                pipe.effective_mlp(
                     a.phase, sharers_of[label], sibling_missiness[label]
                 ),
             )
@@ -375,21 +481,34 @@ class FixedPointResolver:
         ht = self.config.ht
 
         # --- bus/CPI fixed point -----------------------------------------
-        clock = self.params.core.clock_hz
-        line = self.params.l2.line_bytes
+        line = self.params.llc.line_bytes
         lite: Dict[str, Tuple[float, float, float]] = {}
         loads: List[BusLoad] = []
         mem_lat_cycles = self.params.memory_latency_cycles
-        l2_lat = self.params.l2.latency_cycles
+        llc_lat = self.params.llc.latency_cycles
+        # Per-label hoists: chip-local clock (the same float on
+        # homogeneous machines) and the NUMA-scaled DRAM latency
+        # (``x * 1.0`` is exact, so UMA machines are untouched).
+        clock_of = {
+            a.placement.context.label: self.params.clock_hz_of(
+                a.placement.context.chip
+            )
+            for a in active
+        }
+        mem_lat_of = {
+            label: mem_lat_cycles * pw.mem_scale[label]
+            for label in clock_of
+        }
+        bw_scale = pw.bw_scale
 
         max_delta = 0.0
         for _ in range(_FIXED_POINT_ITERS):
             loads = []
             for a in active:
                 label = a.placement.context.label
-                rate = clock / cpi_est[label]
+                rate = clock_of[label] / cpi_est[label]
                 miss_rate_eff = (
-                    rates[label].l2_misses_per_instr
+                    rates[label].llc_misses_per_instr
                     + coh_mpi[label]
                     + mig_misses_per_sec / rate
                 )
@@ -401,6 +520,7 @@ class FixedPointResolver:
                         demand_bytes_per_sec=demand,
                         read_fraction=0.5 + 0.5 * a.phase.load_fraction,
                         prefetchability=a.phase.prefetchability,
+                        numa_bandwidth_scale=bw_scale[label],
                     )
                 )
             # Warm-start the bus's inner coverage iteration with the
@@ -421,12 +541,12 @@ class FixedPointResolver:
                 # sequence as PipelineModel.breakdown, then chained into
                 # the stall sum in CPIBreakdown.stall_per_instr's order,
                 # so the fast CPI is bit-identical to base.cpi would be.
-                mem_lat = mem_lat_cycles * mult
+                mem_lat = mem_lat_of[label] * mult
                 uncovered = l2mpi * (1.0 - cov)
                 covered = l2mpi * cov
                 stall_memory = (
                     uncovered * mem_lat / mlp
-                    + covered * l2_lat * _COVERED_EXPOSURE
+                    + covered * llc_lat * _COVERED_EXPOSURE
                 )
                 cpi = exec_term + (
                     base.stall_l2_hit
@@ -458,7 +578,9 @@ class FixedPointResolver:
         for a in active:
             label = a.placement.context.label
             out = outcomes[label]
-            breakdowns[label] = self.pipeline.breakdown(
+            breakdowns[label] = self._pipeline_for(
+                a.placement.context.chip
+            ).breakdown(
                 a.phase,
                 rates[label],
                 misp[label],
@@ -471,6 +593,7 @@ class FixedPointResolver:
                 smt_capacity=pw.pair_capacity[label],
                 coherence_stall_per_instr=pw.coh_stall[label],
                 sibling_miss_ratio=pw.sibling_missiness[label],
+                memory_latency_scale=pw.mem_scale[label],
             )
 
         resolved = {
@@ -507,10 +630,24 @@ class FixedPointResolver:
             rates.l1_accesses_per_instr * l1_miss,
         )
         l2_acc = rates.l1_accesses_per_instr * l1_miss
+        # Cascade the scaling through any outer levels, preserving the
+        # per-level closure (accesses = inner level's misses).
+        extra = []
+        prev = l2_global
+        for lvl in rates.extra_levels:
+            mpi = min(lvl.misses_per_instr * factor, prev)
+            extra.append(dataclasses.replace(
+                lvl,
+                accesses_per_instr=prev,
+                miss_rate=mpi / prev if prev > 0 else 0.0,
+                misses_per_instr=mpi,
+            ))
+            prev = mpi
         return dataclasses.replace(
             rates,
             l1_miss_rate=l1_miss,
             l2_accesses_per_instr=l2_acc,
             l2_miss_rate=l2_global / l2_acc if l2_acc > 0 else 0.0,
             l2_misses_per_instr=l2_global,
+            extra_levels=tuple(extra),
         )

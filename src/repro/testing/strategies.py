@@ -27,9 +27,12 @@ from repro.machine.spec import MachineSpec
 
 __all__ = [
     "cache_tables",
+    "hierarchy_lists",
     "machine_params",
     "machine_specs",
     "machine_trees",
+    "nlevel_machine_trees",
+    "numa_topology_tables",
 ]
 
 
@@ -119,6 +122,110 @@ def machine_trees() -> st.SearchStrategy[Dict[str, Any]]:
         "bus": _bus_tables(),
         "memory_latency_ns": st.floats(70.0, 280.0),
     })
+
+
+def hierarchy_lists(
+    depth: Optional[st.SearchStrategy[int]] = None,
+) -> st.SearchStrategy[list]:
+    """An ordered ``machine.hierarchy`` list of 2-4 valid cache levels.
+
+    One line size from {64, 128} B is used for the L2 and every outer
+    level (L1 lines stay 64 B), so the "outer lines at least as large
+    as inner lines" rule holds by construction.  Scopes widen outward
+    (core -> chip -> socket/system) as the schema requires; sharer
+    counts are left to the schema's topology-derived defaults.
+    """
+    def build(d, line, l1, l2_assoc, l2_sets, l2_lat,
+              l3_sets, l3_lat, l4_scope, l4_sets, l4_lat):
+        levels = [
+            {"name": "l1d", "scope": "core", **l1},
+            {
+                "name": "l2", "scope": "core",
+                "size_bytes": line * l2_assoc * l2_sets,
+                "line_bytes": line,
+                "associativity": l2_assoc,
+                "latency_cycles": l2_lat,
+            },
+        ]
+        if d >= 3:
+            levels.append({
+                "name": "l3", "scope": "chip",
+                "size_bytes": line * 8 * l3_sets,
+                "line_bytes": line,
+                "associativity": 8,
+                "latency_cycles": l3_lat,
+            })
+        if d >= 4:
+            levels.append({
+                "name": "l4", "scope": l4_scope,
+                "size_bytes": line * 16 * l4_sets,
+                "line_bytes": line,
+                "associativity": 16,
+                "latency_cycles": l4_lat,
+            })
+        return levels
+
+    return st.builds(
+        build,
+        depth if depth is not None else st.integers(2, 4),
+        st.sampled_from([64, 128]),
+        cache_tables(
+            line_bytes=st.just(64),
+            associativity=st.sampled_from([2, 4, 8]),
+            n_sets=_pow2(4, 6),
+            latency_cycles=st.floats(2.0, 6.0),
+        ),
+        st.sampled_from([4, 8]),
+        _pow2(8, 11),
+        st.floats(12.0, 30.0),
+        _pow2(11, 13),
+        st.floats(32.0, 55.0),
+        st.sampled_from(["socket", "system"]),
+        _pow2(13, 15),
+        st.floats(55.0, 90.0),
+    )
+
+
+def nlevel_machine_trees(
+    depth: Optional[st.SearchStrategy[int]] = None,
+) -> st.SearchStrategy[Dict[str, Any]]:
+    """Sparse ``machine`` trees declaring an explicit N-level hierarchy.
+
+    The ``hierarchy`` key replaces the legacy ``l1d``/``l2`` tables, so
+    the draw exercises the declarative form the same way a modern spec
+    file would (and the schema's clash check keeps the two exclusive).
+    """
+    return st.builds(
+        lambda tree, hier: {
+            **{k: v for k, v in tree.items() if k not in ("l1d", "l2")},
+            "hierarchy": hier,
+        },
+        machine_trees(),
+        hierarchy_lists(depth=depth),
+    )
+
+
+def numa_topology_tables() -> st.SearchStrategy[Dict[str, Any]]:
+    """A two-socket ``machine.topology`` table with NUMA tiers.
+
+    Off-diagonal latency multipliers are >= 1 and bandwidth multipliers
+    in (0, 1], matching the schema's "remote is never better than
+    local" invariants; the shape stays the Paxville 2s x 1 x 2c x 2t so
+    every Table-1 configuration's labels exist.
+    """
+    def build(lat, bw):
+        return {
+            "sockets": 2,
+            "chips_per_socket": 1,
+            "cores_per_chip": 2,
+            "threads_per_core": 2,
+            "numa": {
+                "latency_scale": [[1.0, lat], [lat, 1.0]],
+                "bandwidth_scale": [[1.0, bw], [bw, 1.0]],
+            },
+        }
+
+    return st.builds(build, st.floats(1.0, 2.5), st.floats(0.4, 1.0))
 
 
 def machine_specs(

@@ -291,6 +291,25 @@ class InvariantAuditor(SimObserver):
                 and bd.stall_coherence >= 0.0
                 and r.cpi_eff >= bd.cpi * (1.0 - _REL_TOL)
             )
+            if ok and rates.extra_levels:
+                # Per-level closure beyond the L2: bounded local rates,
+                # accesses equal to the inner level's misses, and
+                # misses = accesses * local rate.
+                prev = rates.l2_misses_per_instr
+                for lvl in rates.extra_levels:
+                    checks += 4
+                    lvl_implied = lvl.accesses_per_instr * lvl.miss_rate
+                    ok = (
+                        0.0 <= lvl.miss_rate <= 1.0
+                        and lvl.accesses_per_instr >= 0.0
+                        and abs(lvl.misses_per_instr - lvl_implied)
+                        <= _ABS_TOL + _REL_TOL * max(lvl_implied, 1e-12)
+                        and abs(lvl.accesses_per_instr - prev)
+                        <= _ABS_TOL + _REL_TOL * max(prev, 1e-12)
+                    )
+                    if not ok:
+                        break
+                    prev = lvl.misses_per_instr
             if ok and r.bus is not None:
                 checks += 2
                 ok = (
@@ -362,6 +381,51 @@ class InvariantAuditor(SimObserver):
             },
             **where,
         )
+        prev = rates.l2_misses_per_instr
+        for lvl in rates.extra_levels:
+            lvl_implied = lvl.accesses_per_instr * lvl.miss_rate
+            self._require(
+                0.0 <= lvl.miss_rate <= 1.0,
+                "rate-bounds",
+                f"{lvl.name}_miss_rate outside [0, 1]",
+                values={f"{lvl.name}_miss_rate": lvl.miss_rate},
+                **where,
+            )
+            self._require(
+                lvl.accesses_per_instr >= 0.0,
+                "rate-bounds",
+                f"{lvl.name}_accesses_per_instr negative",
+                values={
+                    f"{lvl.name}_accesses_per_instr":
+                        lvl.accesses_per_instr,
+                },
+                **where,
+            )
+            self._require(
+                abs(lvl.misses_per_instr - lvl_implied)
+                <= _ABS_TOL + _REL_TOL * max(lvl_implied, 1e-12),
+                f"{lvl.name}-closure",
+                f"{lvl.name}_misses_per_instr != accesses * miss_rate",
+                values={
+                    f"{lvl.name}_misses_per_instr": lvl.misses_per_instr,
+                    "implied": lvl_implied,
+                },
+                **where,
+            )
+            self._require(
+                abs(lvl.accesses_per_instr - prev)
+                <= _ABS_TOL + _REL_TOL * max(prev, 1e-12),
+                f"{lvl.name}-chain",
+                f"{lvl.name} accesses differ from the inner level's "
+                "misses",
+                values={
+                    f"{lvl.name}_accesses_per_instr":
+                        lvl.accesses_per_instr,
+                    "inner_misses_per_instr": prev,
+                },
+                **where,
+            )
+            prev = lvl.misses_per_instr
         bd = r.cpi
         self._require(
             bd.cpi_exec > 0.0 and bd.smt_slowdown >= 1.0,
@@ -548,6 +612,8 @@ class InvariantAuditor(SimObserver):
             ("tc", Event.TC_MISS, Event.TC_DELIVER),
             ("l1d", Event.L1D_MISS, Event.L1D_ACCESS),
             ("l2", Event.L2_MISS, Event.L2_ACCESS),
+            ("l3", Event.L3_MISS, Event.L3_ACCESS),
+            ("l4", Event.L4_MISS, Event.L4_ACCESS),
             ("itlb", Event.ITLB_MISS, Event.ITLB_ACCESS),
             ("dtlb", Event.DTLB_MISS, Event.DTLB_ACCESS),
             ("branch", Event.BRANCH_MISPRED, Event.BRANCH_RETIRED),
@@ -568,6 +634,23 @@ class InvariantAuditor(SimObserver):
             "L2 accesses differ from L1 data misses",
             values={"L1D_MISS": l1m, "L2_ACCESS": l2a},
         )
+        # The same hand-off closes at every declared level beyond the
+        # L2 (vacuous on two-level machines, where the outer access
+        # counters are never emitted).
+        for check, inner_miss, outer_access in (
+            ("l2-l3-chain", Event.L2_MISS, Event.L3_ACCESS),
+            ("l3-l4-chain", Event.L3_MISS, Event.L4_ACCESS),
+        ):
+            oa = get(outer_access)
+            if oa <= 0.0:
+                continue
+            im = get(inner_miss)
+            self._check(
+                abs(oa - im) <= _ABS_TOL + _REL_TOL * max(im, 1.0),
+                check,
+                f"{outer_access.name} differs from {inner_miss.name}",
+                values={inner_miss.name: im, outer_access.name: oa},
+            )
         self._check(
             get(Event.STALL_CYCLES)
             <= get(Event.CYCLES) * (1.0 + _REL_TOL) + _ABS_TOL,
@@ -578,26 +661,31 @@ class InvariantAuditor(SimObserver):
                 "CYCLES": get(Event.CYCLES),
             },
         )
-        # Demand bus transactions are the uncovered L2 miss stream;
-        # prefetch transactions cover the rest plus bounded waste.
-        l2_miss = get(Event.L2_MISS)
+        # Demand bus transactions are the uncovered *last-level* miss
+        # stream; prefetch transactions cover the rest plus bounded
+        # waste.  The binding level is the deepest one with traffic.
+        llc_miss = get(Event.L2_MISS)
+        if get(Event.L4_ACCESS) > 0.0:
+            llc_miss = get(Event.L4_MISS)
+        elif get(Event.L3_ACCESS) > 0.0:
+            llc_miss = get(Event.L3_MISS)
         demand = get(Event.BUS_TRANS_DEMAND)
         prefetch = get(Event.BUS_TRANS_PREFETCH)
         self._check(
-            demand <= l2_miss * (1.0 + _REL_TOL) + _ABS_TOL,
+            demand <= llc_miss * (1.0 + _REL_TOL) + _ABS_TOL,
             "bus-conservation",
-            "demand bus transactions exceed L2 misses",
-            values={"BUS_TRANS_DEMAND": demand, "L2_MISS": l2_miss},
+            "demand bus transactions exceed last-level misses",
+            values={"BUS_TRANS_DEMAND": demand, "LLC_MISS": llc_miss},
         )
         self._check(
             demand + prefetch / (1.0 + PREFETCH_WASTE)
-            <= l2_miss * (1.0 + _REL_TOL) + _ABS_TOL,
+            <= llc_miss * (1.0 + _REL_TOL) + _ABS_TOL,
             "bus-conservation",
-            "useful bus transactions exceed L2 misses",
+            "useful bus transactions exceed last-level misses",
             values={
                 "BUS_TRANS_DEMAND": demand,
                 "BUS_TRANS_PREFETCH": prefetch,
-                "L2_MISS": l2_miss,
+                "LLC_MISS": llc_miss,
             },
         )
 

@@ -25,7 +25,8 @@ from repro.core.study import Study
 from repro.machine.registry import default_params
 from repro.sim.batch import run_batched_single
 from repro.sim.sensitivity import PERTURBABLE, perturb_params
-from repro.testing.strategies import machine_params
+from repro.machine.spec import MachineSpec
+from repro.testing.strategies import machine_params, nlevel_machine_trees
 
 
 def assert_identical_runs(batched, scalar, tag=""):
@@ -135,3 +136,64 @@ class TestPipelineArtifacts:
         assert stats["scalar_fallbacks"] == 1  # the recording lane
         assert on_pipe.manifest["schema"] >= 3
         assert on_pipe.manifest["batch_mode"] == "on"
+
+
+class TestNLevelMachineBatches:
+    """Uniform N-level machines take the batched path and stay
+    byte-identical; non-uniform machines (heterogeneous cores, NUMA
+    tiers) decline to the scalar engine."""
+
+    @given(
+        # One depth per batch: lanes with mismatched hierarchy depth
+        # legitimately decline to scalar, which is tested separately.
+        st.integers(3, 4).flatmap(lambda d: st.lists(
+            nlevel_machine_trees(depth=st.just(d)),
+            min_size=2, max_size=3,
+        )),
+        st.sampled_from(["cg", "sp"]),
+        st.sampled_from(["serial", "ht_on_8_2", "ht_off_4_2"]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_batched_equals_scalar_three_levels(
+        self, trees, bench, config
+    ):
+        variants = [
+            MachineSpec.from_dict({
+                "schema": 1, "name": f"nlevel-{i}", "machine": tree,
+            }).to_params()
+            for i, tree in enumerate(trees)
+        ]
+        with verify.verification(False):
+            _batched_vs_scalar(variants, bench, config)
+
+    def test_checked_in_three_level_spec_batches(self):
+        from repro.machine.registry import resolve_machine
+
+        params = resolve_machine("broadwell-shared-l3").to_params()
+        with verify.verification(False):
+            _batched_vs_scalar([params, params], "cg", "ht_off_4_2")
+
+    @pytest.mark.parametrize(
+        "machine", ["biglittle-demo", "cascadelake-2s-numa"]
+    )
+    def test_non_uniform_machines_decline(self, machine):
+        from repro.machine.registry import resolve_machine
+
+        study = Study("B", params=resolve_machine(machine).to_params())
+        with verify.verification(False):
+            assert run_batched_single(
+                [study.engine("ht_off_4_2")], [study.workload("cg")]
+            ) is None
+
+    def test_mixed_depth_lanes_decline(self):
+        from repro.machine.registry import resolve_machine
+
+        two = Study("B", params=default_params())
+        three = Study(
+            "B", params=resolve_machine("broadwell-shared-l3").to_params()
+        )
+        with verify.verification(False):
+            assert run_batched_single(
+                [two.engine("serial"), three.engine("serial")],
+                [two.workload("cg"), three.workload("cg")],
+            ) is None

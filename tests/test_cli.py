@@ -261,3 +261,54 @@ class TestMachinesCli:
                      "--machine", "paxville"]) == 0
         capsys.readouterr()
         assert (tmp_path / "omp-overheads.txt").read_text().strip()
+
+
+class TestMachinesDetailCli:
+    def test_detail_renders_topology_tree_and_hierarchy(self, capsys):
+        from repro.machine.registry import machines_dir
+
+        if machines_dir() is None:  # pragma: no cover
+            pytest.skip("no machines/ directory in this deployment")
+        assert main(["machines", "broadwell-shared-l3"]) == 0
+        out = capsys.readouterr().out
+        assert "socket 0" in out and "socket 1" in out
+        assert "chip 0" in out and "core 0: A0 A1" in out
+        # Hierarchy table with all three levels and their scopes.
+        assert "l1d" in out and "l2" in out and "l3" in out
+        assert "chip" in out
+        assert "8MB" in out
+
+    def test_detail_shows_numa_tiers(self, capsys):
+        from repro.machine.registry import machines_dir
+
+        if machines_dir() is None:  # pragma: no cover
+            pytest.skip("no machines/ directory in this deployment")
+        assert main(["machines", "cascadelake-2s-numa"]) == 0
+        out = capsys.readouterr().out
+        assert "numa tiers" in out
+        assert "1.74" in out and "0.62" in out
+
+    def test_detail_shows_core_classes(self, capsys):
+        from repro.machine.registry import machines_dir
+
+        if machines_dir() is None:  # pragma: no cover
+            pytest.skip("no machines/ directory in this deployment")
+        assert main(["machines", "biglittle-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "core classes:" in out and "little" in out
+        assert "1.68GHz" in out  # 0.6 x 2.8 GHz on the little chip
+
+    def test_unknown_name_exits_2_with_choices_and_suggestion(
+        self, capsys
+    ):
+        assert main(["machines", "paxvile"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "valid choices" in err and "paxville" in err
+        assert "did you mean 'paxville'?" in err
+
+    def test_unknown_name_without_close_match_lists_choices(self, capsys):
+        assert main(["machines", "zzz-no-such-machine"]) == 2
+        err = capsys.readouterr().err
+        assert "valid choices" in err
+        assert "did you mean" not in err

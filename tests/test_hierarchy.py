@@ -151,3 +151,56 @@ class TestCrossValidation:
         stream = sample_mix(mix, 30000, 30000, np.random.default_rng(8))
         measured = simulate_miss_rate(params.l1d, stream.addresses, 0.2)
         assert measured == pytest.approx(analytic, abs=0.03)
+
+
+class TestExtraLevelChain:
+    """The N-level chain: each extra level filters the previous one."""
+
+    @pytest.fixture
+    def three_level_model(self):
+        from repro.machine.registry import resolve_machine
+
+        return HierarchyModel(
+            resolve_machine("broadwell-shared-l3").to_params()
+        )
+
+    def test_chain_closure(self, three_level_model):
+        r = evaluate(three_level_model, make_phase())
+        assert len(r.extra_levels) == 1
+        l3 = r.extra_levels[0]
+        assert l3.name == "l3"
+        # Accesses into the L3 are exactly the L2's misses, and the
+        # level's misses close over its local rate.
+        assert l3.accesses_per_instr == pytest.approx(
+            r.l2_misses_per_instr, rel=1e-12
+        )
+        assert l3.misses_per_instr == pytest.approx(
+            l3.accesses_per_instr * l3.miss_rate, rel=1e-9
+        )
+        assert 0.0 <= l3.miss_rate <= 1.0
+        assert l3.misses_per_instr <= r.l2_misses_per_instr + 1e-12
+
+    def test_llc_misses_follow_deepest_level(self, three_level_model):
+        r = evaluate(three_level_model, make_phase())
+        assert r.llc_misses_per_instr == r.extra_levels[-1].misses_per_instr
+
+    def test_two_level_llc_is_l2(self, model):
+        r = evaluate(model, make_phase())
+        assert r.extra_levels == ()
+        assert r.llc_misses_per_instr == r.l2_misses_per_instr
+
+    def test_extra_sharing_widens_contention(self, three_level_model):
+        solo = evaluate(
+            three_level_model, make_phase(),
+            n_threads=4, core_sharers=1, same_data=False,
+            total_visible_contexts=4,
+            extra_sharing=[(1, True)],
+        )
+        contended = evaluate(
+            three_level_model, make_phase(),
+            n_threads=4, core_sharers=1, same_data=False,
+            total_visible_contexts=4,
+            extra_sharing=[(4, False)],
+        )
+        assert contended.extra_levels[0].misses_per_instr >= \
+            solo.extra_levels[0].misses_per_instr - 1e-15

