@@ -9,7 +9,9 @@ Usage::
     python -m repro run-all --only paper      # filter by tag or id
     python -m repro speedup CG ht_on_4_1      # one speedup query
     python -m repro machines                  # registered machine specs
+    python -m repro workloads                 # registered workload specs
     python -m repro run fig3 --machine nextgen-shared-l2
+    python -m repro run fig3 --workload minigmg --workload triad
 
 Unknown experiment ids, benchmarks, configurations, machines, and
 ``--only``/``--skip`` tokens produce a one-line error listing the valid
@@ -65,6 +67,37 @@ def _resolve_machine_arg(token: Optional[str]):
         raise CLIError(str(exc)) from None
 
 
+def _add_workload_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", action="append", default=None, metavar="NAME_OR_PATH",
+        dest="workloads",
+        help="workload(s) for the benchmark-matrix experiments: a "
+             "registered name (see 'workloads') or a .json/.toml spec "
+             "file; repeatable (default: the paper's six NAS class-B "
+             "benchmarks)",
+    )
+
+
+def _resolve_workload_args(
+    tokens: Optional[List[str]], problem_class: str = "B"
+) -> Optional[List[str]]:
+    """Validate ``--workload`` tokens, or a clean CLI error."""
+    if not tokens:
+        return None
+    from repro.workload.registry import (
+        UnknownWorkloadError,
+        resolve_workload,
+    )
+    from repro.workload.spec import WorkloadSpecError
+
+    for token in tokens:
+        try:
+            resolve_workload(token, problem_class)
+        except (UnknownWorkloadError, WorkloadSpecError) as exc:
+            raise CLIError(str(exc)) from None
+    return list(tokens)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -90,6 +123,22 @@ def _build_parser() -> argparse.ArgumentParser:
              "hierarchy table, NUMA tiers)",
     )
 
+    workloads = sub.add_parser(
+        "workloads",
+        help="list registered workload specs (name, fingerprint, kind, "
+             "working set, provenance); with a NAME, show its phase "
+             "table",
+    )
+    workloads.add_argument(
+        "name", nargs="?", default=None, metavar="NAME",
+        help="workload to describe in detail (per-phase OpenMP "
+             "construct, work volume, working set, access mix)",
+    )
+    workloads.add_argument(
+        "--problem-class", default="B", metavar="CLASS",
+        help="problem class the producers build at (default: B)",
+    )
+
     run = sub.add_parser("run", help="run one experiment and print it")
     run.add_argument("experiment", help="experiment id (see 'list')")
     run.add_argument(
@@ -98,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "JSON payload",
     )
     _add_machine_option(run)
+    _add_workload_option(run)
 
     run_all = sub.add_parser(
         "run-all", help="regenerate every artifact into a directory"
@@ -143,6 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "experiments",
     )
     _add_machine_option(run_all)
+    _add_workload_option(run_all)
 
     speed = sub.add_parser("speedup", help="query one speedup")
     speed.add_argument("benchmark")
@@ -164,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip matching experiments (same syntax as run-all)",
     )
     _add_machine_option(verify)
+    _add_workload_option(verify)
     return parser
 
 
@@ -178,12 +230,12 @@ def _get_entry(experiment_id: str) -> registry.ExperimentEntry:
 
 
 def _run_one(
-    experiment_id: str, fmt: str = "text", machine=None
+    experiment_id: str, fmt: str = "text", machine=None, workloads=None
 ) -> str:
     from repro.core.context import RunContext
 
     entry = _get_entry(experiment_id)
-    result = entry.run(RunContext(machine=machine))
+    result = entry.run(RunContext(machine=machine, workloads=workloads))
     if fmt == "json":
         return json.dumps(
             entry.json_payload(result), indent=2, sort_keys=True
@@ -272,6 +324,46 @@ def _machine_detail_lines(spec) -> List[str]:
                 f"clock x{cls.clock_scale:.2f} "
                 f"issue width x{cls.issue_width_scale:.2f}"
             )
+    return lines
+
+
+def _workload_detail_lines(spec) -> List[str]:
+    """The ``workloads NAME`` detail view: totals + per-phase table."""
+    from repro.workload.spec import human_bytes
+
+    wl = spec.workload
+    provenance = str(spec.source) if spec.source is not None else "built-in"
+    lines = [f"{spec.name}  {spec.short_fingerprint}  [{provenance}]"]
+    if spec.description:
+        lines.append(f"  {spec.description}")
+    lines.append("")
+    lines.append(
+        f"kind {spec.kind}, class {wl.problem_class}, "
+        f"memory-bound score {spec.memory_bound_score:.2f}"
+    )
+    total = sum(ph.instructions for ph in wl.phases)
+    lines.append(
+        f"{len(wl.phases)} phase(s), {total:.2e} uops total, "
+        f"working set {human_bytes(wl.working_set_bytes)}"
+    )
+    lines.append("")
+    lines.append("phases:")
+    lines.append(
+        f"  {'phase':16s} {'openmp':8s} {'uops':>8s} {'mem/uop':>7s} "
+        f"{'wset':>9s} {'barriers':>8s} {'iters':>6s}  mix"
+    )
+    # The canonical tree already names each pattern's kind; reuse it
+    # rather than re-deriving kind names from the pattern classes.
+    for ph, tree in zip(wl.phases, spec.to_dict()["workload"]["phases"]):
+        mix = " + ".join(
+            f"{c['kind']}:{c['weight']:.2f}" for c in tree["access_mix"]
+        )
+        lines.append(
+            f"  {ph.name:16s} {ph.openmp_construct:8s} "
+            f"{ph.instructions:>8.1e} {ph.mem_ops_per_instr:>7.2f} "
+            f"{human_bytes(ph.working_set_bytes()):>9s} "
+            f"{ph.barriers:>8d} {ph.iterations:>6d}  {mix}"
+        )
     return lines
 
 
@@ -366,9 +458,47 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
             )
         return 0
 
+    if args.command == "workloads":
+        from repro.workload.registry import (
+            UnknownWorkloadError,
+            list_workloads,
+        )
+        from repro.workload.spec import WorkloadSpecError
+
+        try:
+            specs = list_workloads(args.problem_class)
+        except (WorkloadSpecError, KeyError, ValueError) as exc:
+            raise CLIError(str(exc)) from None
+        if args.name is not None:
+            key = next(
+                (k for k in (args.name, args.name.upper(), args.name.lower())
+                 if k in specs),
+                None,
+            )
+            if key is None:
+                raise CLIError(
+                    str(UnknownWorkloadError(args.name, sorted(specs)))
+                )
+            for line in _workload_detail_lines(specs[key]):
+                print(line)
+            return 0
+        for name in sorted(specs):
+            spec = specs[name]
+            s = spec.summary()
+            provenance = (
+                str(spec.source) if spec.source is not None else "built-in"
+            )
+            kv = " ".join(f"{k}={v}" for k, v in s.items())
+            print(
+                f"{name:14s} {spec.short_fingerprint}  {kv}  [{provenance}]"
+            )
+        return 0
+
     if args.command == "run":
         machine = _resolve_machine_arg(args.machine)
-        print(_run_one(args.experiment, args.format, machine=machine))
+        workloads = _resolve_workload_args(args.workloads)
+        print(_run_one(args.experiment, args.format, machine=machine,
+                       workloads=workloads))
         return 0
 
     if args.command == "run-all":
@@ -384,6 +514,7 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         skip = _split_tokens(args.skip)
         ctx = RunContext(
             machine=_resolve_machine_arg(args.machine),
+            workloads=_resolve_workload_args(args.workloads),
             jobs=args.jobs,
             cache_enabled=not args.no_cache,
             # Disk tier under the output directory: repeat runs (and the
@@ -462,6 +593,7 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         # pool workers would keep their audit counters to themselves.
         ctx = RunContext(
             machine=_resolve_machine_arg(args.machine),
+            workloads=_resolve_workload_args(args.workloads),
             jobs=1,
             cache_enabled=False,
             verify=True,
@@ -498,14 +630,8 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
     if args.command == "speedup":
         from repro.core.study import Study
         from repro.machine.configurations import CONFIGURATIONS
-        from repro.npb.suite import ALL_BENCHMARKS
+        from repro.npb.suite import UnknownBenchmarkError, resolve_benchmark
 
-        bench = args.benchmark.upper()
-        if bench not in ALL_BENCHMARKS:
-            raise CLIError(
-                f"unknown benchmark {args.benchmark!r}; "
-                f"valid choices: {', '.join(ALL_BENCHMARKS)}"
-            )
         if args.config not in CONFIGURATIONS:
             raise CLIError(
                 f"unknown configuration {args.config!r}; "
@@ -522,6 +648,21 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 f"unknown problem class {args.problem_class!r}; "
                 f"valid choices: S, W, A, B, C"
             ) from None
+        try:
+            bench = resolve_benchmark(args.benchmark)
+        except UnknownBenchmarkError:
+            from repro.workload.registry import (
+                UnknownWorkloadError,
+                resolve_workload,
+            )
+            from repro.workload.spec import WorkloadSpecError
+
+            try:
+                bench = resolve_workload(
+                    args.benchmark, args.problem_class
+                ).name
+            except (UnknownWorkloadError, WorkloadSpecError) as exc:
+                raise CLIError(str(exc)) from None
         s = study.speedup(bench, args.config)
         print(f"{bench} on {args.config} "
               f"(class {args.problem_class.upper()}): {s:.2f}x over serial")

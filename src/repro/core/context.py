@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 from repro.core.runcache import configure, study_fingerprint
 from repro.core.study import Study
@@ -90,6 +90,11 @@ class RunContext:
     #: environment variable (default ``auto``).  Carried into pool
     #: workers by :meth:`apply_runtime_config` like the fault plan.
     batch: Optional[str] = None
+    #: Workloads the benchmark-matrix experiments sweep (names, spec
+    #: file paths, or :class:`~repro.workload.spec.WorkloadSpec`
+    #: instances for the workload registry).  ``None`` means the
+    #: paper's six NAS class-B benchmarks, exactly as before.
+    workloads: Optional[Sequence[Union[str, Path]]] = None
     #: Upstream experiment results, keyed by registry id.
     results: Dict[str, Any] = field(default_factory=dict)
 
@@ -154,6 +159,27 @@ class RunContext:
             self._studies[fp] = st
         self._touched.add(fp)
         return st
+
+    def workload_names(self) -> List[str]:
+        """The benchmark tokens the matrix experiments should sweep.
+
+        Defaults to the paper's six NAS class-B benchmarks; a context
+        with ``workloads`` set returns those tokens instead (validated
+        against the registry, so a typo fails here with a did-you-mean
+        suggestion rather than deep inside a driver).
+        """
+        if self.workloads is None:
+            return Study.paper_benchmarks()
+        from repro.workload.registry import resolve_workload
+
+        out: List[str] = []
+        for token in self.workloads:
+            resolve_workload(token, self.problem_class)  # validates
+            # Keep the token spelling (a name or a path-like string):
+            # studies resolve both, so a spec file outside the registry
+            # directory stays reachable by the drivers.
+            out.append(str(token))
+        return out
 
     def machine_params(self) -> MachineParams:
         """The context's machine parameters (stock Paxville when unset)."""

@@ -20,7 +20,12 @@ from repro.machine.configurations import (
 )
 from repro.machine.params import MachineParams
 from repro.npb.common import ProblemClass
-from repro.npb.suite import PAPER_BENCHMARKS, build_workload
+from repro.npb.suite import (
+    PAPER_BENCHMARKS,
+    UnknownBenchmarkError,
+    build_workload,
+    resolve_benchmark,
+)
 from repro.openmp.env import OMPEnvironment
 from repro.osmodel.scheduler import make_scheduler
 from repro.sim.engine import Engine
@@ -70,7 +75,11 @@ class Study:
         self.params = params
         self.scheduler_name = scheduler
         self.omp = omp
-        self._workloads: Dict[str, Workload] = {}
+        #: Memoized workload resolutions: input token -> (run-key token,
+        #: workload).  Registry workloads are additionally memoized under
+        #: their run-key token so batched prefetch lanes, which replay
+        #: recorded keys, resolve them without a registry round trip.
+        self._workloads: Dict[str, Tuple[str, Workload]] = {}
         self._fingerprint = study_fingerprint(
             self.problem_class, params, scheduler, omp
         )
@@ -107,12 +116,49 @@ class Study:
         self._cache.put(self._fingerprint, key, result)
 
     # ------------------------------------------------------------------
+    def _workload_entry(self, benchmark: str) -> Tuple[str, Workload]:
+        """Resolve a workload token to its (run-key token, workload).
+
+        NAS names resolve first and keep their historical run-cache keys
+        (the upper-cased benchmark name), so every pre-registry cache
+        entry stays valid.  Anything else goes through the workload
+        registry at this study's problem class; its run-key token is
+        ``name@short_fingerprint`` — content-addressed, so editing a
+        spec file can never serve a stale cached result.
+        """
+        entry = self._workloads.get(benchmark)
+        if entry is not None:
+            return entry
+        try:
+            token = resolve_benchmark(benchmark)
+            wl = build_workload(token, self.problem_class)
+        except UnknownBenchmarkError:
+            from repro.workload.registry import resolve_workload
+
+            name, _, expected = benchmark.rpartition("@")
+            if not name:
+                name, expected = benchmark, ""
+            spec = resolve_workload(name, self.problem_class)
+            if expected and spec.short_fingerprint != expected:
+                raise RuntimeError(
+                    f"workload {name!r} changed while its runs were in "
+                    f"flight: recorded fingerprint {expected}, registry "
+                    f"now has {spec.short_fingerprint}"
+                ) from None
+            token = f"{spec.name}@{spec.short_fingerprint}"
+            wl = spec.build()
+        entry = (token, wl)
+        self._workloads[benchmark] = entry
+        self._workloads[token] = entry
+        return entry
+
     def workload(self, benchmark: str) -> Workload:
-        """Benchmark workload model (memoized)."""
-        key = benchmark.upper()
-        if key not in self._workloads:
-            self._workloads[key] = build_workload(key, self.problem_class)
-        return self._workloads[key]
+        """Workload model for a benchmark or registry token (memoized)."""
+        return self._workload_entry(benchmark)[1]
+
+    def workload_key(self, benchmark: str) -> str:
+        """The run-cache key token a workload token resolves to."""
+        return self._workload_entry(benchmark)[0]
 
     def engine(self, config: Union[str, MachineConfig]) -> Engine:
         """Fresh engine for a configuration."""
@@ -127,22 +173,21 @@ class Study:
     # ------------------------------------------------------------------
     def run(self, benchmark: str, config: str = "serial") -> RunResult:
         """Run one benchmark under one configuration (cached)."""
-        key = ("single", benchmark.upper(), config)
+        token, wl = self._workload_entry(benchmark)
+        key = ("single", token, config)
         return self._cached_run(
-            key,
-            lambda: self.engine(config).run_single(self.workload(benchmark)),
+            key, lambda: self.engine(config).run_single(wl)
         )
 
     def run_pair(
         self, bench_a: str, bench_b: str, config: str
     ) -> RunResult:
         """Run two benchmarks concurrently (threads split evenly)."""
-        key = ("pair", bench_a.upper(), bench_b.upper(), config)
+        token_a, wl_a = self._workload_entry(bench_a)
+        token_b, wl_b = self._workload_entry(bench_b)
+        key = ("pair", token_a, token_b, config)
         return self._cached_run(
-            key,
-            lambda: self.engine(config).run_pair(
-                self.workload(bench_a), self.workload(bench_b)
-            ),
+            key, lambda: self.engine(config).run_pair(wl_a, wl_b)
         )
 
     # ------------------------------------------------------------------

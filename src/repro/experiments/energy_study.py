@@ -43,8 +43,9 @@ def run(
     benchmarks: Optional[Sequence[str]] = None,
     configs: Optional[Sequence[str]] = None,
 ) -> EnergyStudyResult:
-    study = as_context(ctx).study()
-    benches = list(benchmarks or study.paper_benchmarks())
+    ctx = as_context(ctx)
+    study = ctx.study()
+    benches = list(benchmarks or ctx.workload_names())
     cfgs = ["serial"] + list(configs or study.paper_configs())
     model = PowerModel()
 

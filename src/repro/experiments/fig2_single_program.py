@@ -47,8 +47,9 @@ def run(
     configs: Optional[Sequence[str]] = None,
 ) -> Fig2Result:
     """Collect the nine Figure-2 panels."""
-    study = as_context(ctx).study()
-    benches = list(benchmarks or study.paper_benchmarks())
+    ctx = as_context(ctx)
+    study = ctx.study()
+    benches = list(benchmarks or ctx.workload_names())
     cfgs = ["serial"] + list(configs or study.paper_configs())
 
     result = Fig2Result(config_order=cfgs)

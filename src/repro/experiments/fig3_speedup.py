@@ -26,10 +26,11 @@ def run(
     configs: Optional[Sequence[str]] = None,
 ) -> Fig3Result:
     """Compute per-benchmark speedups for every configuration."""
-    study = as_context(ctx).study()
+    ctx = as_context(ctx)
+    study = ctx.study()
     cfgs = list(configs or study.paper_configs())
     table = study.speedup_table(
-        benchmarks=benchmarks or study.paper_benchmarks(), configs=cfgs
+        benchmarks=benchmarks or ctx.workload_names(), configs=cfgs
     )
     return Fig3Result(table=table, config_order=cfgs)
 

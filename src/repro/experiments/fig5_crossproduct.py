@@ -67,7 +67,7 @@ def run(
     ctx = as_context(ctx)
     study = ctx.study()
     jobs = jobs if jobs is not None else ctx.jobs
-    benches = list(benchmarks or study.paper_benchmarks())
+    benches = list(benchmarks or ctx.workload_names())
     cfgs = list(configs or study.paper_configs())
     pairs = list(itertools.combinations_with_replacement(benches, 2))
 

@@ -98,7 +98,7 @@ def run(
     for name, l2_mb in VARIANTS.items():
         params = None if l2_mb is None else shared_l2_params(l2_mb)
         study = ctx.study(problem_class=problem_class, params=params)
-        benches = list(benchmarks or study.paper_benchmarks())
+        benches = list(benchmarks or ctx.workload_names())
         table = study.speedup_table(benchmarks=benches)
         result.speedups[name] = {
             b: {c: table.get(b, c) for c in table.configs}

@@ -47,8 +47,9 @@ def run(
     problem_class: Optional[str] = None,
 ) -> ScalingCurvesResult:
     """Sweep thread counts on the full-machine configurations."""
-    study = as_context(ctx).study(problem_class=problem_class)
-    benches = list(benchmarks or study.paper_benchmarks())
+    ctx = as_context(ctx)
+    study = ctx.study(problem_class=problem_class)
+    benches = list(benchmarks or ctx.workload_names())
     result = ScalingCurvesResult()
     for cfg_name in configs:
         cfg = get_config(cfg_name)

@@ -63,7 +63,7 @@ def run(
         study = ctx.study()
         cfgs = study.paper_configs()
         table = study.speedup_table(
-            benchmarks=benchmarks or study.paper_benchmarks(), configs=cfgs
+            benchmarks=benchmarks or ctx.workload_names(), configs=cfgs
         )
     return Table2Result(
         averages=average_speedup_by_architecture(table, cfgs),

@@ -5,7 +5,9 @@ Each benchmark module provides:
 * ``dims(problem_class)`` — the official NPB problem dimensions;
 * ``build(problem_class)`` — a :class:`~repro.trace.phase.Workload` whose
   phase descriptors (instruction volume, access mixture, footprints,
-  branch behaviour) are derived from those dimensions; and
+  branch behaviour) are derived from those dimensions;
+* ``spec(problem_class)`` — the same workload captured as a declarative
+  :class:`~repro.workload.spec.WorkloadSpec` (the registry entry); and
 * a real NumPy mini-kernel in :mod:`repro.npb.kernels` implementing the
   same algorithm at reduced scale, used to validate the numerics the
   workload models represent.
@@ -18,8 +20,11 @@ from repro.npb.common import ProblemClass, BenchmarkInfo, FLOP_TO_UOPS
 from repro.npb.suite import (
     ALL_BENCHMARKS,
     PAPER_BENCHMARKS,
-    build_workload,
+    UnknownBenchmarkError,
     benchmark_info,
+    benchmark_spec,
+    build_workload,
+    resolve_benchmark,
 )
 
 __all__ = [
@@ -28,6 +33,9 @@ __all__ = [
     "FLOP_TO_UOPS",
     "ALL_BENCHMARKS",
     "PAPER_BENCHMARKS",
-    "build_workload",
+    "UnknownBenchmarkError",
     "benchmark_info",
+    "benchmark_spec",
+    "build_workload",
+    "resolve_benchmark",
 ]

@@ -145,3 +145,21 @@ def build(problem_class: ProblemClass = ProblemClass.B) -> Workload:
     return Workload(
         name="FT", problem_class=problem_class.value, phases=phases,
     )
+
+
+def spec(problem_class: ProblemClass = ProblemClass.B):
+    """Capture :func:`build` as a declarative workload spec.
+
+    The spec serializes every phase through the
+    :mod:`repro.workload.spec` schema and rebuilds it, so this module
+    cannot produce a workload its own spec form would reject; the
+    rebuilt phases compare equal to :func:`build`'s.
+    """
+    from repro.workload.spec import WorkloadSpec
+
+    return WorkloadSpec.from_workload(
+        build(problem_class),
+        description=INFO.description,
+        kind=INFO.kind,
+        memory_bound_score=INFO.memory_bound_score,
+    )

@@ -24,8 +24,10 @@ from typing import Any, Dict, Optional
 from hypothesis import strategies as st
 
 from repro.machine.spec import MachineSpec
+from repro.workload.spec import WorkloadSpec
 
 __all__ = [
+    "access_mix_lists",
     "cache_tables",
     "hierarchy_lists",
     "machine_params",
@@ -33,6 +35,9 @@ __all__ = [
     "machine_trees",
     "nlevel_machine_trees",
     "numa_topology_tables",
+    "phase_tables",
+    "workload_specs",
+    "workload_trees",
 ]
 
 
@@ -251,3 +256,121 @@ def machine_specs(
 def machine_params():
     """Random valid engine-facing parameter bundles."""
     return machine_specs().map(lambda spec: spec.to_params())
+
+
+# ---------------------------------------------------------------------------
+# Workload specs (mirrors the machine strategies: every draw goes through
+# WorkloadSpec.from_dict, so schema validation is part of the strategy)
+# ---------------------------------------------------------------------------
+
+def _streaming_tables() -> st.SearchStrategy[Dict[str, Any]]:
+    return st.fixed_dictionaries({
+        "kind": st.just("streaming"),
+        "footprint_bytes": _pow2(16, 28).map(float),
+        "stride_bytes": st.sampled_from([8, 16, 64]),
+        "passes": st.floats(1.0, 64.0),
+    })
+
+
+def _random_tables() -> st.SearchStrategy[Dict[str, Any]]:
+    return st.fixed_dictionaries({
+        "kind": st.just("random"),
+        "footprint_bytes": _pow2(12, 26).map(float),
+        "partitioned": st.booleans(),
+        "shared_fraction": st.floats(0.0, 1.0),
+    })
+
+
+def _stencil_tables() -> st.SearchStrategy[Dict[str, Any]]:
+    return st.builds(
+        lambda fp, win_frac, hit: {
+            "kind": "stencil",
+            "footprint_bytes": float(fp),
+            "reuse_window_bytes": float(fp) * win_frac,
+            "stride_bytes": 8,
+            "window_hit_fraction": hit,
+        },
+        _pow2(18, 28),
+        st.floats(0.01, 0.25),
+        st.floats(0.3, 0.9),
+    )
+
+
+def access_mix_lists() -> st.SearchStrategy[list]:
+    """A valid ``access_mix`` list of 1-2 components.
+
+    Two-component draws use ``(w, 1 - w)`` weights, so the "weights sum
+    to 1" invariant holds by construction for every draw.
+    """
+    component = st.one_of(
+        _streaming_tables(), _random_tables(), _stencil_tables()
+    )
+
+    def weighted(pair_and_w):
+        (a, b), w = pair_and_w
+        return [{**a, "weight": w}, {**b, "weight": 1.0 - w}]
+
+    two = st.tuples(
+        st.tuples(component, component),
+        st.floats(0.05, 0.95),
+    ).map(weighted)
+    one = component.map(lambda c: [{**c, "weight": 1.0}])
+    return st.one_of(one, two)
+
+
+def phase_tables(
+    name: st.SearchStrategy[str] = st.just("phase"),
+) -> st.SearchStrategy[Dict[str, Any]]:
+    """A complete spec ``phases`` entry satisfying every Phase invariant."""
+    return st.fixed_dictionaries({
+        "name": name,
+        "openmp": st.sampled_from(["parallel", "serial"]),
+        "instructions": st.floats(1e6, 1e11),
+        "mem_ops_per_instr": st.floats(0.05, 0.7),
+        "access_mix": access_mix_lists(),
+        "code_footprint_uops": st.floats(1e3, 1e5),
+        "code_footprint_bytes": st.floats(4e3, 4e5),
+        "branches_per_instr": st.floats(0.01, 0.2),
+        "branch_misp_intrinsic": st.floats(0.0, 0.02),
+        "branch_sites": st.integers(4, 400),
+        "ilp": st.floats(1.0, 3.0),
+        "load_fraction": st.floats(0.4, 1.0),
+        "imbalance": st.floats(0.0, 0.4),
+        "prefetchability": st.floats(0.0, 1.0),
+        "barriers": st.integers(0, 64),
+        "iterations": st.integers(1, 64),
+        "mlp": st.floats(0.0, 8.0),
+    })
+
+
+def workload_trees(
+    n_phases: Optional[st.SearchStrategy[int]] = None,
+) -> st.SearchStrategy[Dict[str, Any]]:
+    """A root-form spec tree (no inheritance) with 1-3 distinct phases."""
+    def build(n, phases, pclass):
+        named = [
+            {**p, "name": f"phase{i}"} for i, p in enumerate(phases[:n])
+        ]
+        return {
+            "schema": 1,
+            "name": "hypothesis-workload",
+            "description": "hypothesis-generated workload",
+            "workload": {"problem_class": pclass, "phases": named},
+        }
+
+    return st.builds(
+        build,
+        n_phases if n_phases is not None else st.integers(1, 3),
+        st.lists(phase_tables(), min_size=3, max_size=3),
+        st.sampled_from(["S", "W", "A", "B", "C"]),
+    )
+
+
+def workload_specs(
+    trees: Optional[st.SearchStrategy[Dict[str, Any]]] = None,
+) -> st.SearchStrategy[WorkloadSpec]:
+    """Random valid :class:`~repro.workload.spec.WorkloadSpec` instances,
+    built through :meth:`WorkloadSpec.from_dict` like a spec file."""
+    return (trees if trees is not None else workload_trees()).map(
+        WorkloadSpec.from_dict
+    )

@@ -105,6 +105,17 @@ class Phase:
         if not 0 <= self.prefetchability <= 1:
             raise ValueError("prefetchability must be within [0, 1]")
 
+    @property
+    def openmp_construct(self) -> str:
+        """The spec-layer spelling of ``parallel`` (see
+        :mod:`repro.workload.spec`): ``"parallel"`` for an OpenMP
+        parallel region, ``"serial"`` for master-only code."""
+        return "parallel" if self.parallel else "serial"
+
+    def working_set_bytes(self, n_threads: int = 1) -> float:
+        """Distinct bytes one of ``n_threads`` team members touches."""
+        return self.access_mix.footprint_bytes(n_threads)
+
     def with_scale(self, factor: float) -> "Phase":
         """Scale the phase's instruction volume (problem-class scaling)."""
         return replace(self, instructions=self.instructions * factor)
@@ -119,8 +130,11 @@ class Workload:
         problem_class: NAS class letter (``"S"``, ``"W"``, ``"A"``,
             ``"B"``, ``"C"``).
         phases: ordered phases.
-        memory_bound_score: 0..1 summary used by symbiosis-aware
-            scheduling extensions (derived, not used by the engine).
+
+    The 0..1 memory-boundness summary used by symbiosis-aware
+    scheduling extensions lives on the workload's *spec*
+    (:class:`repro.workload.spec.WorkloadSpec`), not here: the engine
+    never reads it.
     """
 
     name: str
@@ -148,6 +162,11 @@ class Workload:
         return (
             sum(p.instructions * p.mem_ops_per_instr for p in self.phases) / total
         )
+
+    @property
+    def working_set_bytes(self) -> float:
+        """Peak single-thread working set across phases (bytes)."""
+        return max(p.working_set_bytes() for p in self.phases)
 
     def scaled(self, factor: float) -> "Workload":
         """Uniformly scale instruction volume (used for reduced classes)."""

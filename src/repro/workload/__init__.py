@@ -1,0 +1,43 @@
+"""Declarative workload layer: specs, registry and workload families.
+
+The spec half (:mod:`repro.workload.spec`) is imported eagerly; the
+registry and families are reached lazily via module ``__getattr__``
+because they import the NAS modules, which in turn use the spec layer —
+an eager import here would be circular.
+"""
+
+from repro.workload.spec import (
+    WORKLOAD_SCHEMA_VERSION,
+    WorkloadSpec,
+    WorkloadSpecError,
+    load_workload_spec,
+)
+
+__all__ = [
+    "WORKLOAD_SCHEMA_VERSION",
+    "WorkloadSpec",
+    "WorkloadSpecError",
+    "UnknownWorkloadError",
+    "build_workload",
+    "list_workloads",
+    "load_workload_spec",
+    "resolve_workload",
+    "workloads_dir",
+]
+
+_REGISTRY_EXPORTS = (
+    "UnknownWorkloadError",
+    "build_workload",
+    "builtin_producers",
+    "list_workloads",
+    "resolve_workload",
+    "workloads_dir",
+)
+
+
+def __getattr__(name):
+    if name in _REGISTRY_EXPORTS:
+        from repro.workload import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

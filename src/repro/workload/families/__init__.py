@@ -1,0 +1,11 @@
+"""Code-defined workload families beyond the NAS suite.
+
+Each module exposes one or more *spec producers* — functions returning a
+:class:`~repro.workload.spec.WorkloadSpec` for a problem class — which
+the registry (:mod:`repro.workload.registry`) publishes under stable
+names next to the NAS benchmarks and any spec files on disk.
+"""
+
+from repro.workload.families import minigmg, rzbench
+
+__all__ = ["minigmg", "rzbench"]

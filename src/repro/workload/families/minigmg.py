@@ -1,0 +1,209 @@
+"""miniGMG-style geometric multigrid V-cycles.
+
+Models the miniGMG proxy app: V-cycles of a 7-point variable-coefficient
+smoother on a 3-D grid, with one phase per multigrid level.  The defining
+memory behaviour is the *level-by-level shrinking working set*: each
+coarsening halves the grid edge, so the footprint drops 8x per level —
+the fine levels stream hundreds of megabytes past every cache while the
+coarse levels fit in L2, then L1.  The bottom solver (a BiCGStab on the
+coarsest grid) is the other extreme: a cache-resident, barrier-dominated
+phase whose cost is synchronization, not bandwidth — exactly the
+communication-bound tail the miniGMG thread-count/affinity experiments
+probe.
+
+Every level phase carries the full smoother code footprint: one V-cycle
+alternates the same unrolled routines across all levels within
+milliseconds, so no level's loops stay resident on their own.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Optional, Tuple
+
+from repro.npb.common import (
+    BYTES_PER_UOP,
+    FLOP_TO_UOPS,
+    ProblemClass,
+    check_class,
+)
+from repro.trace.patterns import AccessMix, RandomPattern, StencilPattern
+from repro.trace.phase import Phase, Workload
+from repro.workload.spec import WorkloadSpec
+
+NAME = "minigmg"
+
+#: (fine grid edge, V-cycles)
+_DIMS: Dict[ProblemClass, Tuple[int, int]] = {
+    ProblemClass.S: (32, 4),
+    ProblemClass.W: (64, 6),
+    ProblemClass.A: (128, 8),
+    ProblemClass.B: (256, 10),
+    ProblemClass.C: (512, 10),
+}
+
+#: Coarsest explicit level edge; grids below this are the bottom solve.
+_BOTTOM_EDGE = 8
+
+#: Flops per grid point per V-cycle at one level (4 smoother sweeps of a
+#: 7-point variable-coefficient operator + residual + grid transfer).
+_FLOPS_PER_POINT = 60.0
+#: BiCGStab iterations per V-cycle on the coarsest grid.
+_BOTTOM_ITERS = 48
+#: Flops per point per bottom-solve iteration (two SpMVs + dot products).
+_BOTTOM_FLOPS_PER_POINT = 30.0
+#: Hot code of the whole V-cycle (smooth/residual/restrict/interpolate).
+_CODE_UOPS = 9000.0
+#: Arrays resident per level: solution, RHS, residual, coefficients.
+_ARRAYS = 4.0
+
+
+def dims(problem_class: ProblemClass) -> Tuple[int, int]:
+    """(fine grid edge, V-cycle count)."""
+    return check_class(problem_class, _DIMS)
+
+
+def level_edges(fine_edge: int) -> Tuple[int, ...]:
+    """Grid edges of the explicit levels, fine to coarse."""
+    edges = []
+    edge = fine_edge
+    while edge >= _BOTTOM_EDGE:
+        edges.append(edge)
+        edge //= 2
+    return tuple(edges)
+
+
+def build(
+    problem_class: ProblemClass = ProblemClass.B,
+    fine_edge: Optional[int] = None,
+    vcycles: Optional[int] = None,
+) -> Workload:
+    """Build the multigrid workload: one smoother phase per level."""
+    edge0, cycles0 = dims(problem_class)
+    edge = int(fine_edge) if fine_edge is not None else edge0
+    cycles = int(vcycles) if vcycles is not None else cycles0
+    if edge < 2 * _BOTTOM_EDGE:
+        raise ValueError(
+            f"fine_edge must be >= {2 * _BOTTOM_EDGE}, got {edge}"
+        )
+
+    scalars = RandomPattern(
+        footprint_bytes=4096.0,     # level geometry and solver scalars
+        partitioned=False,
+        shared_fraction=0.0,
+    )
+
+    phases = []
+    for k, edge_k in enumerate(level_edges(edge)):
+        points = float(edge_k) ** 3
+        grid_bytes = _ARRAYS * 8.0 * points
+        plane_bytes = float(edge_k) * float(edge_k) * 8.0
+        stencil = StencilPattern(
+            footprint_bytes=grid_bytes,
+            partitioned=True,
+            shared_fraction=0.12,    # halo planes between thread slabs
+            reuse_window_bytes=3.0 * plane_bytes,
+            stride_bytes=4,          # each point re-referenced ~8x/sweep
+            window_hit_fraction=0.62,
+            window_scales=False,     # slab decomposition: full planes
+        )
+        phases.append(Phase(
+            name=f"smooth_l{k}",
+            instructions=points * cycles * _FLOPS_PER_POINT * FLOP_TO_UOPS,
+            mem_ops_per_instr=0.5,
+            load_fraction=0.74,
+            access_mix=AccessMix.of((0.85, stencil), (0.15, scalars)),
+            code_footprint_uops=_CODE_UOPS,
+            code_footprint_bytes=_CODE_UOPS * BYTES_PER_UOP,
+            branches_per_instr=0.06,
+            branch_misp_intrinsic=0.003,
+            branch_sites=450,
+            ilp=1.5,
+            parallel=True,
+            # Coarse levels have fewer slabs than threads: imbalance and
+            # loop-exit mispredicts grow as the grid shrinks.
+            imbalance=min(0.35, 0.03 * (1 + k)),
+            prefetchability=max(0.55, 0.85 - 0.04 * k),
+            barriers=6,
+            iterations=cycles,
+            inner_trip_count=float(edge_k),
+            trip_divides=False,
+            branch_history_sensitivity=0.15,
+            mlp=4.0,
+            halo_bytes_per_iteration=2.0 * plane_bytes,
+        ))
+
+    # Bottom solve: BiCGStab on the sub-_BOTTOM_EDGE grid.  Cache-resident
+    # data, many short iterations, reductions after each SpMV — runtime is
+    # barriers and serialization, not bandwidth.
+    bottom_points = float(_BOTTOM_EDGE // 2) ** 3
+    phases.append(Phase(
+        name="bottom_solve",
+        instructions=(
+            bottom_points * cycles * _BOTTOM_ITERS
+            * _BOTTOM_FLOPS_PER_POINT * FLOP_TO_UOPS
+        ),
+        mem_ops_per_instr=0.42,
+        load_fraction=0.78,
+        access_mix=AccessMix.of(
+            (0.7, StencilPattern(
+                footprint_bytes=_ARRAYS * 8.0 * bottom_points,
+                partitioned=True,
+                shared_fraction=0.3,
+                reuse_window_bytes=0.0,
+                stride_bytes=8,
+                window_hit_fraction=0.5,
+                window_scales=False,
+            )),
+            (0.3, scalars),
+        ),
+        code_footprint_uops=2500.0,
+        code_footprint_bytes=2500.0 * BYTES_PER_UOP,
+        branches_per_instr=0.11,
+        branch_misp_intrinsic=0.01,
+        branch_sites=300,
+        ilp=1.1,
+        parallel=True,
+        imbalance=0.35,
+        prefetchability=0.5,
+        barriers=2 * _BOTTOM_ITERS,   # reductions bracket every iteration
+        iterations=cycles,
+        inner_trip_count=float(_BOTTOM_EDGE // 2),
+        trip_divides=False,
+        branch_history_sensitivity=0.3,
+        smt_capacity=1.1,
+        mlp=1.5,
+        halo_bytes_per_iteration=1024.0,
+    ))
+
+    return Workload(
+        name=NAME,
+        problem_class=problem_class.value,
+        phases=tuple(phases),
+    )
+
+
+@functools.lru_cache(maxsize=32)
+def _spec_cached(
+    problem_class: ProblemClass,
+    fine_edge: Optional[int],
+    vcycles: Optional[int],
+) -> WorkloadSpec:
+    return WorkloadSpec.from_workload(
+        build(problem_class, fine_edge=fine_edge, vcycles=vcycles),
+        description=(
+            "miniGMG-style geometric multigrid V-cycle: level-by-level "
+            "8x-shrinking working sets plus a barrier-bound bottom solve"
+        ),
+        kind="application",
+        memory_bound_score=0.8,
+    )
+
+
+def spec(
+    problem_class: ProblemClass = ProblemClass.B,
+    fine_edge: Optional[int] = None,
+    vcycles: Optional[int] = None,
+) -> WorkloadSpec:
+    """The registry producer for ``minigmg`` (memoized per parameters)."""
+    return _spec_cached(problem_class, fine_edge, vcycles)

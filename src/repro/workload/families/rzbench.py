@@ -1,0 +1,253 @@
+"""RZBENCH-style low-level kernels: vector triad and strided load.
+
+RZBENCH (arXiv:0712.3389) characterizes an architecture with a ladder of
+low-level kernels *before* looking at applications; the two modeled here
+bracket the memory system:
+
+* **triad** — the Schoenauer vector triad ``A(i) = B(i) + s * C(i)``,
+  the canonical bandwidth probe: three long streams, perfect spatial
+  locality, repetitions over arrays far larger than any cache.
+* **strided-load** — a load sweep at a fixed byte stride, the spatial
+  locality probe: at one word per line the stream degenerates to a miss
+  per access and defeats the stride prefetcher's bandwidth advantage.
+
+Both producers take explicit knobs (``elements``, ``mem_ops_per_instr``,
+``stride_bytes``) because the metamorphic suite drives them as dials:
+larger working sets must never produce fewer last-level misses, and a
+more memory-bound mix must never run faster on a fixed machine.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Optional, Tuple
+
+from repro.npb.common import BYTES_PER_UOP, ProblemClass, check_class
+from repro.trace.patterns import AccessMix, RandomPattern, StreamingPattern
+from repro.trace.phase import Phase, Workload
+from repro.workload.spec import WorkloadSpec
+
+#: (doubles per array, repetitions) — sized so every class streams for a
+#: comparable uop volume (work scales linearly, reach geometrically).
+_TRIAD_DIMS: Dict[ProblemClass, Tuple[int, int]] = {
+    ProblemClass.S: (2 ** 14, 400),
+    ProblemClass.W: (2 ** 17, 200),
+    ProblemClass.A: (2 ** 21, 100),
+    ProblemClass.B: (2 ** 24, 60),
+    ProblemClass.C: (2 ** 26, 40),
+}
+
+_STRIDED_DIMS: Dict[ProblemClass, Tuple[int, int]] = {
+    ProblemClass.S: (2 ** 15, 400),
+    ProblemClass.W: (2 ** 18, 200),
+    ProblemClass.A: (2 ** 22, 100),
+    ProblemClass.B: (2 ** 25, 60),
+    ProblemClass.C: (2 ** 27, 40),
+}
+
+#: uops per element per sweep (2 loads + 1 store + FMA + loop control).
+_TRIAD_UOPS_PER_ELEMENT = 5.0
+#: uops per element per sweep (load + index update + loop control).
+_STRIDED_UOPS_PER_ELEMENT = 4.0
+
+_SCALARS = RandomPattern(
+    footprint_bytes=512.0,      # loop counters and the scalar s
+    partitioned=False,
+    shared_fraction=1.0,
+)
+
+
+def _kernel_phase(
+    name: str,
+    instructions: float,
+    mem_ops_per_instr: float,
+    load_fraction: float,
+    mix: AccessMix,
+    ilp: float,
+    prefetchability: float,
+    repetitions: int,
+    inner_trip: float,
+    mlp: float,
+) -> Phase:
+    # One tight loop nest: tiny code, few branch sites, long trips that
+    # OpenMP static chunking divides across the team.
+    return Phase(
+        name=name,
+        instructions=instructions,
+        mem_ops_per_instr=mem_ops_per_instr,
+        load_fraction=load_fraction,
+        access_mix=mix,
+        code_footprint_uops=150.0,
+        code_footprint_bytes=150.0 * BYTES_PER_UOP,
+        branches_per_instr=0.05,
+        branch_misp_intrinsic=0.0005,
+        branch_sites=24,
+        ilp=ilp,
+        parallel=True,
+        imbalance=0.0,
+        prefetchability=prefetchability,
+        barriers=1,
+        iterations=repetitions,
+        inner_trip_count=inner_trip,
+        trip_divides=True,
+        branch_history_sensitivity=0.05,
+        smt_capacity=1.1,
+        mlp=mlp,
+    )
+
+
+def _clamped_mem_ops(value: float) -> float:
+    if not 0.0 < value <= 1.0:
+        raise ValueError(
+            f"mem_ops_per_instr must be within (0, 1], got {value}"
+        )
+    return float(value)
+
+
+def triad_build(
+    problem_class: ProblemClass = ProblemClass.B,
+    elements: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    mem_ops_per_instr: Optional[float] = None,
+) -> Workload:
+    """A(i) = B(i) + s * C(i) over three ``elements``-double arrays."""
+    n0, reps0 = check_class(problem_class, _TRIAD_DIMS)
+    n = int(elements) if elements is not None else n0
+    reps = int(repetitions) if repetitions is not None else reps0
+    if n < 1 or reps < 1:
+        raise ValueError("elements and repetitions must be positive")
+    streams = StreamingPattern(
+        footprint_bytes=3.0 * 8.0 * n,   # A, B and C together
+        partitioned=True,
+        shared_fraction=0.0,
+        stride_bytes=8,
+        passes=float(reps),
+    )
+    phase = _kernel_phase(
+        name="triad",
+        instructions=float(n) * reps * _TRIAD_UOPS_PER_ELEMENT,
+        mem_ops_per_instr=(
+            _clamped_mem_ops(mem_ops_per_instr)
+            if mem_ops_per_instr is not None else 0.6
+        ),
+        load_fraction=2.0 / 3.0,
+        mix=AccessMix.of((0.97, streams), (0.03, _SCALARS)),
+        ilp=1.8,
+        prefetchability=0.95,
+        repetitions=reps,
+        inner_trip=float(n),
+        mlp=6.0,
+    )
+    return Workload(
+        name="triad", problem_class=problem_class.value, phases=(phase,)
+    )
+
+
+def strided_load_build(
+    problem_class: ProblemClass = ProblemClass.B,
+    elements: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    stride_bytes: int = 128,
+    mem_ops_per_instr: Optional[float] = None,
+) -> Workload:
+    """Load sweep over one array at a fixed byte stride."""
+    n0, reps0 = check_class(problem_class, _STRIDED_DIMS)
+    n = int(elements) if elements is not None else n0
+    reps = int(repetitions) if repetitions is not None else reps0
+    stride = int(stride_bytes)
+    if n < 1 or reps < 1:
+        raise ValueError("elements and repetitions must be positive")
+    if stride < 8:
+        raise ValueError(f"stride_bytes must be >= 8, got {stride}")
+    sweep = StreamingPattern(
+        footprint_bytes=8.0 * n,
+        partitioned=True,
+        shared_fraction=0.0,
+        stride_bytes=stride,
+        passes=float(reps),
+    )
+    # The stride prefetcher tracks short strides well; past a line it
+    # degrades toward a demand-miss stream.
+    prefetch = 0.9 if stride <= 64 else (0.65 if stride <= 128 else 0.45)
+    phase = _kernel_phase(
+        name="strided_load",
+        instructions=float(n) * reps * _STRIDED_UOPS_PER_ELEMENT,
+        mem_ops_per_instr=(
+            _clamped_mem_ops(mem_ops_per_instr)
+            if mem_ops_per_instr is not None else 0.5
+        ),
+        load_fraction=1.0,
+        mix=AccessMix.of((0.97, sweep), (0.03, _SCALARS)),
+        ilp=1.6,
+        prefetchability=prefetch,
+        repetitions=reps,
+        inner_trip=float(n),
+        mlp=4.0,
+    )
+    return Workload(
+        name="strided-load",
+        problem_class=problem_class.value,
+        phases=(phase,),
+    )
+
+
+@functools.lru_cache(maxsize=64)
+def _triad_spec_cached(problem_class, elements, repetitions, mem_ops):
+    return WorkloadSpec.from_workload(
+        triad_build(
+            problem_class,
+            elements=elements,
+            repetitions=repetitions,
+            mem_ops_per_instr=mem_ops,
+        ),
+        description=(
+            "RZBENCH vector triad A=B+s*C: three-stream bandwidth probe"
+        ),
+        kind="kernel",
+        memory_bound_score=0.95,
+    )
+
+
+def triad_spec(
+    problem_class: ProblemClass = ProblemClass.B,
+    elements: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    mem_ops_per_instr: Optional[float] = None,
+) -> WorkloadSpec:
+    """The registry producer for ``triad`` (memoized per parameters)."""
+    return _triad_spec_cached(
+        problem_class, elements, repetitions, mem_ops_per_instr
+    )
+
+
+@functools.lru_cache(maxsize=64)
+def _strided_spec_cached(problem_class, elements, repetitions, stride, mem_ops):
+    return WorkloadSpec.from_workload(
+        strided_load_build(
+            problem_class,
+            elements=elements,
+            repetitions=repetitions,
+            stride_bytes=stride,
+            mem_ops_per_instr=mem_ops,
+        ),
+        description=(
+            "RZBENCH strided load sweep: spatial-locality and "
+            "prefetcher probe"
+        ),
+        kind="kernel",
+        memory_bound_score=0.9,
+    )
+
+
+def strided_load_spec(
+    problem_class: ProblemClass = ProblemClass.B,
+    elements: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    stride_bytes: int = 128,
+    mem_ops_per_instr: Optional[float] = None,
+) -> WorkloadSpec:
+    """The registry producer for ``strided-load``."""
+    return _strided_spec_cached(
+        problem_class, elements, repetitions, int(stride_bytes),
+        mem_ops_per_instr,
+    )

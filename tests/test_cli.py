@@ -38,7 +38,7 @@ class TestCli:
     def test_speedup_unknown_benchmark_exits_2(self, capsys):
         assert main(["speedup", "zz", "ht_off_4_2"]) == 2
         err = capsys.readouterr().err
-        assert "unknown benchmark" in err and "CG" in err
+        assert "unknown workload" in err and "CG" in err
 
     def test_speedup_unknown_config_exits_2(self, capsys):
         assert main(["speedup", "CG", "nope"]) == 2

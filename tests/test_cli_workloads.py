@@ -1,0 +1,107 @@
+"""Tests for the workload surface of the CLI (``workloads``,
+``--workload``, generalized ``speedup``)."""
+
+import json
+
+from repro.cli import main
+
+
+class TestWorkloadsListing:
+    def test_lists_builtins_with_fingerprints(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CG", "minigmg", "triad", "strided-load"):
+            assert name in out
+        assert "built-in" in out
+        # Every line carries the kv summary.
+        assert "kind=" in out and "ws=" in out
+
+    def test_detail_view_has_phase_table(self, capsys):
+        assert main(["workloads", "minigmg"]) == 0
+        out = capsys.readouterr().out
+        assert "memory-bound score" in out
+        assert "smooth_l0" in out and "bottom_solve" in out
+        assert "stencil" in out  # the access-mix column
+        assert "parallel" in out  # the openmp column
+
+    def test_detail_case_insensitive(self, capsys):
+        assert main(["workloads", "cg"]) == 0
+        assert "CG" in capsys.readouterr().out
+
+    def test_unknown_name_exits_2_with_suggestion(self, capsys):
+        assert main(["workloads", "triadd"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "did you mean 'triad'" in err
+
+    def test_problem_class_changes_listing(self, capsys):
+        assert main(["workloads", "--problem-class", "S"]) == 0
+        small = capsys.readouterr().out
+        assert main(["workloads", "--problem-class", "B"]) == 0
+        big = capsys.readouterr().out
+        assert "class=S" in small and "class=B" in big
+        assert small != big
+
+    def test_file_specs_show_provenance(self, capsys, tmp_path, monkeypatch):
+        spec_path = tmp_path / "custom.json"
+        spec_path.write_text(json.dumps({
+            "schema": 1,
+            "name": "custom",
+            "workload": {
+                "problem_class": "B",
+                "phases": [{
+                    "name": "only",
+                    "openmp": "parallel",
+                    "instructions": 1e9,
+                    "mem_ops_per_instr": 0.4,
+                    "access_mix": [{
+                        "kind": "streaming",
+                        "weight": 1.0,
+                        "footprint_bytes": 2 ** 24,
+                    }],
+                    "code_footprint_uops": 5000.0,
+                    "code_footprint_bytes": 12000.0,
+                    "branches_per_instr": 0.1,
+                    "branch_misp_intrinsic": 0.01,
+                    "branch_sites": 40,
+                    "ilp": 1.5,
+                }],
+            },
+        }))
+        monkeypatch.setenv("REPRO_WORKLOADS_DIR", str(tmp_path))
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "custom" in out and str(spec_path) in out
+
+
+class TestWorkloadOption:
+    def test_run_fig3_with_workload(self, capsys):
+        assert main(["run", "fig3", "--workload", "triad"]) == 0
+        out = capsys.readouterr().out
+        assert "triad" in out
+        assert "CG" not in out  # default matrix replaced, not extended
+
+    def test_run_unknown_workload_exits_2(self, capsys):
+        assert main(["run", "fig3", "--workload", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown workload" in err
+
+    def test_run_json_payload_carries_workloads(self, capsys):
+        assert main([
+            "run", "fig3", "--format", "json",
+            "--workload", "strided-load",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "strided-load" in json.dumps(payload)
+
+
+class TestSpeedupGeneralized:
+    def test_registry_workload_speedup(self, capsys):
+        assert main(["speedup", "minigmg", "ht_off_2_1"]) == 0
+        out = capsys.readouterr().out
+        assert "minigmg on ht_off_2_1" in out
+        assert "x over serial" in out
+
+    def test_nas_names_still_uppercase(self, capsys):
+        assert main(["speedup", "ep", "ht_off_2_1"]) == 0
+        assert "EP on ht_off_2_1" in capsys.readouterr().out

@@ -22,7 +22,11 @@ number.  The laws:
 13. a larger last-level cache never increases the last-level miss
     count, whatever the hierarchy depth (2-4 levels);
 14. declaring NUMA tiers (remote latency >= local, remote bandwidth
-    <= local) never speeds a cross-socket run up.
+    <= local) never speeds a cross-socket run up;
+15. a larger working set (triad elements x2/x4/x8 at fixed repetitions)
+    never produces fewer last-level cache misses;
+16. a more memory-bound workload (higher mem_ops_per_instr, all else
+    equal) never runs faster on a fixed machine.
 
 Profiles: randomized under the ``dev`` Hypothesis profile, fixed-seed
 deterministic under ``ci`` (see tests/conftest.py and docs/TESTING.md).
@@ -153,6 +157,45 @@ class TestMetamorphicRelations:
         solo = engine.run_single(serial_only, n_threads=1)
         team = engine.run_single(serial_only, n_threads=threads)
         assert team.runtime_seconds == solo.runtime_seconds
+
+
+class TestWorkloadRelations:
+    """Laws 15-16: relations over the *workload* axis, machines fixed
+    per example (drawn from the same spec-schema strategies)."""
+
+    @given(machine_trees(), st.sampled_from([2, 4, 8]))
+    @settings(max_examples=5)
+    def test_larger_working_set_never_fewer_llc_misses(self, tree, factor):
+        from repro.npb.common import ProblemClass
+        from repro.workload.families import rzbench
+
+        small = rzbench.triad_build(
+            ProblemClass.B, elements=2 ** 18, repetitions=8
+        )
+        large = rzbench.triad_build(
+            ProblemClass.B, elements=2 ** 18 * factor, repetitions=8
+        )
+        base = _run(tree, workload=small).collector.total()[Event.L2_MISS]
+        grown = _run(tree, workload=large).collector.total()[Event.L2_MISS]
+        assert grown >= base * (1 - 1e-9)
+
+    @given(machine_trees(), st.floats(0.1, 0.45), st.floats(1.2, 2.0))
+    @settings(max_examples=5)
+    def test_more_memory_bound_never_faster(self, tree, mem, boost):
+        from repro.npb.common import ProblemClass
+        from repro.workload.families import rzbench
+
+        lighter = rzbench.triad_build(
+            ProblemClass.B, elements=2 ** 20, repetitions=8,
+            mem_ops_per_instr=mem,
+        )
+        heavier = rzbench.triad_build(
+            ProblemClass.B, elements=2 ** 20, repetitions=8,
+            mem_ops_per_instr=min(mem * boost, 0.9),
+        )
+        base = _run(tree, workload=lighter).runtime_seconds
+        bound = _run(tree, workload=heavier).runtime_seconds
+        assert bound >= base * (1 - 1e-9)
 
 
 class TestHierarchyAndTopologyRelations:
