@@ -16,9 +16,14 @@ Usage::
 Unknown experiment ids, benchmarks, configurations, machines, and
 ``--only``/``--skip`` tokens produce a one-line error listing the valid
 choices and exit status 2.  ``run-all`` exits 3 when the matrix
-completed only partially (some experiment failed or was blocked); the
-completed artifacts are still written and ``run-all --resume`` finishes
-the remainder.  See ``docs/ROBUSTNESS.md`` for the failure model.
+completed only partially (some experiment failed or was blocked), and 4
+when the campaign was cancelled — SIGINT/SIGTERM, or the ``--timeout``
+run budget ran dry — after draining in-flight work and writing the
+manifest; in both cases the completed artifacts are written and
+``run-all --resume`` finishes the remainder.  ``run-all`` also keeps an
+fsync'd write-ahead journal next to the manifest, so even a SIGKILLed
+run resumes (disable with ``REPRO_JOURNAL=0``).  See
+``docs/ROBUSTNESS.md`` for the failure model and supervision.
 """
 
 from __future__ import annotations
@@ -43,6 +48,16 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _positive_seconds(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0 seconds")
     return value
 
 
@@ -190,7 +205,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="reuse completed artifacts from a previous (partial) run "
              "in --out and re-execute only failed/skipped/missing "
-             "experiments",
+             "experiments; works from the write-ahead journal when the "
+             "previous run died before writing a manifest",
+    )
+    run_all.add_argument(
+        "--timeout", type=_positive_seconds, default=None,
+        metavar="SECONDS",
+        help="wall-time budget for the whole run: once exhausted, the "
+             "remaining experiments are cancelled (exit 4) and the "
+             "partial run stays resumable (also: REPRO_TIMEOUT)",
+    )
+    run_all.add_argument(
+        "--experiment-timeout", type=_positive_seconds, default=None,
+        metavar="SECONDS",
+        help="wall-time budget per experiment, enforced at engine step "
+             "boundaries (a DeadlineExceeded failure) and as the "
+             "hung-worker watchdog in parallel runs (also: "
+             "REPRO_EXPERIMENT_TIMEOUT)",
     )
     _add_machine_option(run_all)
     _add_workload_option(run_all)
@@ -502,6 +533,9 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run-all":
+        import os
+
+        from repro import supervise
         from repro.core.context import RunContext
         from repro.experiments.pipeline import (
             ResumeError,
@@ -512,6 +546,25 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
 
         only = _split_tokens(args.only)
         skip = _split_tokens(args.skip)
+        # Budget: explicit flags win per-slot over the environment.
+        try:
+            budget = supervise.budget_from_env()
+        except supervise.BudgetError as exc:
+            raise CLIError(str(exc)) from None
+        if args.timeout is not None or args.experiment_timeout is not None:
+            budget = supervise.Budget(
+                run_timeout_s=(
+                    args.timeout if args.timeout is not None
+                    else (budget.run_timeout_s if budget else None)
+                ),
+                experiment_timeout_s=(
+                    args.experiment_timeout
+                    if args.experiment_timeout is not None
+                    else (budget.experiment_timeout_s if budget else None)
+                ),
+            )
+        if budget is not None:
+            budget = budget.arm()
         ctx = RunContext(
             machine=_resolve_machine_arg(args.machine),
             workloads=_resolve_workload_args(args.workloads),
@@ -521,6 +574,7 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
             # pipeline workers) reuse earlier results across processes.
             cache_dir=None if args.no_cache else args.out / ".cache",
             batch=args.batch,
+            budget=budget,
         )
         if args.csv:
             # The CSV exporter consumes fig2/fig3; make sure a filtered
@@ -539,13 +593,35 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 f"{len(resume_state.completed)} completed "
                 f"experiment(s) reused"
             )
+        # Validate the selection up front (exit 2, not a half-open
+        # journal), then start the write-ahead journal.
         try:
-            pipeline = run_pipeline(
-                ctx, only=only, skip=skip, resume=resume_state
-            )
+            selected = [e.id for e in registry.select(only=only, skip=skip)]
         except KeyError as exc:
             raise CLIError(exc.args[0]) from None
-        write_artifacts(pipeline, args.out, progress=print)
+        journal = None
+        if os.environ.get(supervise.JOURNAL_ENV, "").strip() != "0":
+            journal = supervise.Journal.open(
+                args.out, selected=selected, jobs=args.jobs
+            )
+        restore_signals = supervise.install_signals()
+        try:
+            try:
+                pipeline = run_pipeline(
+                    ctx, only=only, skip=skip, resume=resume_state,
+                    journal=journal,
+                )
+            except KeyError as exc:
+                raise CLIError(exc.args[0]) from None
+            write_artifacts(pipeline, args.out, progress=print)
+            if journal is not None:
+                # The manifest is durably written: the journal has
+                # nothing left to say.
+                journal.finalize(pipeline.manifest.get("status", "unknown"))
+        finally:
+            restore_signals()
+            if journal is not None:
+                journal.close()
         batched = sum(
             rec.batch.get("batched_machines", 0)
             for rec in pipeline.records.values()
@@ -570,7 +646,19 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
         if args.resume and not pipeline.executed:
             print("nothing to resume: previous run already complete")
-        if not pipeline.ok:
+        if pipeline.cancelled:
+            reasons = sorted(
+                {c.reason for c in pipeline.cancelled.values()}
+            )
+            print(
+                f"run-all cancelled "
+                f"({'; '.join(reasons) or 'no reason recorded'}): "
+                f"{len(pipeline.cancelled)} experiment(s) not run; "
+                f"completed artifacts and the manifest were written — "
+                f"re-run with --resume to finish the matrix",
+                file=sys.stderr,
+            )
+        elif not pipeline.ok:
             failed = sorted(pipeline.failures)
             skipped = sorted(pipeline.skipped)
             print(

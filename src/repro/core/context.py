@@ -27,7 +27,12 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Set, Union
+from typing import (
+    TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.supervise.budget import Budget
 
 from repro.core.runcache import configure, study_fingerprint
 from repro.core.study import Study
@@ -90,6 +95,13 @@ class RunContext:
     #: environment variable (default ``auto``).  Carried into pool
     #: workers by :meth:`apply_runtime_config` like the fault plan.
     batch: Optional[str] = None
+    #: Wall-time budget (:class:`~repro.supervise.budget.Budget`) for
+    #: the campaign and/or each experiment.  Mirrored into the
+    #: process-global supervision state — and into every pool worker —
+    #: by :meth:`apply_runtime_config`, exactly like the fault plan;
+    #: armed budgets use absolute monotonic deadlines, which fork-based
+    #: workers on the same host compare against the same clock.
+    budget: Optional["Budget"] = None
     #: Workloads the benchmark-matrix experiments sweep (names, spec
     #: file paths, or :class:`~repro.workload.spec.WorkloadSpec`
     #: instances for the workload registry).  ``None`` means the
@@ -240,6 +252,9 @@ class RunContext:
         from repro.sim import batch as _batch
 
         _batch.set_mode(self.batch)
+        from repro import supervise as _supervise
+
+        _supervise.set_budget(self.budget)
 
     # ------------------------------------------------------------------
     @property

@@ -38,6 +38,13 @@ a pre-envelope legacy file — moves the entry to
 instead of crashing (stale pickles used to raise ``AttributeError`` /
 ``ModuleNotFoundError`` straight through ``run-all``) or silently
 deserializing a stale layout.
+
+**Supervision (PR 9).**  Transient read ``OSError`` is retried with
+bounded deterministic backoff (``CacheStats.read_retries``); repeated
+failures open the ``cache-read`` circuit breaker and the instance
+degrades to memory-only for the rest of the process.  The quarantine
+directory is bounded by :data:`QUARANTINE_MAX_ENTRIES` /
+:data:`QUARANTINE_MAX_AGE_S` (evictions in ``CacheStats.evicted``).
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
@@ -56,6 +64,8 @@ __all__ = [
     "CACHE_ENTRY_SCHEMA",
     "CacheStats",
     "QUARANTINE_DIR",
+    "QUARANTINE_MAX_AGE_S",
+    "QUARANTINE_MAX_ENTRIES",
     "RunCache",
     "configure",
     "get_cache",
@@ -74,6 +84,16 @@ _ENVELOPE_MAGIC = "repro-runcache"
 
 #: Subdirectory of ``disk_dir`` where bad entries are moved.
 QUARANTINE_DIR = "quarantine"
+
+#: Quarantine retention bounds.  Quarantined entries exist for *post
+#: hoc* debugging, not forever: the directory would otherwise grow one
+#: file per corrupt read for the life of the cache directory (a soak
+#: loop injecting corruption fills a disk this way).  Oldest-first
+#: eviction keeps at most this many files...
+QUARANTINE_MAX_ENTRIES = 64
+
+#: ...and nothing older than this (seconds; 7 days).
+QUARANTINE_MAX_AGE_S = 7 * 24 * 3600.0
 
 #: Sentinel distinguishing "not cached" from a cached None.
 _MISS = object()
@@ -115,6 +135,10 @@ class CacheStats:
     #: Disk entries rejected by the integrity check and moved aside
     #: (each also counts as a miss — the caller recomputes).
     quarantined: int = 0
+    #: Transient-``OSError`` disk reads retried with backoff.
+    read_retries: int = 0
+    #: Quarantined files deleted by the retention policy (count/age).
+    evicted: int = 0
 
     @property
     def hits(self) -> int:
@@ -131,7 +155,8 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         """An immutable copy of the current counters."""
         return CacheStats(
-            self.memory_hits, self.disk_hits, self.misses, self.quarantined
+            self.memory_hits, self.disk_hits, self.misses,
+            self.quarantined, self.read_retries, self.evicted,
         )
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
@@ -142,6 +167,8 @@ class CacheStats:
             disk_hits=self.disk_hits - earlier.disk_hits,
             misses=self.misses - earlier.misses,
             quarantined=self.quarantined - earlier.quarantined,
+            read_retries=self.read_retries - earlier.read_retries,
+            evicted=self.evicted - earlier.evicted,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -151,6 +178,8 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "quarantined": self.quarantined,
+            "read_retries": self.read_retries,
+            "evicted": self.evicted,
             "hits": self.hits,
             "lookups": self.lookups,
             "hit_rate": round(self.hit_rate, 4),
@@ -169,6 +198,9 @@ class RunCache:
         self.disk_dir = Path(disk_dir) if disk_dir else None
         self.enabled = enabled
         self.stats = CacheStats()
+        #: Set when the cache-read circuit breaker opens: the disk tier
+        #: is skipped (reads *and* writes) for the life of the instance.
+        self.memory_only_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     def _entry_key(self, study_fp: str, run_key: Tuple[Any, ...]) -> str:
@@ -177,7 +209,7 @@ class RunCache:
         ).hexdigest()
 
     def _disk_path(self, entry_key: str) -> Optional[Path]:
-        if self.disk_dir is None:
+        if self.disk_dir is None or self.memory_only_reason is not None:
             return None
         return self.disk_dir / f"{entry_key}.pkl"
 
@@ -202,15 +234,41 @@ class RunCache:
 
     def _disk_load(self, path: Path) -> Any:
         """Verify and deserialize one disk entry (miss sentinel on any
-        problem; bad *content* is quarantined, bad *IO* is just a miss)."""
-        try:
+        problem; bad *content* is quarantined, bad *IO* is just a miss).
+
+        ``OSError`` from the read is treated as transient: retried a
+        bounded number of times with deterministic backoff, then — still
+        a miss, the entry may be fine — counted against the
+        ``cache-read`` circuit breaker.  When the breaker opens the
+        whole instance degrades to memory-only (a campaign whose cache
+        disk keeps erroring should stop paying retry latency per read).
+        """
+        from repro.supervise import backoff as _backoff
+
+        def read_bytes() -> bytes:
+            faults.maybe_slow_cache()
             faults.maybe_corrupt_cache_file(path)
             faults.maybe_raise_cache_io("read")
-            raw = path.read_bytes()
-        except OSError:
-            # Unreadable right now (permissions, transient IO): the
-            # entry may be fine, so leave it in place and recompute.
+            return path.read_bytes()
+
+        def note_retry(attempt: int, exc: BaseException) -> None:
+            self.stats.read_retries += 1
+
+        brk = _backoff.breaker("cache-read")
+        try:
+            raw = _backoff.BackoffPolicy().run(
+                read_bytes, (OSError,), key=path.name, on_retry=note_retry
+            )
+        except OSError as exc:
+            # Unreadable even after retries (permissions, persistent
+            # IO trouble): the entry may be fine, so leave it in place
+            # and recompute — but count the strike.
+            if brk.record_failure(f"{type(exc).__name__}: {exc}"):
+                self.memory_only_reason = (
+                    f"cache-read breaker open ({brk.opened_reason})"
+                )
             return _MISS
+        brk.record_success()
         try:
             envelope = pickle.loads(raw)
         except Exception:
@@ -252,7 +310,42 @@ class RunCache:
             except OSError:
                 pass
         self.stats.quarantined += 1
+        self._evict_quarantine(dest_dir)
         return _MISS
+
+    def _evict_quarantine(self, dest_dir: Path) -> None:
+        """Enforce the quarantine retention bounds (count + age).
+
+        Best-effort: eviction must never turn a cache miss into a
+        crash, so every filesystem error here is swallowed.
+        """
+        try:
+            entries = sorted(
+                (p for p in dest_dir.iterdir() if p.is_file()),
+                key=lambda p: (p.stat().st_mtime, p.name),
+            )
+        except OSError:
+            return
+        now = time.time()
+        survivors = []
+        for p in entries:
+            try:
+                expired = now - p.stat().st_mtime > QUARANTINE_MAX_AGE_S
+            except OSError:
+                continue
+            if expired:
+                self._evict_one(p)
+            else:
+                survivors.append(p)
+        for p in survivors[: max(0, len(survivors) - QUARANTINE_MAX_ENTRIES)]:
+            self._evict_one(p)
+
+    def _evict_one(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        self.stats.evicted += 1
 
     def put(self, study_fp: str, run_key: Tuple[Any, ...], value: Any) -> None:
         if not self.enabled:

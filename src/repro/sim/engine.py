@@ -55,6 +55,10 @@ from repro.trace.phase import Workload
 # partially initialized.
 from repro import verify as _verify
 
+# Supervision (deadline/cancellation checkpoints attach per run when a
+# budget is armed or signals are routed).  Same cycle-safety argument.
+from repro import supervise as _supervise
+
 _MAX_STEPS = 100_000
 
 
@@ -157,6 +161,8 @@ class Engine:
         ]
         if _verify.enabled():
             observers.append(_verify.InvariantAuditor(resolver=self.resolver))
+        if _supervise.active():
+            observers.append(_supervise.SupervisionObserver())
         broadcast(observers, "on_run_start", specs)
         global_t = 0.0
         step_idx = 0

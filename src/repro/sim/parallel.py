@@ -16,6 +16,13 @@ pool while keeping the *exact* semantics of the serial loop:
   loop, and a worker dying mid-run (``BrokenProcessPool``) retries
   **only the not-yet-completed tasks**, serially, once — completed
   results are kept, nothing runs twice;
+* a heartbeat **watchdog** (``task_timeout_s``, defaulting to the armed
+  supervision budget's per-experiment timeout) reaps a pool that stops
+  completing tasks: workers are killed and unfinished tasks re-run
+  serially, recorded as a ``hung-worker`` fallback;
+* repeated pool failures open the ``process-pool`` circuit breaker
+  (:mod:`repro.supervise.backoff`) and later calls go straight to the
+  serial loop (``circuit-open``);
 * every degradation is recorded as a :class:`FallbackReport`
   (retrievable via :func:`take_fallback_report`, or pushed to the
   ``on_fallback`` callback) so callers like the experiment pipeline can
@@ -37,7 +44,8 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
@@ -113,6 +121,7 @@ class FallbackReport:
     """
 
     #: ``unpicklable-callable`` | ``pool-unavailable`` | ``broken-pool``
+    #: | ``hung-worker`` | ``circuit-open``
     reason: str
     #: Tasks whose pool results were kept.
     completed: int
@@ -151,6 +160,7 @@ class _FaultProbe:
     def __call__(self, indexed: Any) -> Any:
         index, item = indexed
         faults.maybe_kill_worker(index)
+        faults.maybe_hang_worker(index)
         return self.fn(item)
 
 
@@ -161,6 +171,8 @@ def parallel_map(
     initializer: Optional[Callable[..., None]] = None,
     initargs: tuple = (),
     on_fallback: Optional[Callable[[FallbackReport], None]] = None,
+    task_timeout_s: Optional[float] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, possibly across worker processes.
 
@@ -179,24 +191,60 @@ def parallel_map(
         on_fallback: called with the :class:`FallbackReport` when the
             pool degrades (the report is also held for
             :func:`take_fallback_report`).
+        task_timeout_s: the pool watchdog — if no task *completes*
+            within this many seconds, the pool is declared hung: its
+            workers are killed and every unfinished task re-runs
+            serially in the caller (where cooperative supervision
+            checks still apply).  None consults the armed supervision
+            budget (:func:`repro.supervise.default_watchdog_s`); the
+            watchdog is off when that is unarmed too.
+        on_result: called with ``(index, result)`` the moment each
+            task's result is known — on every path, pool or serial —
+            so callers can journal incrementally; completion order on
+            the pool path, input order serially.
 
     Returns:
         ``[fn(x) for x in items]`` — identical results and ordering on
         both paths.  Exceptions raised *by fn* propagate either way;
         pool-infrastructure failures never do.
     """
+    from repro.supervise import backoff as _backoff
+    from repro.supervise import default_watchdog_s as _default_watchdog_s
+
     global _last_report
     _last_report = None
     items = list(items)
+    results: List[Any] = [None] * len(items)
+    done = [False] * len(items)
+
+    def run_serial(indices: Sequence[int]) -> None:
+        for i in indices:
+            results[i] = fn(items[i])
+            done[i] = True
+            if on_result is not None:
+                on_result(i, results[i])
+
     n_jobs = resolve_jobs(jobs)
     if n_jobs <= 1 or len(items) <= 1:
-        return [fn(x) for x in items]
+        run_serial(range(len(items)))
+        return results
 
     def degrade(report: FallbackReport) -> None:
         global _last_report
         _last_report = report
         if on_fallback is not None:
             on_fallback(report)
+
+    brk = _backoff.breaker("process-pool")
+    if brk.open:
+        # The pool broke or hung repeatedly this process: stop paying
+        # spawn + retry cost per call and stay serial for good.
+        degrade(FallbackReport(
+            reason="circuit-open", completed=0, retried=len(items),
+            detail=brk.opened_reason or "",
+        ))
+        run_serial(range(len(items)))
+        return results
 
     try:
         pickle.dumps(fn)
@@ -205,7 +253,8 @@ def parallel_map(
             reason="unpicklable-callable", completed=0,
             retried=len(items), detail=str(exc),
         ))
-        return [fn(x) for x in items]
+        run_serial(range(len(items)))
+        return results
 
     try:
         executor = ProcessPoolExecutor(
@@ -218,7 +267,11 @@ def parallel_map(
             reason="pool-unavailable", completed=0,
             retried=len(items), detail=str(exc),
         ))
-        return [fn(x) for x in items]
+        run_serial(range(len(items)))
+        return results
+
+    if task_timeout_s is None:
+        task_timeout_s = _default_watchdog_s()
 
     # The probe wrapper is only interposed when a fault plan targets
     # parallel_map — the production path ships `fn` to workers as-is.
@@ -229,41 +282,82 @@ def parallel_map(
         pool_fn = _FaultProbe(fn)
         pool_items = list(enumerate(items))
 
-    results: List[Any] = [None] * len(items)
-    done = [False] * len(items)
     broken: Optional[BaseException] = None
+    hung = False
     try:
         try:
-            futures = [executor.submit(pool_fn, x) for x in pool_items]
+            future_index = {
+                executor.submit(pool_fn, x): i
+                for i, x in enumerate(pool_items)
+            }
         except (BrokenProcessPool, OSError) as exc:
             # Submission-time infrastructure failure (workers
             # unspawnable): nothing completed, everything retries.
-            futures, broken = [], exc
-        for i, future in enumerate(futures):
-            try:
-                results[i] = future.result()
-                done[i] = True
-            except (BrokenProcessPool, pickle.PicklingError) as exc:
-                # Infrastructure: the worker died, or this task's
-                # payload/result never crossed the process boundary —
-                # the task itself did not fail.  Keep harvesting so
-                # every result that *did* complete is preserved; the
-                # rest retry serially below.
-                if broken is None:
-                    broken = exc
-            # Anything else is the task's own exception — including
-            # OSError — and propagates to the caller unchanged.
+            future_index, broken = {}, exc
+        waiting = set(future_index)
+        while waiting:
+            # Heartbeat watchdog: the timeout window restarts at every
+            # completion, so a healthy pool chewing through many tasks
+            # never trips — only a pool making *no* progress for a
+            # whole task-budget does.
+            ready, waiting = wait(
+                waiting, timeout=task_timeout_s,
+                return_when=FIRST_COMPLETED,
+            )
+            if not ready:
+                hung = True
+                for proc in list(
+                    getattr(executor, "_processes", {}).values()
+                ):
+                    proc.terminate()
+                break
+            for future in ready:
+                i = future_index[future]
+                try:
+                    results[i] = future.result()
+                    done[i] = True
+                    if on_result is not None:
+                        on_result(i, results[i])
+                except (BrokenProcessPool, pickle.PicklingError) as exc:
+                    # Infrastructure: the worker died, or this task's
+                    # payload/result never crossed the process boundary
+                    # — the task itself did not fail.  Keep harvesting
+                    # so every result that *did* complete is preserved;
+                    # the rest retry serially below.
+                    if broken is None:
+                        broken = exc
+                # Anything else is the task's own exception — including
+                # OSError — and propagates to the caller unchanged.
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
 
+    if hung:
+        pending = [i for i in range(len(items)) if not done[i]]
+        brk.record_failure("hung worker")
+        degrade(FallbackReport(
+            reason="hung-worker", completed=len(items) - len(pending),
+            retried=len(pending),
+            detail=(
+                f"no task completed within {task_timeout_s}s; "
+                f"killed workers, finishing serially"
+            ),
+        ))
+        run_serial(pending)
+        return results
+
     if broken is None:
+        brk.record_success()
         return results
 
     pending = [i for i in range(len(items)) if not done[i]]
+    brk.record_failure(str(broken))
+    # Let transient pool trouble (a dying container, fork pressure)
+    # settle before re-running in-process — bounded and deterministic.
+    for delay in _backoff.BackoffPolicy(retries=1).delays("broken-pool"):
+        time.sleep(delay)
     degrade(FallbackReport(
         reason="broken-pool", completed=len(items) - len(pending),
         retried=len(pending), detail=str(broken),
     ))
-    for i in pending:
-        results[i] = fn(items[i])
+    run_serial(pending)
     return results

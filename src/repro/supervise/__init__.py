@@ -1,0 +1,241 @@
+"""Supervised execution: deadlines, cancellation, journaling, backoff.
+
+The execution stack below this package is fault-*isolating* (PR 4):
+one experiment's exception never costs another's result.  This package
+adds the supervision a long-running service needs on top of isolation:
+
+* **Deadlines** — :class:`~repro.supervise.budget.Budget` bounds a
+  campaign and each experiment in wall time, enforced cooperatively at
+  engine step/phase boundaries (:class:`SupervisionObserver`) and at
+  pipeline task boundaries, and preemptively by the pool watchdog in
+  :func:`repro.sim.parallel.parallel_map`.
+* **Cancellation** — a :class:`~repro.supervise.cancel.CancelToken`
+  that SIGINT/SIGTERM (and the run budget) trip; the pipeline drains
+  in-flight work, persists partial state, and exits with a valid,
+  resumable manifest.
+* **Crash-safe journaling** — an fsync'd write-ahead journal
+  (:mod:`repro.supervise.journal`) so even a SIGKILLed campaign is
+  resumable without a completed manifest.
+* **Backoff & circuit breakers** — bounded, deterministic retry for
+  the transient failure classes, with structural degradation (memory-
+  only cache, serial map) after repeated trips
+  (:mod:`repro.supervise.backoff`).
+
+Like the fault (:mod:`repro.testing.faults`) and verification
+(:mod:`repro.verify`) switches, the active budget / task deadline /
+cancel token are process-global module state, mirrored into pool
+workers by ``RunContext.apply_runtime_config`` — so one knob governs
+the serial path, the pool path, and every engine run either spawns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.supervise.backoff import (  # noqa: F401  (re-exports)
+    BackoffPolicy,
+    CircuitBreaker,
+    breaker,
+    breaker_states,
+    reset_breakers,
+)
+from repro.supervise.budget import (  # noqa: F401
+    EXPERIMENT_TIMEOUT_ENV,
+    TIMEOUT_ENV,
+    Budget,
+    BudgetError,
+    DeadlineExceeded,
+    budget_from_env,
+)
+from repro.supervise.cancel import (  # noqa: F401
+    CancelToken,
+    CancelledRun,
+    install_signal_handlers,
+)
+from repro.supervise.journal import (  # noqa: F401
+    JOURNAL_ENV,
+    JOURNAL_NAME,
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalError,
+    JournalSchemaError,
+    JournalState,
+    load_journal,
+)
+from repro.supervise.observer import SupervisionObserver  # noqa: F401
+
+__all__ = [
+    "BackoffPolicy",
+    "Budget",
+    "BudgetError",
+    "CancelToken",
+    "CancelledRun",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "EXPERIMENT_TIMEOUT_ENV",
+    "JOURNAL_ENV",
+    "JOURNAL_NAME",
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalError",
+    "JournalSchemaError",
+    "JournalState",
+    "SupervisionObserver",
+    "TIMEOUT_ENV",
+    "active",
+    "begin_task",
+    "breaker",
+    "breaker_states",
+    "budget_from_env",
+    "check",
+    "current_budget",
+    "default_watchdog_s",
+    "end_task",
+    "install_signals",
+    "load_journal",
+    "reset",
+    "reset_breakers",
+    "set_budget",
+    "token",
+]
+
+# ----------------------------------------------------------------------
+# Process-global supervision state (mirrors the faults/verify pattern).
+
+_budget: Optional[Budget] = None
+_task_id: Optional[str] = None
+_task_deadline: Optional[float] = None
+_task_timeout_s: Optional[float] = None
+_token = CancelToken()
+#: True while signal handlers route into the token (the CLI's run-all).
+_signals_armed = False
+
+
+def set_budget(budget: Optional[Budget]) -> None:
+    """Install the active budget (``None`` clears it).
+
+    Called by ``RunContext.apply_runtime_config`` on both the serial
+    path and inside every pool worker, so armed deadlines are enforced
+    wherever the work actually runs.
+    """
+    global _budget
+    _budget = budget
+
+
+def current_budget() -> Optional[Budget]:
+    return _budget
+
+
+def token() -> CancelToken:
+    """The process-wide cancellation token."""
+    return _token
+
+
+def install_signals():
+    """Route SIGINT/SIGTERM into the process token; returns a restore
+    callable that also disarms supervision's signal bookkeeping.
+
+    Arming starts a fresh supervised run, so a token left tripped by a
+    previous run in the same process (an embedder calling run-all twice,
+    a cancelled run followed by ``--resume``) is cleared first.
+    """
+    global _signals_armed
+    _token.reset()
+    restore = install_signal_handlers(_token)
+    _signals_armed = True
+
+    def _restore() -> None:
+        global _signals_armed
+        _signals_armed = False
+        restore()
+
+    return _restore
+
+
+# ----------------------------------------------------------------------
+def begin_task(task_id: str, now: Optional[float] = None) -> None:
+    """Mark one experiment as the running task; compute its deadline
+    from the armed budget (no-op deadline when unbudgeted)."""
+    global _task_id, _task_deadline, _task_timeout_s
+    _task_id = task_id
+    if _budget is not None and _budget.armed:
+        now = time.monotonic() if now is None else now
+        _task_deadline = _budget.experiment_deadline(now)
+        _task_timeout_s = _budget.experiment_timeout_s
+    else:
+        _task_deadline = None
+        _task_timeout_s = None
+
+
+def end_task() -> None:
+    global _task_id, _task_deadline, _task_timeout_s
+    _task_id = None
+    _task_deadline = None
+    _task_timeout_s = None
+
+
+def active() -> bool:
+    """Should engines attach a :class:`SupervisionObserver`?
+
+    True whenever a check could actually fire: a task deadline is in
+    force, a bounded budget is installed, or signal handlers are armed
+    (cancellation could arrive at any step).  Plain library and test
+    use stays observer-free — and byte-identical — by default.
+    """
+    return (
+        _task_deadline is not None
+        or _signals_armed
+        or _token.cancelled
+        or (_budget is not None and _budget.bounded)
+    )
+
+
+def check(where: str = "") -> None:
+    """The cooperative checkpoint: raise if cancelled or overdue.
+
+    :class:`CancelledRun` reports the token's reason;
+    :class:`DeadlineExceeded` names what timed out (task or run) and by
+    how much, so the pipeline's failure record is self-explanatory.
+    """
+    _token.raise_if_cancelled()
+    if _task_deadline is None and _budget is None:
+        return
+    now = time.monotonic()
+    if _task_deadline is not None and now > _task_deadline:
+        raise DeadlineExceeded(
+            f"experiment {_task_id or '?'} exceeded its wall-time budget "
+            f"({_task_timeout_s or _budget.run_timeout_s}s, "
+            f"{now - _task_deadline:.2f}s over"
+            + (f", at {where}" if where else "") + ")"
+        )
+    if _budget is not None and _budget.run_overdrawn(now):
+        raise DeadlineExceeded(
+            f"run exceeded its wall-time budget "
+            f"({_budget.run_timeout_s}s"
+            + (f", at {where}" if where else "") + ")"
+        )
+
+
+def default_watchdog_s() -> Optional[float]:
+    """The pool watchdog timeout implied by the armed budget.
+
+    ``parallel_map`` consults this when no explicit ``task_timeout_s``
+    is given, so ``--experiment-timeout`` automatically covers hung
+    workers in *every* fan-out — pipeline waves and in-experiment
+    sweeps alike.  Cooperative checks fire first on healthy workers;
+    the watchdog only reaps ones that stopped making progress.
+    """
+    if _budget is not None and _budget.armed:
+        return _budget.experiment_timeout_s
+    return None
+
+
+def reset() -> None:
+    """Clear every piece of supervision state (tests, embedders)."""
+    global _signals_armed
+    set_budget(None)
+    end_task()
+    _token.reset()
+    _signals_armed = False
+    reset_breakers()

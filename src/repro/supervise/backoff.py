@@ -1,0 +1,154 @@
+"""Retry policy for transient failures: backoff, jitter, circuit breakers.
+
+PR 4 taught the execution stack to *distinguish* transient failure
+classes — a disk-cache read raising ``OSError``, a broken process pool
+— from real task failures.  This module adds the policy layer on top:
+
+* :class:`BackoffPolicy` — a bounded retry schedule with exponential
+  backoff and **deterministic** jitter (hashed from the operation name
+  and attempt index, not ``random``), so two runs of the same drill
+  sleep the same amounts and stay reproducible;
+* :class:`CircuitBreaker` — a consecutive-failure counter per transient
+  class.  After ``threshold`` trips the breaker *opens* and the caller
+  degrades structurally instead of retrying forever: the run cache
+  drops its disk tier (memory-only), the parallel runner stops
+  spawning pools (serial map).  A success while closed resets the
+  count; an open breaker stays open for the life of the process (a
+  campaign that lost its disk or its pool once keeps the cheap path).
+
+Breakers live in a module registry keyed by class name so the run
+cache, the parallel runner, and the manifest builder all see the same
+state without threading objects through every call site.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "breaker",
+    "breaker_states",
+    "reset_breakers",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BackoffPolicy:
+    """An exponential-backoff schedule: ``retries`` delays after the
+    first attempt, each ``factor`` times the last, jittered by up to
+    ``jitter`` of itself, capped at ``max_s``."""
+
+    retries: int = 2
+    base_s: float = 0.005
+    factor: float = 2.0
+    max_s: float = 0.1
+    jitter: float = 0.25
+
+    def delays(self, key: str) -> Iterator[float]:
+        """The delay (seconds) before each retry of operation ``key``.
+
+        Jitter is derived from SHA-256 of ``(key, attempt)`` — stable
+        across processes and runs, unlike ``random.random()`` — so
+        fault drills and the soak harness see identical schedules.
+        """
+        for attempt in range(self.retries):
+            raw = min(self.base_s * (self.factor ** attempt), self.max_s)
+            digest = hashlib.sha256(f"{key}\x1f{attempt}".encode()).digest()
+            frac = digest[0] / 255.0  # deterministic in [0, 1]
+            yield raw * (1.0 + self.jitter * frac)
+
+    def run(
+        self,
+        fn: Callable[[], Any],
+        transient: Tuple[type, ...],
+        key: str,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Any:
+        """Call ``fn``, retrying ``transient`` exceptions per schedule.
+
+        The final attempt's exception propagates — the caller decides
+        whether that means degrade, quarantine, or fail.
+        """
+        delays = list(self.delays(key))
+        for attempt, delay in enumerate(delays):
+            try:
+                return fn()
+            except transient as exc:
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(delay)
+        return fn()
+
+
+class CircuitBreaker:
+    """Consecutive-failure counter with a one-way open state."""
+
+    def __init__(self, name: str, threshold: int = 3):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.name = name
+        self.threshold = threshold
+        self.failures = 0       # consecutive, resets on success
+        self.total_trips = 0    # lifetime, for the manifest
+        self.open = False
+        self.opened_reason: Optional[str] = None
+
+    def record_failure(self, detail: str = "") -> bool:
+        """Count one trip; returns True when the breaker just opened."""
+        self.failures += 1
+        self.total_trips += 1
+        if not self.open and self.failures >= self.threshold:
+            self.open = True
+            self.opened_reason = (
+                f"{self.failures} consecutive failures"
+                + (f": {detail}" if detail else "")
+            )
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A clean operation closes the window (unless already open)."""
+        if not self.open:
+            self.failures = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "open": self.open,
+            "total_trips": self.total_trips,
+            "threshold": self.threshold,
+            "reason": self.opened_reason,
+        }
+
+
+# ----------------------------------------------------------------------
+#: Transient-class registry: name -> breaker, shared process-wide.
+_breakers: Dict[str, CircuitBreaker] = {}
+
+
+def breaker(name: str, threshold: int = 3) -> CircuitBreaker:
+    """The process-wide breaker for one transient class (created on
+    first use; the first caller's threshold sticks)."""
+    b = _breakers.get(name)
+    if b is None:
+        b = _breakers[name] = CircuitBreaker(name, threshold=threshold)
+    return b
+
+
+def breaker_states() -> Dict[str, Dict[str, Any]]:
+    """Every breaker that tripped at least once (manifest surface)."""
+    return {
+        name: b.as_dict()
+        for name, b in sorted(_breakers.items())
+        if b.total_trips
+    }
+
+
+def reset_breakers() -> None:
+    """Drop all breaker state (tests; a fresh campaign in-process)."""
+    _breakers.clear()

@@ -1,0 +1,47 @@
+"""The engine-side supervision hook: a cooperative checkpoint observer.
+
+:class:`SupervisionObserver` is an ordinary
+:class:`~repro.sim.observer.SimObserver` — the same mechanism the
+timeline, phase log, and invariant auditor use — attached by the
+engine whenever supervision is active (a budget is armed, a task
+deadline is in force, or signal handlers are routing into the cancel
+token).  At every resolver step and phase boundary it calls
+:func:`repro.supervise.check`, which raises
+:class:`~repro.supervise.cancel.CancelledRun` or
+:class:`~repro.supervise.budget.DeadlineExceeded` with provenance.
+
+This is *cooperative* enforcement: it bounds simulated work at its
+natural step granularity with one clock read per step, and it cannot
+free a worker stuck outside the step loop — that is the pool
+watchdog's job (:func:`repro.sim.parallel.parallel_map`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.sim.observer import PhaseEvent, ResolveEvent, SimObserver
+
+__all__ = ["SupervisionObserver"]
+
+
+class SupervisionObserver(SimObserver):
+    """Checks the deadline/cancellation state at step boundaries."""
+
+    def __init__(self, check: Optional[Callable[[str], None]] = None):
+        if check is None:
+            # Late import: this module is re-exported by the package
+            # __init__, so the package may still be initializing here.
+            from repro import supervise
+
+            check = supervise.check
+        self._check = check
+
+    def on_run_start(self, specs: Sequence) -> None:
+        self._check("run-start")
+
+    def on_resolve(self, event: ResolveEvent) -> None:
+        self._check(f"step {event.step}")
+
+    def on_phase_complete(self, event: PhaseEvent) -> None:
+        self._check(f"phase {event.phase_name!r}")

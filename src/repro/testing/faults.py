@@ -29,6 +29,21 @@ The spec is a comma-separated token list:
     ``<i>`` of a :func:`repro.sim.parallel.parallel_map` call.  Only
     fires in a child process, so the serial retry that follows the
     resulting ``BrokenProcessPool`` completes normally.
+``hang:<i>:<secs>``
+    The pool worker executing task index ``<i>`` sleeps ``<secs>``
+    seconds before running it — a stand-in for a worker wedged outside
+    any cooperative check point, which only the heartbeat watchdog in
+    :func:`repro.sim.parallel.parallel_map` can reap.  Child-process
+    only, like ``worker-death``, so the serial reschedule completes.
+``sigkill-self:<wave>``
+    ``SIGKILL`` the pipeline's own process at the start of wave
+    ``<wave>`` of a ``run-all`` — no handlers, no cleanup, no
+    manifest.  The crash-safe journal (``manifest.wal.jsonl``) must
+    make the next ``--resume`` recover everything already committed.
+``slow-cache:<ms>``
+    Sleep ``<ms>`` milliseconds on every disk-cache read — injected
+    latency for soak runs (a slow NFS mount, a contended disk), which
+    must never change results, only timings.
 ``resolver-skew:<f>``
     Corrupt the contention resolver's output: inflate every resolved
     context's global L2 miss rate by the factor ``1 + f`` *without*
@@ -47,6 +62,8 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import signal
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Set
 
@@ -61,9 +78,12 @@ __all__ = [
     "injected_faults",
     "maybe_corrupt_cache_file",
     "maybe_fail_experiment",
+    "maybe_hang_worker",
     "maybe_kill_worker",
     "maybe_raise_cache_io",
+    "maybe_sigkill_self",
     "maybe_skew_resolver",
+    "maybe_slow_cache",
     "parse_plan",
 ]
 
@@ -106,10 +126,21 @@ class FaultPlan:
     worker_death_index: Optional[int] = None
     #: Inflate resolved L2 miss rates by 1 + this factor (0 = off).
     resolver_skew: float = 0.0
+    #: Make the pool worker executing this task index sleep first.
+    hang_task_index: Optional[int] = None
+    #: Seconds the hung worker sleeps (0 = no hang).
+    hang_seconds: float = 0.0
+    #: SIGKILL the pipeline process at the start of this wave index.
+    sigkill_wave: Optional[int] = None
+    #: Milliseconds of injected latency per disk-cache read (0 = off).
+    slow_cache_ms: float = 0.0
 
     @property
     def touches_parallel_map(self) -> bool:
-        return self.worker_death_index is not None
+        return (
+            self.worker_death_index is not None
+            or self.hang_task_index is not None
+        )
 
     def spec(self) -> str:
         """The plan re-encoded as a ``REPRO_FAULTS`` token list."""
@@ -128,6 +159,14 @@ class FaultPlan:
             tokens.append(f"worker-death:{self.worker_death_index}")
         if self.resolver_skew:
             tokens.append(f"resolver-skew:{self.resolver_skew}")
+        if self.hang_task_index is not None:
+            tokens.append(
+                f"hang:{self.hang_task_index}:{self.hang_seconds}"
+            )
+        if self.sigkill_wave is not None:
+            tokens.append(f"sigkill-self:{self.sigkill_wave}")
+        if self.slow_cache_ms:
+            tokens.append(f"slow-cache:{self.slow_cache_ms}")
         return ",".join(tokens)
 
 
@@ -138,6 +177,10 @@ def parse_plan(spec: str) -> FaultPlan:
     corrupt = 0
     death: Optional[int] = None
     skew = 0.0
+    hang_index: Optional[int] = None
+    hang_seconds = 0.0
+    sigkill: Optional[int] = None
+    slow_ms = 0.0
     for raw in spec.split(","):
         token = raw.strip()
         if not token:
@@ -158,11 +201,18 @@ def parse_plan(spec: str) -> FaultPlan:
             death = _int_arg(token, "worker-death")
         elif token.startswith("resolver-skew:"):
             skew = _float_arg(token, "resolver-skew")
+        elif token.startswith("hang:"):
+            hang_index, hang_seconds = _hang_args(token)
+        elif token.startswith("sigkill-self:"):
+            sigkill = _int_arg(token, "sigkill-self")
+        elif token.startswith("slow-cache:"):
+            slow_ms = _float_arg(token, "slow-cache")
         else:
             raise FaultSpecError(
                 f"unknown fault token {token!r}; valid: experiment:<id>, "
                 f"cache-read-oserror, cache-write-oserror, "
-                f"cache-corrupt:<n>, worker-death:<i>, resolver-skew:<f>"
+                f"cache-corrupt:<n>, worker-death:<i>, resolver-skew:<f>, "
+                f"hang:<i>:<secs>, sigkill-self:<wave>, slow-cache:<ms>"
             )
     return FaultPlan(
         fail_experiments=fail,
@@ -171,6 +221,10 @@ def parse_plan(spec: str) -> FaultPlan:
         corrupt_cache_reads=corrupt,
         worker_death_index=death,
         resolver_skew=skew,
+        hang_task_index=hang_index,
+        hang_seconds=hang_seconds,
+        sigkill_wave=sigkill,
+        slow_cache_ms=slow_ms,
     )
 
 
@@ -198,6 +252,25 @@ def _float_arg(token: str, name: str) -> float:
     if f <= 0:
         raise FaultSpecError(f"{name} argument must be > 0")
     return f
+
+
+def _hang_args(token: str) -> tuple:
+    """Parse ``hang:<task-index>:<seconds>`` into its two parts."""
+    parts = token.split(":")
+    if len(parts) != 3:
+        raise FaultSpecError(
+            f"hang needs two arguments (hang:<i>:<secs>), got {token!r}"
+        )
+    index = _int_arg(f"hang:{parts[1]}", "hang")
+    try:
+        seconds = float(parts[2])
+    except ValueError:
+        raise FaultSpecError(
+            f"hang seconds must be a number, got {parts[2]!r}"
+        ) from None
+    if seconds <= 0:
+        raise FaultSpecError("hang seconds must be > 0")
+    return index, seconds
 
 
 # ----------------------------------------------------------------------
@@ -331,3 +404,40 @@ def maybe_kill_worker(task_index: int) -> None:
     if multiprocessing.parent_process() is None:
         return
     os._exit(_WORKER_DEATH_STATUS)
+
+
+def maybe_hang_worker(task_index: int) -> None:
+    """Stall the current *pool worker* at the planned task index.
+
+    Like :func:`maybe_kill_worker`, this never fires in the main
+    process: the hang exists to trip the pool watchdog, and the serial
+    reschedule of the same task must then run clean.
+    """
+    plan = active_plan()
+    if plan is None or plan.hang_task_index != task_index:
+        return
+    if multiprocessing.parent_process() is None:
+        return
+    time.sleep(plan.hang_seconds)
+
+
+def maybe_sigkill_self(wave: int) -> None:
+    """SIGKILL the whole process at the start of the planned wave.
+
+    The crash the journal exists for: no exception propagates, no
+    ``finally`` runs, no manifest gets written.  Fires in whichever
+    process evaluates the wave boundary (the pipeline process).
+    """
+    plan = active_plan()
+    if plan is None or plan.sigkill_wave != wave:
+        return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def maybe_slow_cache() -> None:
+    """Delay a disk-cache read by the planned latency (both tiers of
+    the degradation story: retries see it too)."""
+    plan = active_plan()
+    if plan is None or plan.slow_cache_ms <= 0:
+        return
+    time.sleep(plan.slow_cache_ms / 1000.0)

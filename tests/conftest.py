@@ -49,24 +49,31 @@ def clean_runtime_switches(monkeypatch):
     batching mode are process-global (so pool workers inherit them); a
     test that activates any of them must not leak it into the next
     test, and an externally-set ``REPRO_FAULTS``/``REPRO_VERIFY``/
-    ``REPRO_BATCH`` must not leak in.  Batching counters are drained on
-    both sides so per-test stats assertions start from zero.
+    ``REPRO_BATCH``/``REPRO_TIMEOUT`` must not leak in.  Batching
+    counters are drained on both sides so per-test stats assertions
+    start from zero, and supervision state (budget, task deadline,
+    cancel token, circuit breakers) is fully reset.
     """
-    from repro import verify
+    from repro import supervise, verify
     from repro.sim import batch
 
     monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
     monkeypatch.delenv(verify.VERIFY_ENV, raising=False)
     monkeypatch.delenv(batch.BATCH_ENV, raising=False)
+    monkeypatch.delenv(supervise.TIMEOUT_ENV, raising=False)
+    monkeypatch.delenv(supervise.EXPERIMENT_TIMEOUT_ENV, raising=False)
+    monkeypatch.delenv(supervise.JOURNAL_ENV, raising=False)
     faults.deactivate()
     verify.deactivate()
     batch.set_mode(None)
     batch.take_stats()
+    supervise.reset()
     yield
     faults.deactivate()
     verify.deactivate()
     batch.set_mode(None)
     batch.take_stats()
+    supervise.reset()
 
 
 @pytest.fixture

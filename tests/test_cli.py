@@ -212,6 +212,125 @@ class TestCliFailurePaths:
         assert not (tmp_path / "fig3_speedup.csv").exists()
 
 
+class TestSupervisionCli:
+    """run-all under supervision: budgets, journaling, cancellation."""
+
+    ONLY = "sec3-lmbench,omp-overheads"
+
+    def test_timeout_flags_recorded_in_manifest(self, tmp_path, capsys):
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY,
+                     "--timeout", "300", "--experiment-timeout", "60"]) == 0
+        capsys.readouterr()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["supervision"]["budget"] == {
+            "run_timeout_s": 300.0, "experiment_timeout_s": 60.0,
+        }
+
+    def test_unsupervised_run_records_null_budget(self, tmp_path, capsys):
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY]) == 0
+        capsys.readouterr()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["supervision"] == {"budget": None, "breakers": {}}
+
+    def test_nonpositive_timeout_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run-all", "--out", str(tmp_path),
+                  "--only", self.ONLY, "--timeout", "0"])
+        assert exc.value.code == 2
+        assert "must be > 0 seconds" in capsys.readouterr().err
+
+    def test_flags_beat_environment_per_slot(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro import supervise
+
+        monkeypatch.setenv(supervise.TIMEOUT_ENV, "120")
+        monkeypatch.setenv(supervise.EXPERIMENT_TIMEOUT_ENV, "10")
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY, "--timeout", "30"]) == 0
+        capsys.readouterr()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        # --timeout overrode REPRO_TIMEOUT; the untouched slot kept the
+        # environment's value.
+        assert manifest["supervision"]["budget"] == {
+            "run_timeout_s": 30.0, "experiment_timeout_s": 10.0,
+        }
+
+    def test_malformed_timeout_env_is_a_usage_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro import supervise
+
+        monkeypatch.setenv(supervise.TIMEOUT_ENV, "soon")
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and supervise.TIMEOUT_ENV in err
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_journal_finalized_away_on_success(self, tmp_path, capsys):
+        from repro.supervise import JOURNAL_NAME
+
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "manifest.json").exists()
+        assert not (tmp_path / JOURNAL_NAME).exists()
+
+    def test_journal_disabled_by_env(self, tmp_path, monkeypatch, capsys):
+        from repro import supervise
+
+        opened = []
+        orig = supervise.Journal.open
+
+        def spy(*args, **kwargs):
+            opened.append(kwargs.get("selected"))
+            return orig(*args, **kwargs)
+
+        monkeypatch.setattr(supervise.Journal, "open", spy)
+        monkeypatch.setenv(supervise.JOURNAL_ENV, "0")
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY]) == 0
+        assert opened == []
+        monkeypatch.delenv(supervise.JOURNAL_ENV)
+        assert main(["run-all", "--out", str(tmp_path / "journaled"),
+                     "--only", self.ONLY]) == 0
+        capsys.readouterr()
+        assert opened == [["sec3-lmbench", "omp-overheads"]]
+
+    def test_interrupt_exits_4_and_resume_completes(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments import omp_overheads
+
+        real = omp_overheads.run
+
+        def interrupted(ctx):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(omp_overheads, "run", interrupted)
+        code = main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY, "--jobs", "1"])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "run-all cancelled" in err
+        assert "keyboard interrupt" in err
+        assert "--resume" in err
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["status"] == "cancelled"
+        assert "omp-overheads" in manifest["cancelled"]
+        # The cancelled run is resumable once the interruption passes.
+        monkeypatch.setattr(omp_overheads, "run", real)
+        assert main(["run-all", "--out", str(tmp_path),
+                     "--only", self.ONLY, "--jobs", "1",
+                     "--resume"]) == 0
+        capsys.readouterr()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["status"] == "complete"
+
+
 class TestMachinesCli:
     def test_machines_lists_registry(self, capsys):
         assert main(["machines"]) == 0

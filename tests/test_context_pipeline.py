@@ -104,7 +104,7 @@ class TestPipeline:
 
     def test_manifest_shape(self, pipeline):
         m = pipeline.manifest
-        assert m["schema"] == 3
+        assert m["schema"] == 4
         assert m["batch_mode"] in ("auto", "on", "off")
         assert m["status"] == "complete"
         assert m["failures"] == {} and m["skipped"] == {}

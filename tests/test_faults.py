@@ -2,6 +2,7 @@
 
 import multiprocessing
 import os
+import time
 
 import pytest
 
@@ -122,3 +123,58 @@ class TestHooks:
         with faults.injected_faults(FaultPlan(worker_death_index=0)):
             faults.maybe_kill_worker(0)  # would os._exit in a worker
         assert os.getpid() > 0  # still alive
+
+
+class TestSupervisionFaultTokens:
+    """The chaos-soak tokens added with the supervision layer."""
+
+    def test_hang_token_parses(self):
+        plan = faults.parse_plan("hang:2:1.5")
+        assert plan.hang_task_index == 2
+        assert plan.hang_seconds == 1.5
+        assert plan.touches_parallel_map
+
+    def test_sigkill_and_slow_cache_tokens_parse(self):
+        plan = faults.parse_plan("sigkill-self:1,slow-cache:20")
+        assert plan.sigkill_wave == 1
+        assert plan.slow_cache_ms == 20.0
+
+    def test_new_tokens_round_trip_through_spec(self):
+        spec = "hang:2:1.5,sigkill-self:1,slow-cache:20"
+        plan = faults.parse_plan(spec)
+        assert faults.parse_plan(plan.spec()) == plan
+
+    def test_malformed_hang_rejected(self):
+        for bad in ("hang:2", "hang:x:1", "hang:1:fast", "hang:"):
+            with pytest.raises(faults.FaultSpecError):
+                faults.parse_plan(bad)
+
+    def test_malformed_sigkill_and_slow_cache_rejected(self):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_plan("sigkill-self:soon")
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_plan("slow-cache:fast")
+
+    def test_hang_never_fires_in_main_process(self):
+        assert multiprocessing.parent_process() is None
+        start = time.perf_counter()
+        with faults.injected_faults(
+            FaultPlan(hang_task_index=0, hang_seconds=30.0)
+        ):
+            faults.maybe_hang_worker(0)  # would sleep 30s in a worker
+        assert time.perf_counter() - start < 5.0
+
+    def test_sigkill_self_fires_only_on_its_wave(self):
+        with faults.injected_faults(FaultPlan(sigkill_wave=7)):
+            faults.maybe_sigkill_self(0)
+            faults.maybe_sigkill_self(6)
+        assert os.getpid() > 0  # wave 7 never started: still alive
+
+    def test_slow_cache_sleeps_briefly(self):
+        with faults.injected_faults(FaultPlan(slow_cache_ms=10.0)):
+            start = time.perf_counter()
+            faults.maybe_slow_cache()
+            assert time.perf_counter() - start >= 0.009
+        start = time.perf_counter()
+        faults.maybe_slow_cache()  # no plan: no delay
+        assert time.perf_counter() - start < 0.009

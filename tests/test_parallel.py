@@ -141,3 +141,115 @@ class TestBrokenPoolRetry:
         parallel_map(lambda x: x, [1, 2], jobs=2)
         assert take_fallback_report() is not None
         assert take_fallback_report() is None
+
+
+def _slow(x):
+    # Only ever called under the hang drills' generous watchdogs.
+    return x + 100
+
+
+class TestWatchdog:
+    def test_hung_worker_reaped_and_rescheduled(self, pool_host):
+        plan = FaultPlan(hang_task_index=1, hang_seconds=30.0)
+        with faults.injected_faults(plan):
+            results = parallel_map(
+                _square, [0, 1, 2, 3], jobs=2, task_timeout_s=1.0
+            )
+        assert results == [0, 1, 4, 9]
+        report = take_fallback_report()
+        assert report is not None
+        assert report.reason == "hung-worker"
+        assert "killed workers" in report.detail
+        assert report.completed + report.retried == 4
+        assert report.retried >= 1
+
+    def test_healthy_pool_never_trips_watchdog(self, pool_host):
+        # The heartbeat window restarts at every completion: many tasks
+        # under a short-but-sufficient watchdog run clean.
+        results = parallel_map(
+            _square, list(range(8)), jobs=2, task_timeout_s=30.0
+        )
+        assert results == [x * x for x in range(8)]
+        assert take_fallback_report() is None
+
+    def test_watchdog_defaults_from_armed_budget(self, pool_host):
+        from repro import supervise
+        from repro.supervise import Budget
+
+        plan = FaultPlan(hang_task_index=0, hang_seconds=30.0)
+        supervise.set_budget(Budget(experiment_timeout_s=1.0).arm())
+        try:
+            with faults.injected_faults(plan):
+                results = parallel_map(_square, [1, 2, 3], jobs=2)
+        finally:
+            supervise.reset()
+        assert results == [1, 4, 9]
+        assert take_fallback_report().reason == "hung-worker"
+
+    def test_no_budget_means_no_watchdog(self, pool_host):
+        # Unbudgeted runs must not invent a timeout; a clean pool just
+        # completes (we cannot wait forever to prove the negative, so
+        # assert the resolved default is None instead).
+        from repro import supervise
+
+        assert supervise.default_watchdog_s() is None
+
+
+class TestCircuitBreaker:
+    def test_open_breaker_short_circuits_to_serial(self, pool_host):
+        from repro.supervise import backoff
+
+        brk = backoff.breaker("process-pool")
+        for _ in range(brk.threshold):
+            brk.record_failure("drill")
+        assert brk.open
+        results = parallel_map(_square, [1, 2, 3], jobs=2)
+        assert results == [1, 4, 9]
+        report = take_fallback_report()
+        assert report.reason == "circuit-open"
+        assert report.retried == 3 and report.completed == 0
+
+    def test_pool_failures_count_toward_breaker(self, pool_host):
+        from repro.supervise import backoff
+
+        with faults.injected_faults(FaultPlan(worker_death_index=0)):
+            parallel_map(_square, [1, 2, 3], jobs=2)
+        assert backoff.breaker("process-pool").total_trips == 1
+
+    def test_clean_run_resets_consecutive_failures(self, pool_host):
+        from repro.supervise import backoff
+
+        brk = backoff.breaker("process-pool")
+        brk.record_failure("one")
+        parallel_map(_square, [1, 2, 3], jobs=2)
+        assert brk.failures == 0
+        assert not brk.open
+
+
+class TestOnResult:
+    def test_serial_path_reports_in_order(self):
+        seen = []
+        parallel_map(
+            _square, [3, 1, 2], jobs=1,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert seen == [(0, 9), (1, 1), (2, 4)]
+
+    def test_pool_path_reports_every_task_once(self, pool_host):
+        seen = []
+        results = parallel_map(
+            _square, [0, 1, 2, 3], jobs=2,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert sorted(seen) == [(i, i * i) for i in range(4)]
+        assert results == [0, 1, 4, 9]
+
+    def test_fallback_path_still_reports_every_task(self, pool_host):
+        seen = []
+        with faults.injected_faults(FaultPlan(worker_death_index=1)):
+            parallel_map(
+                _square, [0, 1, 2, 3], jobs=2,
+                on_result=lambda i, r: seen.append(i),
+            )
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert len(seen) == 4  # exactly once each, kept + retried

@@ -61,7 +61,7 @@ class TestFailureIsolation:
         ctx = RunContext(faults=fail_plan("omp-overheads"))
         out = run_pipeline(ctx, only=CHEAP)
         m = out.manifest
-        assert m["schema"] == 3
+        assert m["schema"] == 4
         assert m["status"] == "partial"
         entry = m["failures"]["omp-overheads"]
         assert entry["error_type"] == "InjectedFault"

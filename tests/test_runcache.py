@@ -255,3 +255,113 @@ class TestStudyIntegration:
         """Disk-tier viability: results must round-trip through pickle."""
         r = Study("A").run("EP", "ht_off_2_1")
         assert pickle.loads(pickle.dumps(r)) == r
+
+
+class TestReadRetryAndDegradation:
+    """Transient-read retry, the cache-read breaker, and memory-only
+    degradation (the supervision PR's backoff layer in the cache)."""
+
+    def _seeded(self, tmp_path):
+        writer = RunCache(disk_dir=tmp_path)
+        writer.put("fp", ("k",), "value")
+        return RunCache(disk_dir=tmp_path)
+
+    def test_transient_oserror_is_retried_through(self, tmp_path, monkeypatch):
+        reader = self._seeded(tmp_path)
+        attempts = {"n": 0}
+        real = type(tmp_path).read_bytes
+
+        def flaky(self):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise OSError("transient glitch")
+            return real(self)
+
+        monkeypatch.setattr(type(tmp_path), "read_bytes", flaky)
+        assert reader.get("fp", ("k",)) == "value"
+        assert reader.stats.read_retries == 1
+        assert reader.stats.disk_hits == 1
+
+    def test_persistent_oserror_counts_breaker_strike(self, tmp_path):
+        from repro.supervise import backoff
+
+        reader = self._seeded(tmp_path)
+        plan = FaultPlan(cache_read_oserror=True)
+        with faults.injected_faults(plan):
+            assert reader.is_miss(reader.get("fp", ("k",)))
+        assert reader.stats.read_retries >= 1
+        assert backoff.breaker("cache-read").total_trips == 1
+        # The entry was left in place (the file may be fine).
+        assert len(list(tmp_path.glob("*.pkl"))) == 1
+
+    def test_open_breaker_degrades_to_memory_only(self, tmp_path):
+        from repro.supervise import backoff
+
+        reader = self._seeded(tmp_path)
+        plan = FaultPlan(cache_read_oserror=True)
+        with faults.injected_faults(plan):
+            for _ in range(backoff.breaker("cache-read").threshold):
+                reader.get("fp", ("k",))
+        assert reader.memory_only_reason is not None
+        assert "cache-read breaker open" in reader.memory_only_reason
+        # Degraded: disk is not consulted even for clean reads...
+        assert reader.is_miss(reader.get("fp", ("k",)))
+        # ...and writes stay in memory (no new disk entries).
+        before = len(list(tmp_path.glob("*.pkl")))
+        reader.put("fp", ("other",), 42)
+        assert len(list(tmp_path.glob("*.pkl"))) == before
+        assert reader.get("fp", ("other",)) == 42  # memory tier works
+
+    def test_slow_cache_fault_only_delays(self, tmp_path):
+        reader = self._seeded(tmp_path)
+        with faults.injected_faults(FaultPlan(slow_cache_ms=1.0)):
+            assert reader.get("fp", ("k",)) == "value"
+        assert reader.stats.read_retries == 0
+
+
+class TestQuarantineRetention:
+    def _corrupt_entries(self, tmp_path, n):
+        """Write n distinct entries, then corrupt them all."""
+        writer = RunCache(disk_dir=tmp_path)
+        for i in range(n):
+            writer.put("fp", ("k", i), i)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"garbage")
+
+    def test_count_cap_evicts_oldest(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(runcache, "QUARANTINE_MAX_ENTRIES", 3)
+        self._corrupt_entries(tmp_path, 5)
+        reader = RunCache(disk_dir=tmp_path)
+        for i in range(5):
+            reader.get("fp", ("k", i))
+        assert reader.stats.quarantined == 5
+        qdir = tmp_path / QUARANTINE_DIR
+        assert len(list(qdir.iterdir())) == 3
+        assert reader.stats.evicted == 2
+        assert reader.stats.as_dict()["evicted"] == 2
+
+    def test_age_cap_evicts_expired(self, tmp_path, monkeypatch):
+        import os as _os
+
+        self._corrupt_entries(tmp_path, 2)
+        reader = RunCache(disk_dir=tmp_path)
+        reader.get("fp", ("k", 0))
+        qdir = tmp_path / QUARANTINE_DIR
+        (old,) = qdir.iterdir()
+        ancient = 1_000_000.0  # epoch seconds, far past any age bound
+        _os.utime(old, (ancient, ancient))
+        reader.get("fp", ("k", 1))  # next quarantine triggers eviction
+        remaining = list(qdir.iterdir())
+        assert len(remaining) == 1
+        assert remaining[0].name != old.name
+        assert reader.stats.evicted == 1
+
+    def test_stats_snapshot_tracks_new_fields(self, tmp_path):
+        reader = RunCache(disk_dir=tmp_path)
+        before = reader.stats.snapshot()
+        reader.stats.read_retries += 2
+        reader.stats.evicted += 1
+        delta = reader.stats.since(before)
+        assert delta.read_retries == 2
+        assert delta.evicted == 1
+        assert set(delta.as_dict()) >= {"read_retries", "evicted"}
