@@ -12,6 +12,7 @@ Usage::
     python -m repro workloads                 # registered workload specs
     python -m repro run fig3 --machine nextgen-shared-l2
     python -m repro run fig3 --workload minigmg --workload triad
+    python -m repro serve --port 8433         # simulation-as-a-service
 
 Unknown experiment ids, benchmarks, configurations, machines, and
 ``--only``/``--skip`` tokens produce a one-line error listing the valid
@@ -232,6 +233,51 @@ def _build_parser() -> argparse.ArgumentParser:
     speed.add_argument("--problem-class", default="B")
     _add_machine_option(speed)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service: an HTTP/JSON daemon with an "
+             "async job queue, content-addressed dedup, and the run "
+             "cache answering warm submissions (see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="port to bind; 0 picks an ephemeral port, printed on "
+             "startup (default: REPRO_SERVE_PORT or 8433)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="worker threads executing jobs "
+             "(default: REPRO_SERVE_WORKERS or 2)",
+    )
+    serve.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="process parallelism granted to one experiment-kind job's "
+             "internal sweeps (default: REPRO_JOBS or serial)",
+    )
+    serve.add_argument(
+        "--state-dir", type=Path, default=None, metavar="DIR",
+        help="journal job state to DIR/jobs.wal.jsonl and resume "
+             "unfinished jobs from a previous server's journal on boot "
+             "(default: REPRO_SERVE_STATE_DIR or no journaling)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=_positive_seconds, default=None,
+        metavar="SECONDS",
+        help="per-job wall-time budget, enforced cooperatively at "
+             "engine step boundaries "
+             "(default: REPRO_SERVE_JOB_TIMEOUT or none)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=_positive_seconds, default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, grace window for in-flight jobs before "
+             "they are cooperatively cancelled (default: 10)",
+    )
+
     verify = sub.add_parser(
         "verify",
         help="run the experiment matrix under the invariant auditor "
@@ -424,6 +470,100 @@ def _export_csv(out: Path, pipeline) -> None:
         path = out / f"fig2_{panel}.csv"
         path.write_text(grid_to_csv(grid, fig2.config_order))
     print(f"wrote {out}/fig2_*.csv ({len(fig2.panels)} panels)")
+
+
+def _serve_env_int(name: str, default: int) -> int:
+    import os
+
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise CLIError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _serve_env_seconds(name: str) -> Optional[float]:
+    import os
+
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise CLIError(f"{name} must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise CLIError(f"{name} must be > 0 seconds, got {raw!r}")
+    return value
+
+
+def _serve_command(args) -> int:
+    """The ``serve`` subcommand: boot, recover, serve until signalled."""
+    import os
+
+    from repro.serve import store as jobstore
+    from repro.serve.app import serve_forever
+    from repro.serve.runner import JobRunner
+    from repro.serve.scheduler import Scheduler
+
+    port = args.port
+    if port is None:
+        port = _serve_env_int("REPRO_SERVE_PORT", 8433)
+    if not 0 <= port <= 65535:
+        raise CLIError(f"port must be in [0, 65535], got {port}")
+    workers = args.workers
+    if workers is None:
+        workers = _serve_env_int("REPRO_SERVE_WORKERS", 2)
+        if workers < 1:
+            raise CLIError(f"REPRO_SERVE_WORKERS must be >= 1, got {workers}")
+    job_timeout = args.job_timeout
+    if job_timeout is None:
+        job_timeout = _serve_env_seconds("REPRO_SERVE_JOB_TIMEOUT")
+    state_dir = args.state_dir
+    if state_dir is None:
+        raw = os.environ.get("REPRO_SERVE_STATE_DIR", "").strip()
+        state_dir = Path(raw) if raw else None
+    jobs = args.jobs
+    if jobs is None:
+        jobs = _serve_env_int("REPRO_JOBS", 1)
+        jobs = max(1, jobs)
+
+    # Read the previous server's journal *before* the scheduler opens
+    # (and truncates) a fresh one for this process.
+    previous = None
+    if state_dir is not None:
+        try:
+            previous = jobstore.load_jobs_journal(
+                Path(state_dir) / jobstore.JOBS_JOURNAL_NAME
+            )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+
+    scheduler = Scheduler(
+        workers=workers,
+        runner=JobRunner(jobs=jobs),
+        state_dir=state_dir,
+        job_timeout_s=job_timeout,
+    )
+    if previous is not None and previous.resumable:
+        resubmitted = scheduler.recover(previous)
+        print(
+            f"recovered {resubmitted} unfinished job(s) from "
+            f"{state_dir / jobstore.JOBS_JOURNAL_NAME}",
+            flush=True,
+        )
+    try:
+        return serve_forever(
+            scheduler,
+            host=args.host,
+            port=port,
+            drain_timeout_s=args.drain_timeout,
+            state_dir=state_dir,
+        )
+    except OSError as exc:  # port in use, bad address, ...
+        raise CLIError(f"cannot bind {args.host}:{port}: {exc}") from None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -670,6 +810,9 @@ def _dispatch(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
         return pipeline.exit_code
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     if args.command == "verify":
         from repro import verify as verify_mod

@@ -171,6 +171,28 @@ class Study:
         )
 
     # ------------------------------------------------------------------
+    def run_key(self, benchmark: str, config: str = "serial") -> Tuple[str, ...]:
+        """The run-cache key :meth:`run` stores this run under.
+
+        Exposed so content-addressed layers above the study — the serve
+        scheduler's dedup keys, cache probes answering warm submissions
+        without an engine run — address *exactly* the entries
+        :meth:`run` writes, spelled however the caller spelled the
+        workload (name, path, or fingerprint token).
+        """
+        token, _ = self._workload_entry(benchmark)
+        return ("single", token, config)
+
+    def cached_result(
+        self, benchmark: str, config: str = "serial"
+    ) -> Optional[RunResult]:
+        """The cached result for a run, or None — never simulates."""
+        key = self.run_key(benchmark, config)
+        value = self._cache.get(self._fingerprint, key)
+        if self._cache.is_miss(value):
+            return self._preloaded.get(key)
+        return value
+
     def run(self, benchmark: str, config: str = "serial") -> RunResult:
         """Run one benchmark under one configuration (cached)."""
         token, wl = self._workload_entry(benchmark)

@@ -203,6 +203,11 @@ _SCHEDULERS = {
 }
 
 
+def scheduler_names() -> List[str]:
+    """Every registered placement-policy name, sorted."""
+    return sorted(_SCHEDULERS)
+
+
 def make_scheduler(name: str) -> Scheduler:
     """Instantiate a scheduler policy by name."""
     try:

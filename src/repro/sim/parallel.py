@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -140,13 +141,20 @@ class FallbackReport:
 
 
 #: The most recent map's degradation event (None = clean pool run).
-_last_report: Optional[FallbackReport] = None
+#: Thread-local: the serve daemon runs jobs (and their nested sweeps)
+#: on concurrent worker threads, and one job's fallback report must
+#: not be harvested — or clobbered — by another's.
+_report_local = threading.local()
+
+
+def _set_last_report(report: Optional[FallbackReport]) -> None:
+    _report_local.report = report
 
 
 def take_fallback_report() -> Optional[FallbackReport]:
-    """Pop the last :func:`parallel_map` call's fallback report, if any."""
-    global _last_report
-    report, _last_report = _last_report, None
+    """Pop this thread's last :func:`parallel_map` fallback report."""
+    report = getattr(_report_local, "report", None)
+    _report_local.report = None
     return report
 
 
@@ -211,8 +219,7 @@ def parallel_map(
     from repro.supervise import backoff as _backoff
     from repro.supervise import default_watchdog_s as _default_watchdog_s
 
-    global _last_report
-    _last_report = None
+    _set_last_report(None)
     items = list(items)
     results: List[Any] = [None] * len(items)
     done = [False] * len(items)
@@ -230,8 +237,7 @@ def parallel_map(
         return results
 
     def degrade(report: FallbackReport) -> None:
-        global _last_report
-        _last_report = report
+        _set_last_report(report)
         if on_fallback is not None:
             on_fallback(report)
 

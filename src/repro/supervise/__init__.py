@@ -30,8 +30,10 @@ the serial path, the pool path, and every engine run either spawns.
 
 from __future__ import annotations
 
+import contextlib
+import threading
 import time
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.supervise.backoff import (  # noqa: F401  (re-exports)
     BackoffPolicy,
@@ -90,12 +92,14 @@ __all__ = [
     "budget_from_env",
     "check",
     "current_budget",
+    "current_scope",
     "default_watchdog_s",
     "end_task",
     "install_signals",
     "load_journal",
     "reset",
     "reset_breakers",
+    "scope",
     "set_budget",
     "token",
 ]
@@ -154,6 +158,86 @@ def install_signals():
 
 
 # ----------------------------------------------------------------------
+# Thread-scoped supervision (the serving layer's per-job story).
+#
+# The process-global budget/token above is the right shape for the CLI:
+# one campaign per process, signals route to one latch.  A long-running
+# `repro serve` daemon instead runs *many* jobs concurrently on worker
+# threads, each with its own cancellation token and deadline — one
+# client cancelling their job must not cancel everyone else's.  A
+# :func:`scope` installs exactly that: a per-thread (token, deadline)
+# consulted by :func:`check` and :func:`active` *before* the globals,
+# so the same SupervisionObserver enforces per-job supervision on
+# server threads and campaign supervision everywhere else.
+
+
+class _Scope:
+    """One thread's supervision frame: a token and an optional deadline."""
+
+    __slots__ = ("task_id", "token", "timeout_s", "deadline")
+
+    def __init__(
+        self,
+        task_id: str,
+        token: CancelToken,
+        timeout_s: Optional[float],
+        now: Optional[float] = None,
+    ) -> None:
+        self.task_id = task_id
+        self.token = token
+        self.timeout_s = timeout_s
+        if timeout_s is None:
+            self.deadline: Optional[float] = None
+        else:
+            self.deadline = (
+                time.monotonic() if now is None else now
+            ) + timeout_s
+
+
+_scope_local = threading.local()
+
+
+def _scope_stack() -> list:
+    stack = getattr(_scope_local, "stack", None)
+    if stack is None:
+        stack = _scope_local.stack = []
+    return stack
+
+
+def current_scope() -> Optional[_Scope]:
+    """The innermost supervision scope on this thread, if any."""
+    stack = getattr(_scope_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextlib.contextmanager
+def scope(
+    task_id: str,
+    token: Optional[CancelToken] = None,
+    timeout_s: Optional[float] = None,
+) -> Iterator[CancelToken]:
+    """Supervise the enclosed work with a per-thread token + deadline.
+
+    Yields the scope's :class:`CancelToken` (a fresh one when none is
+    given).  While active on this thread, :func:`check` raises
+    :class:`CancelledRun` when the token trips and
+    :class:`DeadlineExceeded` once ``timeout_s`` elapses, and
+    :func:`active` is True so engines attach their
+    :class:`SupervisionObserver` — the process-global budget and signal
+    token keep applying on top.  Scopes nest (innermost wins), and the
+    frame is popped even when the body raises.
+    """
+    entry = _Scope(task_id, token if token is not None else CancelToken(),
+                   timeout_s)
+    stack = _scope_stack()
+    stack.append(entry)
+    try:
+        yield entry.token
+    finally:
+        stack.pop()
+
+
+# ----------------------------------------------------------------------
 def begin_task(task_id: str, now: Optional[float] = None) -> None:
     """Mark one experiment as the running task; compute its deadline
     from the armed budget (no-op deadline when unbudgeted)."""
@@ -184,7 +268,8 @@ def active() -> bool:
     use stays observer-free — and byte-identical — by default.
     """
     return (
-        _task_deadline is not None
+        current_scope() is not None
+        or _task_deadline is not None
         or _signals_armed
         or _token.cancelled
         or (_budget is not None and _budget.bounded)
@@ -198,6 +283,17 @@ def check(where: str = "") -> None:
     :class:`DeadlineExceeded` names what timed out (task or run) and by
     how much, so the pipeline's failure record is self-explanatory.
     """
+    frame = current_scope()
+    if frame is not None:
+        frame.token.raise_if_cancelled()
+        if frame.deadline is not None:
+            now = time.monotonic()
+            if now > frame.deadline:
+                raise DeadlineExceeded(
+                    f"job {frame.task_id} exceeded its wall-time budget "
+                    f"({frame.timeout_s}s, {now - frame.deadline:.2f}s over"
+                    + (f", at {where}" if where else "") + ")"
+                )
     _token.raise_if_cancelled()
     if _task_deadline is None and _budget is None:
         return
@@ -232,10 +328,15 @@ def default_watchdog_s() -> Optional[float]:
 
 
 def reset() -> None:
-    """Clear every piece of supervision state (tests, embedders)."""
+    """Clear every piece of supervision state (tests, embedders).
+
+    Thread-scoped frames are per-thread by construction; only the
+    calling thread's stack can (and does) get cleared here.
+    """
     global _signals_armed
     set_budget(None)
     end_task()
     _token.reset()
     _signals_armed = False
+    _scope_stack().clear()
     reset_breakers()

@@ -63,6 +63,8 @@ def clean_runtime_switches(monkeypatch):
     monkeypatch.delenv(supervise.TIMEOUT_ENV, raising=False)
     monkeypatch.delenv(supervise.EXPERIMENT_TIMEOUT_ENV, raising=False)
     monkeypatch.delenv(supervise.JOURNAL_ENV, raising=False)
+    for key in [k for k in os.environ if k.startswith("REPRO_SERVE_")]:
+        monkeypatch.delenv(key, raising=False)
     faults.deactivate()
     verify.deactivate()
     batch.set_mode(None)
@@ -74,6 +76,77 @@ def clean_runtime_switches(monkeypatch):
     batch.set_mode(None)
     batch.take_stats()
     supervise.reset()
+
+
+@pytest.fixture
+def serve_client():
+    """An in-process serve daemon on an ephemeral port, auto-shutdown.
+
+    Yields a small client wrapper around the running :class:`ServeApp`
+    (fast class-S jobs by default keep the HTTP tests snappy); the
+    daemon is drained and its socket released at teardown even when the
+    test fails.
+    """
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from repro.serve import Scheduler, ServeApp
+
+    class _Client:
+        def __init__(self, app):
+            self.app = app
+            self.scheduler = app.scheduler
+            self.base = app.url
+
+        def request(self, method, path, payload=None):
+            data = (
+                None if payload is None
+                else _json.dumps(payload).encode()
+            )
+            req = urllib.request.Request(
+                self.base + path, data=data, method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    return resp.status, _json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                return exc.code, _json.loads(exc.read())
+
+        def get(self, path):
+            return self.request("GET", path)
+
+        def post(self, path, payload):
+            return self.request("POST", path, payload)
+
+        def delete(self, path):
+            return self.request("DELETE", path)
+
+        def wait(self, job_id, timeout_s=30.0):
+            """Poll a job to a terminal state; returns its record."""
+            import time as _time
+
+            deadline = _time.monotonic() + timeout_s
+            while _time.monotonic() < deadline:
+                status, job = self.get(f"/jobs/{job_id}")
+                assert status == 200, (status, job)
+                if job["state"] in ("done", "failed", "cancelled"):
+                    return job
+                _time.sleep(0.005)
+            raise AssertionError(f"job {job_id} did not settle")
+
+    apps = []
+
+    def _make(**scheduler_kwargs):
+        scheduler_kwargs.setdefault("workers", 2)
+        app = ServeApp(Scheduler(**scheduler_kwargs)).start()
+        apps.append(app)
+        return _Client(app)
+
+    yield _make
+    for app in apps:
+        app.close(drain_timeout_s=1.0)
 
 
 @pytest.fixture

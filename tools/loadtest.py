@@ -1,0 +1,421 @@
+#!/usr/bin/env python3
+"""Load harness for the serve daemon: concurrent clients, live asserts.
+
+Usage::
+
+    python tools/loadtest.py --clients 100 --duration 10
+    python tools/loadtest.py --clients 50 --duration 20 \
+        --url http://127.0.0.1:8433 --out /tmp/BENCH_serve.json
+
+Spins up ``--clients`` concurrent clients (threads), each submitting a
+stream of jobs drawn from a seeded space of (kind, workload,
+configuration, problem class) combinations and polling every job to a
+terminal state.  The space is deliberately small relative to the
+request volume, so the traffic mix exercises all three scheduler paths:
+
+* **cold** — the first submission of each distinct job executes;
+* **duplicate** — concurrent identical submissions coalesce onto the
+  in-flight execution (dedup);
+* **warm** — later identical submissions are answered from the result
+  memo / run cache without entering the worker pool.
+
+Without ``--url`` the harness hosts the daemon in-process (ephemeral
+port); with it, it targets an externally booted server — the CI serve
+job uses that form against a real ``repro serve`` subprocess.
+
+Hard assertions (exit 1 on violation):
+
+* zero transport errors and zero HTTP 5xx responses;
+* zero ``failed`` jobs; every job reaches a terminal state;
+* dedup and/or cache coalescing actually fired (``engine_calls`` <
+  jobs submitted) and the ``/stats`` counters close: submitted =
+  done + failed + cancelled + queued + running.
+
+``--out`` writes the latency distribution (submit round-trip and
+end-to-end job completion, p50/p95/p99) in pytest-benchmark JSON
+schema, gateable against a baseline with ``tools/bench_compare.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: The job space the clients draw from.  Small on purpose: collisions
+#: are the point (128 distinct keys; a 20 s / 50-client run submits
+#: thousands of jobs, so most submissions are duplicates or warm hits).
+WORKLOADS = ("cg", "mg", "ft", "lu", "ep", "sp", "bt", "is")
+CONFIGS = ("serial", "ht_on_2_1", "ht_off_2_2", "ht_on_4_1",
+           "ht_off_4_2", "ht_on_8_2")
+CLASSES = ("S", "W")
+KINDS = ("run", "speedup")
+
+
+class ClientStats:
+    """One client's tally; merged after the run (no shared hot state)."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.transport_errors: List[str] = []
+        self.server_errors: List[str] = []
+        self.failed_jobs: List[str] = []
+        self.unsettled: List[str] = []
+        self.submit_latencies: List[float] = []
+        self.job_latencies: List[float] = []
+        self.sources: Dict[str, int] = {}
+
+
+def _request(
+    url: str, method: str = "GET", payload: Optional[dict] = None,
+    timeout: float = 30.0,
+):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _draw_job(rng: random.Random) -> Dict[str, Any]:
+    kind = rng.choice(KINDS)
+    job: Dict[str, Any] = {
+        "kind": kind,
+        "workload": rng.choice(WORKLOADS),
+        "config": rng.choice(CONFIGS),
+        "problem_class": rng.choice(CLASSES),
+    }
+    if kind == "speedup" and job["config"] == "serial":
+        job["config"] = "ht_on_4_1"
+    return job
+
+
+def _client_loop(
+    base: str, deadline: float, seed: int, stats: ClientStats,
+    poll_timeout_s: float, burst_job: Optional[Dict[str, Any]] = None,
+) -> None:
+    rng = random.Random(seed)
+    first = True
+    while time.monotonic() < deadline:
+        if first and burst_job is not None:
+            # Every client opens with the same experiment job: a full
+            # sweep no probe can answer, long enough that the clients'
+            # opening submissions are guaranteed to overlap in flight —
+            # the deterministic dedup exercise.
+            payload = dict(burst_job)
+            first = False
+        else:
+            payload = _draw_job(rng)
+        t0 = time.monotonic()
+        try:
+            status, job = _request(
+                base + "/jobs", method="POST", payload=payload
+            )
+        except urllib.error.HTTPError as exc:
+            if exc.code >= 500:
+                stats.server_errors.append(f"POST /jobs -> {exc.code}")
+            else:  # 4xx would be a harness bug, count it loudly too
+                stats.server_errors.append(
+                    f"POST /jobs -> {exc.code}: {exc.read()[:120]!r}"
+                )
+            continue
+        except Exception as exc:
+            stats.transport_errors.append(f"POST /jobs: {exc}")
+            continue
+        stats.submit_latencies.append(time.monotonic() - t0)
+        stats.submitted += 1
+        job_id = job["id"]
+        poll_deadline = time.monotonic() + poll_timeout_s
+        state = job["state"]
+        while state not in ("done", "failed", "cancelled"):
+            if time.monotonic() > poll_deadline:
+                stats.unsettled.append(job_id)
+                break
+            time.sleep(0.002)
+            try:
+                status, job = _request(f"{base}/jobs/{job_id}")
+            except urllib.error.HTTPError as exc:
+                if exc.code >= 500:
+                    stats.server_errors.append(
+                        f"GET /jobs/{job_id} -> {exc.code}"
+                    )
+                    break
+                continue
+            except Exception as exc:
+                stats.transport_errors.append(f"GET /jobs/{job_id}: {exc}")
+                break
+            state = job["state"]
+        else:
+            stats.completed += 1
+            stats.job_latencies.append(time.monotonic() - t0)
+            source = job.get("source", "?")
+            stats.sources[source] = stats.sources.get(source, 0) + 1
+            if state == "failed":
+                stats.failed_jobs.append(
+                    f"{job_id}: {job.get('error', {}).get('message', '?')}"
+                )
+
+
+def _percentile(sorted_values: List[float], p: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, int(round(p * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
+
+
+def _bench_entry(name: str, latencies: List[float]) -> Dict[str, Any]:
+    """One pytest-benchmark-schema entry from raw latencies."""
+    values = sorted(latencies)
+    return {
+        "group": "serve",
+        "name": name,
+        "fullname": f"tools/loadtest.py::{name}",
+        "params": None,
+        "param": None,
+        "extra_info": {
+            "p50_s": _percentile(values, 0.50),
+            "p95_s": _percentile(values, 0.95),
+            "p99_s": _percentile(values, 0.99),
+        },
+        "options": {},
+        "stats": {
+            "min": values[0] if values else 0.0,
+            "max": values[-1] if values else 0.0,
+            "mean": statistics.fmean(values) if values else 0.0,
+            "stddev": statistics.stdev(values) if len(values) > 1 else 0.0,
+            "median": _percentile(values, 0.50),
+            "q1": _percentile(values, 0.25),
+            "q3": _percentile(values, 0.75),
+            "iqr": _percentile(values, 0.75) - _percentile(values, 0.25),
+            "rounds": len(values),
+            "total": sum(values),
+        },
+    }
+
+
+def run_load(
+    base: str, clients: int, duration_s: float, seed: int,
+    poll_timeout_s: float = 60.0,
+) -> Dict[str, Any]:
+    """Drive the load; return the merged report (asserts not yet run)."""
+    status, health = _request(base + "/healthz")
+    if status != 200 or health.get("status") != "ok":
+        raise RuntimeError(f"server not healthy: {status} {health}")
+
+    per_client = [ClientStats() for _ in range(clients)]
+    burst_job = {
+        "kind": "experiment", "experiment": "fig3",
+        "problem_class": random.Random(seed).choice(CLASSES),
+    }
+    deadline = time.monotonic() + duration_s
+    t0 = time.monotonic()
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(base, deadline, seed * 1000 + i, per_client[i],
+                  poll_timeout_s, burst_job),
+            name=f"load-client-{i}", daemon=True,
+        )
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=duration_s + poll_timeout_s + 30.0)
+    wall_s = time.monotonic() - t0
+
+    merged = ClientStats()
+    for c in per_client:
+        merged.submitted += c.submitted
+        merged.completed += c.completed
+        merged.transport_errors += c.transport_errors
+        merged.server_errors += c.server_errors
+        merged.failed_jobs += c.failed_jobs
+        merged.unsettled += c.unsettled
+        merged.submit_latencies += c.submit_latencies
+        merged.job_latencies += c.job_latencies
+        for source, n in c.sources.items():
+            merged.sources[source] = merged.sources.get(source, 0) + n
+
+    _, stats = _request(base + "/stats")
+    return {
+        "clients": clients,
+        "duration_s": duration_s,
+        "wall_s": wall_s,
+        "submitted": merged.submitted,
+        "completed": merged.completed,
+        "throughput_jobs_per_s": (
+            merged.completed / wall_s if wall_s else 0.0
+        ),
+        "sources": merged.sources,
+        "transport_errors": merged.transport_errors,
+        "server_errors": merged.server_errors,
+        "failed_jobs": merged.failed_jobs,
+        "unsettled": merged.unsettled,
+        "submit_latencies": merged.submit_latencies,
+        "job_latencies": merged.job_latencies,
+        "server_stats": stats,
+    }
+
+
+def check_report(report: Dict[str, Any]) -> List[str]:
+    """The hard assertions; returns human-readable violations."""
+    problems = []
+    if report["transport_errors"]:
+        sample = "; ".join(report["transport_errors"][:3])
+        problems.append(
+            f"{len(report['transport_errors'])} transport error(s): "
+            f"{sample}"
+        )
+    if report["server_errors"]:
+        sample = "; ".join(report["server_errors"][:3])
+        problems.append(
+            f"{len(report['server_errors'])} HTTP error(s): {sample}"
+        )
+    if report["failed_jobs"]:
+        sample = "; ".join(report["failed_jobs"][:3])
+        problems.append(
+            f"{len(report['failed_jobs'])} failed job(s): {sample}"
+        )
+    if report["unsettled"]:
+        problems.append(
+            f"{len(report['unsettled'])} job(s) never reached a "
+            f"terminal state"
+        )
+    if report["submitted"] == 0:
+        problems.append("no jobs were submitted")
+    counters = report["server_stats"]["counters"]
+    coalesced = counters["dedup_hits"] + counters["cache_hits"]
+    if coalesced == 0:
+        problems.append(
+            "neither dedup nor the cache fast path ever fired "
+            f"(engine_calls={counters['engine_calls']})"
+        )
+    jobs = report["server_stats"]["jobs"]
+    terminal_plus_live = (
+        jobs["done"] + jobs["failed"] + jobs["cancelled"]
+        + jobs["queued"] + jobs["running"]
+    )
+    if jobs["submitted"] != terminal_plus_live:
+        problems.append(
+            f"stats do not close: submitted={jobs['submitted']} but "
+            f"done+failed+cancelled+queued+running={terminal_plus_live}"
+        )
+    return problems
+
+
+def write_bench(report: Dict[str, Any], out: Path) -> None:
+    payload = {
+        "machine_info": {"harness": "tools/loadtest.py"},
+        "commit_info": {},
+        "datetime": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "version": "loadtest-1",
+        "benchmarks": [
+            _bench_entry("serve_submit_roundtrip",
+                         report["submit_latencies"]),
+            _bench_entry("serve_job_completion",
+                         report["job_latencies"]),
+        ],
+        "extra_info": {
+            "clients": report["clients"],
+            "duration_s": report["duration_s"],
+            "submitted": report["submitted"],
+            "completed": report["completed"],
+            "throughput_jobs_per_s": report["throughput_jobs_per_s"],
+            "sources": report["sources"],
+            "server_counters": report["server_stats"]["counters"],
+        },
+    }
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Concurrent load harness for the serve daemon."
+    )
+    parser.add_argument("--clients", type=int, default=100,
+                        help="concurrent clients (default: 100)")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="seconds each client keeps submitting "
+                             "(default: 10)")
+    parser.add_argument("--url", default=None,
+                        help="target a running server instead of "
+                             "hosting one in-process")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="in-process mode: scheduler worker threads "
+                             "(default: 4)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="traffic-mix seed (default: 0)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the latency report here "
+                             "(pytest-benchmark JSON schema)")
+    args = parser.parse_args(argv)
+    if args.clients < 1 or args.duration <= 0:
+        parser.error("--clients must be >= 1 and --duration > 0")
+
+    app = None
+    if args.url is None:
+        from repro.serve import Scheduler, ServeApp
+
+        app = ServeApp(Scheduler(workers=args.workers)).start()
+        base = app.url
+        print(f"hosting in-process server at {base} "
+              f"({args.workers} workers)")
+    else:
+        base = args.url.rstrip("/")
+
+    try:
+        report = run_load(base, args.clients, args.duration, args.seed)
+    finally:
+        if app is not None:
+            app.close(drain_timeout_s=10.0)
+
+    submit = sorted(report["submit_latencies"])
+    job = sorted(report["job_latencies"])
+    print(
+        f"{report['clients']} client(s), {report['wall_s']:.1f}s wall: "
+        f"{report['submitted']} submitted, {report['completed']} "
+        f"completed ({report['throughput_jobs_per_s']:.0f} jobs/s)"
+    )
+    print(f"sources: {report['sources']}")
+    counters = report["server_stats"]["counters"]
+    print(
+        f"server: engine_calls={counters['engine_calls']} "
+        f"dedup_hits={counters['dedup_hits']} "
+        f"cache_hits={counters['cache_hits']}"
+    )
+    for name, values in (("submit", submit), ("job", job)):
+        if values:
+            print(
+                f"{name:>7} latency: p50={_percentile(values, .5)*1e3:.2f}ms "
+                f"p95={_percentile(values, .95)*1e3:.2f}ms "
+                f"p99={_percentile(values, .99)*1e3:.2f}ms"
+            )
+
+    if args.out is not None:
+        write_bench(report, args.out)
+        print(f"wrote {args.out}")
+
+    problems = check_report(report)
+    if problems:
+        for problem in problems:
+            print(f"LOADTEST FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("loadtest OK: zero errors, zero failed jobs, coalescing fired")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
